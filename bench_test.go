@@ -1,0 +1,245 @@
+// Package dpsadopt's root benchmarks regenerate every table and figure of
+// the paper's evaluation from a cached reproduction run, one benchmark
+// per artifact (see DESIGN.md §4 for the experiment index). Ablation
+// benchmarks for the design choices called out in DESIGN.md §5 live next
+// to their subsystems (internal/pfx2as, internal/store, internal/dnswire,
+// internal/analysis, internal/measure).
+//
+//	go test -bench=. -benchmem
+package dpsadopt
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/experiment"
+	"dpsadopt/internal/measure"
+	"dpsadopt/internal/report"
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+	"dpsadopt/internal/worldsim"
+)
+
+// benchRunner is a full-window run at 1:50000 scale, built once. Every
+// artifact benchmark regenerates its table or figure from this run.
+var (
+	benchOnce   sync.Once
+	benchShared *experiment.Runner
+	benchErr    error
+)
+
+func runner(b *testing.B) *experiment.Runner {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchShared, benchErr = experiment.New(experiment.Config{Scale: 50_000, Workers: 4})
+		if benchErr == nil {
+			benchErr = benchShared.Run()
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchShared
+}
+
+// quietDay is an anomaly-free day used for discovery benchmarks.
+var quietDay = simtime.FromDate(2015, 7, 25)
+
+func BenchmarkTable1DataSet(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := r.Table1()
+		if len(rows) == 0 {
+			b.Fatal("empty table 1")
+		}
+		report.Table1(io.Discard, rows)
+	}
+}
+
+func BenchmarkTable2Discovery(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Table2(quietDay)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Discovered) != 9 {
+			b.Fatal("missing providers")
+		}
+	}
+}
+
+func BenchmarkFigure2DailyUse(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := r.Figure2()
+		if len(s) != 4 {
+			b.Fatal("series missing")
+		}
+	}
+}
+
+func BenchmarkFigure3Breakdown(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := r.Figure3()
+		if len(p) != 9 {
+			b.Fatal("panels missing")
+		}
+	}
+}
+
+func BenchmarkFigure4Distribution(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := r.Figure4()
+		if f.Namespace["com"] == 0 {
+			b.Fatal("empty distribution")
+		}
+	}
+}
+
+func BenchmarkFigure5Growth(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := r.Figure5()
+		if g.AdoptionGrowth() == 0 {
+			b.Fatal("empty growth")
+		}
+	}
+}
+
+func BenchmarkFigure6NLAlexa(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := r.Figure6()
+		if len(f.NL.Days) == 0 && len(f.Alexa.Days) == 0 {
+			b.Fatal("empty fig 6")
+		}
+	}
+}
+
+func BenchmarkFigure7Flux(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := r.Figure7()
+		if len(p) != 9 {
+			b.Fatal("panels missing")
+		}
+	}
+}
+
+func BenchmarkFigure8PeakCDF(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := r.Figure8()
+		if len(p) != 9 {
+			b.Fatal("panels missing")
+		}
+	}
+}
+
+func BenchmarkAnomalyAttribution(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := r.Anomalies(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) == 0 {
+			b.Fatal("no anomalies")
+		}
+	}
+}
+
+// BenchmarkMeasureDay benchmarks one full measurement day (Stage I–III,
+// direct fidelity) on a fresh store.
+func BenchmarkMeasureDay(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmp := store.New()
+		p := measure.New(r.World, tmp, measure.Config{Mode: measure.ModeDirect, Workers: 4})
+		if err := p.RunDay(quietDay); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureDayWire benchmarks a wire-fidelity day on a small
+// world: every query is a real DNS message through the in-memory network.
+func BenchmarkMeasureDayWire(b *testing.B) {
+	w, err := worldsim.New(worldsim.DefaultConfig(400_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmp := store.New()
+		p := measure.New(w, tmp, measure.Config{Mode: measure.ModeWire, Workers: 8, Timeout: 500, Retries: 3})
+		if err := p.RunDay(quietDay); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectDay benchmarks the §3.3 detection scan over one stored
+// day of .com.
+func BenchmarkDetectDay(b *testing.B) {
+	r := runner(b)
+	tmp, err := r.MaterializeDay(quietDay)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs := core.MustGroundTruth()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := core.DetectDay(tmp, "com", quietDay, refs)
+		if det.DomainsMeasured == 0 {
+			b.Fatal("nothing measured")
+		}
+	}
+}
+
+// BenchmarkWorldDay benchmarks computing one day of world state (every
+// domain's DNS configuration plus the day's RIB).
+func BenchmarkWorldDay(b *testing.B) {
+	r := runner(b)
+	w := r.World
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rib := w.RIBForDay(quietDay)
+		if rib.Len() == 0 {
+			b.Fatal("empty RIB")
+		}
+		for _, d := range w.Domains {
+			_ = w.StateFor(d, quietDay)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command dpsdata inspects measurement dataset files written by
+// cmd/dpsmeasure -out (the .dpsa binary archive): per-source statistics,
+// row dumps, per-day DPS detection counts, and grep-style filtering.
+//
+// Usage:
+//
+//	dpsdata -data FILE                  # Table 1-style statistics
+//	dpsdata -data FILE -dump com/0      # dump a partition (source/dayIndex)
+//	dpsdata -data FILE -detect          # per-day per-provider counts
+//	dpsdata -data FILE -grep cloudflare # rows whose strings match
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+)
+
+func main() {
+	var (
+		data   = flag.String("data", "", "dataset file (.dpsa)")
+		dump   = flag.String("dump", "", "partition to dump as source/day (day = index into the source's day list)")
+		detect = flag.Bool("detect", false, "run Table 2 detection per stored day")
+		grep   = flag.String("grep", "", "print rows whose NS/CNAME strings contain this substring")
+		limit  = flag.Int("limit", 20, "max rows for -dump/-grep")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "dpsdata: -data FILE required")
+		os.Exit(2)
+	}
+	s, err := store.Load(*data)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *dump != "":
+		source, day, err := parsePartition(s, *dump)
+		if err != nil {
+			fatal(err)
+		}
+		n := 0
+		s.ForEachRow(source, day, func(r store.Row) {
+			if n >= *limit {
+				return
+			}
+			n++
+			printRow(r)
+		})
+	case *detect:
+		refs := core.MustGroundTruth()
+		for _, src := range s.Sources() {
+			for _, day := range s.Days(src) {
+				det := core.DetectDay(s, src, day, refs)
+				fmt.Printf("%s %s: measured=%d any=%d", src, day, det.DomainsMeasured, det.CountAny())
+				for p := range refs.Providers {
+					if c := det.Count(p); c > 0 {
+						fmt.Printf(" %s=%d", refs.Providers[p].Name, c)
+					}
+				}
+				fmt.Println()
+			}
+		}
+	case *grep != "":
+		n := 0
+		for _, src := range s.Sources() {
+			for _, day := range s.Days(src) {
+				s.ForEachRow(src, day, func(r store.Row) {
+					if n >= *limit || !strings.Contains(r.Str, *grep) {
+						return
+					}
+					n++
+					fmt.Printf("%s %s: ", src, day)
+					printRow(r)
+				})
+			}
+		}
+	default:
+		fmt.Printf("%-8s %6s %10s %12s %14s\n", "source", "days", "#SLDs", "#DPs", "size(flate)")
+		for _, src := range s.Sources() {
+			st := s.SourceStats(src)
+			fmt.Printf("%-8s %6d %10d %12d %13dB\n", src, st.Days, st.UniqueSLDs, st.DataPoints, st.CompressedBytes)
+		}
+	}
+}
+
+func parsePartition(s *store.Store, spec string) (string, simtime.Day, error) {
+	parts := strings.SplitN(spec, "/", 2)
+	if len(parts) != 2 {
+		return "", 0, fmt.Errorf("dpsdata: -dump wants source/dayIndex")
+	}
+	days := s.Days(parts[0])
+	if len(days) == 0 {
+		return "", 0, fmt.Errorf("dpsdata: no data for source %q", parts[0])
+	}
+	idx, err := strconv.Atoi(parts[1])
+	if err != nil || idx < 0 || idx >= len(days) {
+		return "", 0, fmt.Errorf("dpsdata: day index out of range [0,%d)", len(days))
+	}
+	return parts[0], days[idx], nil
+}
+
+func printRow(r store.Row) {
+	if r.Str != "" {
+		fmt.Printf("%-24s %-10s %s\n", r.Domain, r.Kind, r.Str)
+	} else {
+		fmt.Printf("%-24s %-10s %-18v AS%v\n", r.Domain, r.Kind, r.Addr, r.ASNs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpsdata:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command dpsquery inspects one domain of the simulated world on one day:
+// its DNS state, the references it exhibits (per the paper's §3.3
+// methodology), and the use classification over the whole window.
+//
+// Usage:
+//
+//	dpsquery -domain NAME [-date 2015-03-05] [-scale 100000]
+//
+// Run without -domain to list a few protected domains to try.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/pfx2as"
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/worldsim"
+)
+
+func main() {
+	var (
+		domain = flag.String("domain", "", "domain to inspect")
+		date   = flag.String("date", "2015-03-05", "day to inspect")
+		scale  = flag.Int("scale", 100_000, "world scale divisor")
+	)
+	flag.Parse()
+
+	w, err := worldsim.New(worldsim.DefaultConfig(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	refs := core.MustGroundTruth()
+
+	if *domain == "" {
+		fmt.Println("no -domain given; some protected domains in this world:")
+		n := 0
+		for _, d := range w.Domains {
+			if d.Cust != nil && n < 10 {
+				fmt.Printf("  %-20s (%s customer)\n", d.Name, refs.Providers[d.Cust.Provider].Name)
+				n++
+			}
+		}
+		for i, op := range w.Operators {
+			for _, d := range w.Domains {
+				if d.Operator == i && d.OpIdx == 0 {
+					fmt.Printf("  %-20s (%s cohort)\n", d.Name, op.Spec.Name)
+					break
+				}
+			}
+		}
+		return
+	}
+
+	day, err := simtime.Parse(*date)
+	if err != nil {
+		fatal(err)
+	}
+	d, ok := w.DomainByName(strings.ToLower(*domain))
+	if !ok {
+		fatal(fmt.Errorf("domain %q not in this world (try a smaller -scale)", *domain))
+	}
+	st := w.StateFor(d, day)
+	fmt.Printf("%s on %s:\n", d.Name, day)
+	switch {
+	case !st.Exists:
+		fmt.Println("  not registered on this day")
+		return
+	case st.Unmeasurable:
+		fmt.Println("  DNS outage at its operator: no measurement possible")
+		return
+	}
+	entries, err := pfx2as.Parse(strings.NewReader(w.RIBForDay(day).Snapshot()))
+	if err != nil {
+		fatal(err)
+	}
+	table := pfx2as.NewWalk(entries)
+
+	var methods [9]core.Method
+	fmt.Println("  NS:", strings.Join(st.NSHosts, ", "))
+	for _, ns := range st.NSHosts {
+		if p, ok := refs.MatchNS(ns); ok {
+			methods[p] |= core.RefNS
+		}
+	}
+	for _, a := range st.ApexA {
+		origins, _ := table.Lookup(a)
+		fmt.Printf("  apex A: %v (origin %v)\n", a, origins)
+		for _, o := range origins {
+			if p, ok := refs.MatchASN(o); ok {
+				methods[p] |= core.RefAS
+			}
+		}
+	}
+	if st.WWWCNAME != "" {
+		fmt.Printf("  www CNAME: %s\n", st.WWWCNAME)
+		if p, ok := refs.MatchCNAME(st.WWWCNAME); ok {
+			methods[p] |= core.RefCNAME
+		}
+	}
+	for _, a := range st.WWWA {
+		origins, _ := table.Lookup(a)
+		fmt.Printf("  www A: %v (origin %v)\n", a, origins)
+		for _, o := range origins {
+			if p, ok := refs.MatchASN(o); ok {
+				methods[p] |= core.RefAS
+			}
+		}
+	}
+	detected := false
+	for p, m := range methods {
+		if m != 0 {
+			detected = true
+			fmt.Printf("  => uses %s via %s references\n", refs.Providers[p].Name, m)
+		}
+	}
+	if !detected {
+		fmt.Println("  => no DPS references on this day")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpsquery:", err)
+	os.Exit(1)
+}

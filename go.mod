@@ -1,0 +1,3 @@
+module dpsadopt
+
+go 1.22

@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"dpsadopt/internal/analysis"
+)
+
+// ExampleSmooth shows the §4.2 trend cleaning: a Wix-sized spike
+// disappears, the underlying growth stays.
+func ExampleSmooth() {
+	series := make([]float64, 200)
+	for i := range series {
+		series[i] = 1000 + float64(i) // slow genuine growth
+		if i >= 90 && i < 95 {
+			series[i] += 5000 // a five-day third-party anomaly
+		}
+	}
+	smoothed := analysis.Smooth(series)
+	rel := analysis.Relative(smoothed)
+	fmt.Printf("spike day raw: %.0f\n", series[92])
+	fmt.Printf("spike day cleaned: %.0f\n", smoothed[92])
+	fmt.Printf("growth: %.2fx\n", rel[len(rel)-1])
+	// Output:
+	// spike day raw: 6092
+	// spike day cleaned: 1087
+	// growth: 1.19x
+}
+
+// ExamplePeakStats shows the Fig 8 quantile computation.
+func ExamplePeakStats() {
+	st := analysis.PeakStats{Durations: []int{1, 2, 3, 4, 4, 5, 7, 10, 11, 31}}
+	fmt.Println("p80 =", st.P(0.8), "days")
+	// Output:
+	// p80 = 11 days
+}

@@ -1,0 +1,194 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register(13335, "CLOUDFLARENET - CloudFlare, Inc.")
+	r.Register(19551, "INCAPSULA - Incapsula Inc")
+	r.Register(20940, "AKAMAI-ASN1")
+	r.Register(16625, "AKAMAI-AS")
+	if got := r.Name(13335); !strings.Contains(got, "CloudFlare") {
+		t.Errorf("Name = %q", got)
+	}
+	if got := r.FindByName("akamai"); !reflect.DeepEqual(got, []ASN{16625, 20940}) {
+		t.Errorf("FindByName = %v", got)
+	}
+	if got := r.FindByName("nonexistent"); got != nil {
+		t.Errorf("FindByName(miss) = %v", got)
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if ASN(13335).String() != "AS13335" {
+		t.Error("ASN.String wrong")
+	}
+}
+
+func TestRIBMostSpecific(t *testing.T) {
+	rib := NewRIB()
+	rib.Announce(pfx("10.0.0.0/8"), 100)
+	rib.Announce(pfx("10.1.0.0/16"), 200)
+	rib.Announce(pfx("10.1.2.0/24"), 300)
+
+	cases := []struct {
+		addr string
+		want ASN
+	}{
+		{"10.1.2.3", 300},
+		{"10.1.9.9", 200},
+		{"10.200.0.1", 100},
+	}
+	for _, c := range cases {
+		origins, p, ok := rib.Origins(addr(c.addr))
+		if !ok || len(origins) != 1 || origins[0] != c.want {
+			t.Errorf("Origins(%s) = %v (%v), want %v", c.addr, origins, p, c.want)
+		}
+	}
+	if _, _, ok := rib.Origins(addr("192.168.0.1")); ok {
+		t.Error("uncovered address resolved")
+	}
+}
+
+func TestRIBMOAS(t *testing.T) {
+	rib := NewRIB()
+	rib.Announce(pfx("203.0.113.0/24"), 19551)
+	rib.Announce(pfx("203.0.113.0/24"), 55002)
+	origins, _, ok := rib.Origins(addr("203.0.113.7"))
+	if !ok || !reflect.DeepEqual(origins, []ASN{19551, 55002}) {
+		t.Errorf("MOAS origins = %v", origins)
+	}
+}
+
+func TestRIBWithdraw(t *testing.T) {
+	rib := NewRIB()
+	rib.Announce(pfx("10.0.0.0/8"), 100)
+	rib.Announce(pfx("10.1.0.0/16"), 200)
+	rib.Withdraw(pfx("10.1.0.0/16"), 200)
+	origins, _, ok := rib.Origins(addr("10.1.0.1"))
+	if !ok || origins[0] != 100 {
+		t.Errorf("after withdraw: %v, %v", origins, ok)
+	}
+	if rib.Len() != 1 {
+		t.Errorf("Len = %d", rib.Len())
+	}
+	// Withdrawing one MOAS origin keeps the other.
+	rib.Announce(pfx("10.0.0.0/8"), 101)
+	rib.Withdraw(pfx("10.0.0.0/8"), 100)
+	origins, _, ok = rib.Origins(addr("10.2.3.4"))
+	if !ok || len(origins) != 1 || origins[0] != 101 {
+		t.Errorf("MOAS partial withdraw: %v", origins)
+	}
+	// Withdrawing a never-announced prefix is a no-op.
+	rib.Withdraw(pfx("172.16.0.0/12"), 1)
+}
+
+func TestRIBOnDemandFlip(t *testing.T) {
+	// The BGP-based on-demand diversion of §2.3/§3.4: the same address
+	// resolves to the customer AS normally and the DPS AS during attack.
+	rib := NewRIB()
+	customer, dps := ASN(21740), ASN(26415) // ENOM, Verisign per §4.4.1
+	p := pfx("198.51.100.0/24")
+	rib.Announce(p, customer)
+	a := addr("198.51.100.10")
+	if o, _, _ := rib.Origins(a); o[0] != customer {
+		t.Fatal("baseline origin wrong")
+	}
+	// Attack: DPS announces the same /24 (more specific not needed in the
+	// simulation; the customer withdraws).
+	rib.Withdraw(p, customer)
+	rib.Announce(p, dps)
+	if o, _, _ := rib.Origins(a); o[0] != dps {
+		t.Fatal("diverted origin wrong")
+	}
+	rib.Withdraw(p, dps)
+	rib.Announce(p, customer)
+	if o, _, _ := rib.Origins(a); o[0] != customer {
+		t.Fatal("restored origin wrong")
+	}
+}
+
+func TestRIBIPv6(t *testing.T) {
+	rib := NewRIB()
+	rib.Announce(pfx("2001:db8::/32"), 64500)
+	rib.Announce(pfx("2001:db8:1::/48"), 64501)
+	origins, _, ok := rib.Origins(addr("2001:db8:1::5"))
+	if !ok || origins[0] != 64501 {
+		t.Errorf("v6 most-specific = %v", origins)
+	}
+	origins, _, ok = rib.Origins(addr("2001:db8:2::5"))
+	if !ok || origins[0] != 64500 {
+		t.Errorf("v6 covering = %v", origins)
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	rib := NewRIB()
+	rib.Announce(pfx("10.1.2.0/24"), 300)
+	rib.Announce(pfx("10.0.0.0/8"), 100)
+	rib.Announce(pfx("10.0.0.0/8"), 101)
+	snap := rib.Snapshot()
+	want1 := "10.0.0.0\t8\t100_101\n"
+	want2 := "10.1.2.0\t24\t300\n"
+	if !strings.Contains(snap, want1) || !strings.Contains(snap, want2) {
+		t.Errorf("snapshot:\n%s", snap)
+	}
+	if len(rib.Routes()) != 2 {
+		t.Errorf("Routes = %v", rib.Routes())
+	}
+}
+
+// TestRIBMatchesBruteForce cross-checks the mask-walk lookup against a
+// brute-force most-specific scan over Routes(), on random RIBs.
+func TestRIBMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rib := NewRIB()
+		for i, n := 0, 20+r.Intn(40); i < n; i++ {
+			bits := 8 + r.Intn(17)
+			a := netip.AddrFrom4([4]byte{byte(r.Intn(16)), byte(r.Intn(256)), byte(r.Intn(256)), 0})
+			rib.Announce(netip.PrefixFrom(a, bits).Masked(), ASN(1+r.Intn(500)))
+		}
+		routes := rib.Routes()
+		for i := 0; i < 100; i++ {
+			a := netip.AddrFrom4([4]byte{byte(r.Intn(16)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
+			got, gotPfx, ok := rib.Origins(a)
+			// Brute force.
+			best := -1
+			var wantPfx netip.Prefix
+			var want []ASN
+			for _, rt := range routes {
+				if rt.Prefix.Contains(a) && rt.Prefix.Bits() > best {
+					best = rt.Prefix.Bits()
+					wantPfx = rt.Prefix
+					want = rt.Origins
+				}
+			}
+			if ok != (best >= 0) {
+				t.Logf("seed %d addr %v: ok=%v want=%v", seed, a, ok, best >= 0)
+				return false
+			}
+			if !ok {
+				continue
+			}
+			if gotPfx != wantPfx || !reflect.DeepEqual(got, want) {
+				t.Logf("seed %d addr %v: got %v/%v want %v/%v", seed, a, got, gotPfx, want, wantPfx)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"net/netip"
+
+	"dpsadopt/internal/bgp"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dpsadopt/internal/measure"
+	"dpsadopt/internal/pfx2as"
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+	"dpsadopt/internal/worldsim"
+)
+
+func TestSLD(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"foo.incapdns.net", "incapdns.net"},
+		{"a.b.edgekey.net", "edgekey.net"},
+		{"kate.ns.cloudflare.com", "cloudflare.com"},
+		{"example.com", "example.com"},
+		{"com", "com"},
+		{"www.example.co.uk", "example.co.uk"},
+		{"example.co.uk", "example.co.uk"},
+		{"co.uk", "co.uk"},
+		{"deep.sub.domain.example.org", "example.org"},
+	}
+	for _, c := range cases {
+		if got := SLD(c.in); got != c.want {
+			t.Errorf("SLD(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if (RefAS | RefNS).String() != "AS+NS" {
+		t.Errorf("got %q", (RefAS | RefNS).String())
+	}
+	if Method(0).String() != "none" {
+		t.Error("zero method")
+	}
+	if !(RefAS | RefCNAME).Has(RefAS) || (RefAS).Has(RefCNAME) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestReferencesIndexes(t *testing.T) {
+	refs := MustGroundTruth()
+	if refs.NumProviders() != worldsim.NumProviders {
+		t.Fatalf("providers = %d", refs.NumProviders())
+	}
+	if p, ok := refs.MatchASN(13335); !ok || refs.Providers[p].Name != "CloudFlare" {
+		t.Error("ASN 13335 not CloudFlare")
+	}
+	if p, ok := refs.MatchCNAME("foo.incapdns.net"); !ok || refs.Providers[p].Name != "Incapsula" {
+		t.Error("incapdns.net not Incapsula")
+	}
+	if p, ok := refs.MatchNS("kate.ns.cloudflare.com"); !ok || refs.Providers[p].Name != "CloudFlare" {
+		t.Error("cloudflare.com NS not CloudFlare")
+	}
+	if _, ok := refs.MatchNS("ns1.hostco3.net"); ok {
+		t.Error("hoster NS matched a provider")
+	}
+	if _, ok := refs.MatchASN(14618); ok {
+		t.Error("AWS matched a provider")
+	}
+}
+
+func TestNewReferencesRejectsCollisions(t *testing.T) {
+	_, err := NewReferences([]ProviderRefs{
+		{Name: "A", ASNs: []uint32{1}},
+		{Name: "B", ASNs: []uint32{1}},
+	})
+	if err == nil {
+		t.Error("duplicate ASN accepted")
+	}
+	_, err = NewReferences([]ProviderRefs{
+		{Name: "A", NSSLDs: []string{"x.net"}},
+		{Name: "B", NSSLDs: []string{"x.net"}},
+	})
+	if err == nil {
+		t.Error("duplicate NS SLD accepted")
+	}
+}
+
+// measuredWorld builds a world and measures a few days into a store.
+var (
+	cachedWorld *worldsim.World
+	cachedStore *store.Store
+)
+
+// quietDay (2015-07-25) has no third-party episode in flight — the
+// discovery procedure assumes it runs on a day without large anomalies
+// (the paper's analysis separated always-on from on-demand the same way).
+var quietDay = simtime.FromDate(2015, 7, 25)
+
+// testDays: the quiet day plus the Wix March 2015 peak.
+var testDays = []simtime.Day{quietDay, simtime.FromDate(2015, 3, 5)}
+
+func measuredWorld(t testing.TB) (*worldsim.World, *store.Store) {
+	t.Helper()
+	if cachedWorld != nil {
+		return cachedWorld, cachedStore
+	}
+	w, err := worldsim.New(worldsim.DefaultConfig(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.New()
+	p := measure.New(w, s, measure.Config{Mode: measure.ModeDirect, Workers: 4})
+	for _, d := range testDays {
+		if err := p.RunDay(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cachedWorld, cachedStore = w, s
+	return w, s
+}
+
+func dayTable(t testing.TB, w *worldsim.World, day simtime.Day) pfx2as.Table {
+	t.Helper()
+	entries, err := pfx2as.Parse(strings.NewReader(w.RIBForDay(day).Snapshot()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pfx2as.NewWalk(entries)
+}
+
+func TestDetectDayFindsCustomers(t *testing.T) {
+	w, s := measuredWorld(t)
+	refs := MustGroundTruth()
+	day := quietDay
+	cf, _ := refs.ProviderIndex("CloudFlare")
+	det := DetectDay(s, "com", day, refs)
+	if det.Count(cf) == 0 {
+		t.Fatal("no CloudFlare domains detected in .com")
+	}
+	// Cross-check against the world's ground truth for .com.
+	want := 0
+	rib := w.RIBForDay(day)
+	for _, d := range w.Domains {
+		if d.TLD != "com" || !d.Life.Contains(day) {
+			continue
+		}
+		st := w.StateFor(d, day)
+		if !st.Exists || st.Unmeasurable {
+			continue
+		}
+		if usesProvider(w, rib, d, day, worldsim.CloudFlare) {
+			want++
+		}
+	}
+	if det.Count(cf) != want {
+		t.Errorf("CloudFlare .com count = %d, ground truth %d", det.Count(cf), want)
+	}
+	if det.DomainsMeasured == 0 {
+		t.Error("DomainsMeasured = 0")
+	}
+}
+
+// usesProvider recomputes expected detection from world state.
+func usesProvider(w *worldsim.World, rib *bgp.RIB, d *worldsim.Domain, day simtime.Day, provider int) bool {
+	st := w.StateFor(d, day)
+	refs := MustGroundTruth()
+	for _, a := range append(append([]netip.Addr{}, st.ApexA...), st.WWWA...) {
+		if origins, _, ok := rib.Origins(a); ok {
+			for _, o := range origins {
+				if p, ok := refs.MatchASN(uint32(o)); ok && p == provider {
+					return true
+				}
+			}
+		}
+	}
+	if st.WWWCNAME != "" {
+		if p, ok := refs.MatchCNAME(st.WWWCNAME); ok && p == provider {
+			return true
+		}
+	}
+	for _, ns := range st.NSHosts {
+		if p, ok := refs.MatchNS(ns); ok && p == provider {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDetectMethodCombinations(t *testing.T) {
+	_, s := measuredWorld(t)
+	refs := MustGroundTruth()
+	day := quietDay
+	// CloudFlare: most customers are NS-delegated AND routed (NS+AS); the
+	// NS share must be large (≈75% per §4.3).
+	cf, _ := refs.ProviderIndex("CloudFlare")
+	det := DetectDay(s, "com", day, refs)
+	total := det.Count(cf)
+	ns := det.CountMethod(cf, RefNS)
+	if total == 0 {
+		t.Fatal("no CloudFlare detections")
+	}
+	frac := float64(ns) / float64(total)
+	if frac < 0.55 || frac > 0.9 {
+		t.Errorf("CloudFlare NS share = %.2f (%d/%d), want ≈0.75", frac, ns, total)
+	}
+	// Verisign NS-only customers: NS reference without AS reference.
+	vs, _ := refs.ProviderIndex("Verisign")
+	nsOnly := 0
+	for _, m := range det.Uses[vs] {
+		if m.Has(RefNS) && !m.Has(RefAS) {
+			nsOnly++
+		}
+	}
+	if nsOnly == 0 {
+		t.Error("no Verisign NS-only (managed DNS) domains detected")
+	}
+}
+
+func TestDetectWixPeak(t *testing.T) {
+	_, s := measuredWorld(t)
+	refs := MustGroundTruth()
+	inc, _ := refs.ProviderIndex("Incapsula")
+	quiet := DetectDay(s, "com", quietDay, refs)
+	peak := DetectDay(s, "com", simtime.FromDate(2015, 3, 5), refs)
+	if peak.Count(inc) <= quiet.Count(inc)*3 {
+		t.Errorf("Incapsula peak %d vs quiet %d: anomaly missing", peak.Count(inc), quiet.Count(inc))
+	}
+	// Wix peak domains reference Incapsula by AS only (no CNAME, no NS).
+	asOnly := 0
+	for _, m := range peak.Uses[inc] {
+		if m == RefAS {
+			asOnly++
+		}
+	}
+	if asOnly == 0 {
+		t.Error("no AS-only Incapsula references at the Wix peak")
+	}
+}
+
+func TestDiscoveryRecoversTable2(t *testing.T) {
+	w, s := measuredWorld(t)
+	day := quietDay
+	table := dayTable(t, w, day)
+	probe := func(sld string) (netip.Addr, bool) { return w.ProbeApex(sld, day) }
+	truth := MustGroundTruth()
+
+	for i := range truth.Providers {
+		want := truth.Providers[i]
+		got, err := Discover(s, worldsim.GTLDs(), day, w.Registry, want.Name, table, probe, DiscoveryConfig{MinSupport: 1, MinASSupport: 1})
+		if err != nil {
+			t.Errorf("%s: %v", want.Name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got.ASNs, want.ASNs) {
+			t.Errorf("%s ASNs = %v, want %v", want.Name, got.ASNs, want.ASNs)
+		}
+		if !reflect.DeepEqual(got.CNAMESLDs, want.CNAMESLDs) {
+			t.Errorf("%s CNAME SLDs = %v, want %v", want.Name, got.CNAMESLDs, want.CNAMESLDs)
+		}
+		if !reflect.DeepEqual(got.NSSLDs, want.NSSLDs) {
+			t.Errorf("%s NS SLDs = %v, want %v", want.Name, got.NSSLDs, want.NSSLDs)
+		}
+	}
+}
+
+func TestDiscoverUnknownProvider(t *testing.T) {
+	w, s := measuredWorld(t)
+	table := dayTable(t, w, quietDay)
+	_, err := Discover(s, worldsim.GTLDs(), quietDay, w.Registry, "NoSuchProvider", table, nil, DiscoveryConfig{})
+	if err == nil {
+		t.Error("unknown provider accepted")
+	}
+}

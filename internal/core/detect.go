@@ -1,0 +1,95 @@
+package core
+
+import (
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+)
+
+// DayDetections holds, for one (source, day) partition, every domain that
+// references every provider, with the combination of reference kinds —
+// the raw material for all the figures. Use is counted at the domain's
+// second level: multiple references of the same kind collapse into one
+// (§4.1 footnote).
+type DayDetections struct {
+	Source string
+	Day    simtime.Day
+	// Uses[p] maps domain name → reference methods toward provider p.
+	Uses []map[string]Method
+	// DomainsMeasured counts distinct domains with any stored row.
+	DomainsMeasured int
+}
+
+// DetectDay scans one partition and classifies every row against the
+// reference table.
+func DetectDay(s *store.Store, source string, day simtime.Day, refs *References) *DayDetections {
+	d := &DayDetections{
+		Source: source,
+		Day:    day,
+		Uses:   make([]map[string]Method, refs.NumProviders()),
+	}
+	for i := range d.Uses {
+		d.Uses[i] = make(map[string]Method)
+	}
+	var lastDomain string
+	s.ForEachRow(source, day, func(r store.Row) {
+		if r.Domain != lastDomain {
+			// Rows are appended in per-domain runs; counting transitions
+			// approximates the distinct count exactly because writers
+			// emit all rows of a domain contiguously and domains are not
+			// split across writers.
+			d.DomainsMeasured++
+			lastDomain = r.Domain
+		}
+		switch r.Kind {
+		case store.KindApexA, store.KindApexAAAA, store.KindWWWA, store.KindWWWAAAA:
+			for _, asn := range r.ASNs {
+				if p, ok := refs.MatchASN(asn); ok {
+					d.Uses[p][r.Domain] |= RefAS
+				}
+			}
+		case store.KindWWWCNAME:
+			if p, ok := refs.MatchCNAME(r.Str); ok {
+				d.Uses[p][r.Domain] |= RefCNAME
+			}
+		case store.KindNS:
+			if p, ok := refs.MatchNS(r.Str); ok {
+				d.Uses[p][r.Domain] |= RefNS
+			}
+		}
+	})
+	return d
+}
+
+// Count returns the number of domains using provider p by any reference.
+func (d *DayDetections) Count(p int) int { return len(d.Uses[p]) }
+
+// CountMethod returns the number of domains whose references toward p
+// include the given method bits.
+func (d *DayDetections) CountMethod(p int, m Method) int {
+	n := 0
+	for _, got := range d.Uses[p] {
+		if got.Has(m) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountAny returns the number of domains using at least one provider.
+func (d *DayDetections) CountAny() int {
+	seen := make(map[string]bool)
+	for _, uses := range d.Uses {
+		for dom := range uses {
+			seen[dom] = true
+		}
+	}
+	return len(seen)
+}
+
+// MergeAny folds the per-provider maps into dst: domain → union of
+// methods over a set of detections (used to combine sources).
+func (d *DayDetections) MergeAny(p int, dst map[string]Method) {
+	for dom, m := range d.Uses[p] {
+		dst[dom] |= m
+	}
+}

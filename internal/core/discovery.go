@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"dpsadopt/internal/bgp"
+	"dpsadopt/internal/pfx2as"
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+)
+
+// This file implements the reference-discovery procedure of §3.3:
+//
+//	"We take the ASNs of a DPS as starting point [from AS-to-name data].
+//	 Then we find all the domain names that reference these ASNs and
+//	 analyze frequently occurring SLDs in CNAME and NS records. The SLDs
+//	 obtained in this manner are used to find any ASNs we may have missed
+//	 in the first step, or to remove ASNs that do not belong to the
+//	 mitigation infrastructure of a DPS."
+//
+// Where the authors applied judgment (pruning third-party SLDs such as
+// registrars' name-server domains), this implementation applies two
+// automatic filters: a *specificity* filter (most domains bearing the SLD
+// must route to the provider) and an *active probe* (the SLD's own apex
+// must be hosted in the provider's address space — how a managed-DNS
+// service like verisigndns.com identifies itself even though its
+// customers' addresses stay elsewhere).
+
+// Prober resolves the apex address of a candidate SLD (an active
+// measurement outside the daily pipeline).
+type Prober func(sld string) (netip.Addr, bool)
+
+// DiscoveryConfig tunes the §3.3 procedure.
+type DiscoveryConfig struct {
+	// MinSupport is the minimum number of provider-routed domains that
+	// must bear an SLD before it is considered (default 3).
+	MinSupport int
+	// MinSpecificity is the minimum fraction of all domains bearing the
+	// SLD that must route to the provider (default 0.9) for the SLD to
+	// qualify without a probe.
+	MinSpecificity float64
+	// MinASCohesion is the minimum fraction of a candidate missed ASN's
+	// domains that must bear a qualified SLD (default 0.8).
+	MinASCohesion float64
+	// MinASSupport is the minimum number of domains at a candidate
+	// missed ASN (default 3).
+	MinASSupport int
+}
+
+func (c *DiscoveryConfig) defaults() {
+	if c.MinSupport == 0 {
+		c.MinSupport = 3
+	}
+	if c.MinSpecificity == 0 {
+		c.MinSpecificity = 0.9
+	}
+	if c.MinASCohesion == 0 {
+		c.MinASCohesion = 0.8
+	}
+	if c.MinASSupport == 0 {
+		c.MinASSupport = 3
+	}
+}
+
+// domainAgg aggregates one domain's references for a day.
+type domainAgg struct {
+	asns   map[uint32]bool
+	cnames map[string]bool // SLDs
+	nss    map[string]bool // SLDs
+}
+
+// Discover reconstructs one provider's reference row from a day of
+// measurements. sources are the store partitions to scan (typically the
+// gTLDs); table is the day's pfx2as snapshot for probe classification.
+func Discover(s *store.Store, sources []string, day simtime.Day, reg *bgp.Registry, providerName string, table pfx2as.Table, probe Prober, cfg DiscoveryConfig) (ProviderRefs, error) {
+	cfg.defaults()
+	out := ProviderRefs{Name: providerName}
+
+	// Step 1: seed ASNs from AS-to-name data.
+	seeds := make(map[uint32]bool)
+	for _, asn := range reg.FindByName(providerName) {
+		seeds[uint32(asn)] = true
+	}
+	if len(seeds) == 0 {
+		return out, fmt.Errorf("core: no ASes named %q in registry", providerName)
+	}
+
+	// One pass: aggregate per-domain references across sources.
+	domains := make(map[string]*domainAgg)
+	for _, src := range sources {
+		s.ForEachRow(src, day, func(r store.Row) {
+			agg := domains[r.Domain]
+			if agg == nil {
+				agg = &domainAgg{asns: map[uint32]bool{}, cnames: map[string]bool{}, nss: map[string]bool{}}
+				domains[r.Domain] = agg
+			}
+			switch r.Kind {
+			case store.KindApexA, store.KindApexAAAA, store.KindWWWA, store.KindWWWAAAA:
+				for _, a := range r.ASNs {
+					agg.asns[a] = true
+				}
+			case store.KindWWWCNAME:
+				agg.cnames[SLD(r.Str)] = true
+			case store.KindNS:
+				agg.nss[SLD(r.Str)] = true
+			}
+		})
+	}
+
+	// Step 2: count SLD support among seed-referencing domains, and total
+	// bearers for specificity.
+	type counts struct{ support, total int }
+	cnameCounts := map[string]*counts{}
+	nsCounts := map[string]*counts{}
+	bump := func(m map[string]*counts, sld string, ref bool) {
+		c := m[sld]
+		if c == nil {
+			c = &counts{}
+			m[sld] = c
+		}
+		c.total++
+		if ref {
+			c.support++
+		}
+	}
+	for _, agg := range domains {
+		ref := false
+		for a := range agg.asns {
+			if seeds[a] {
+				ref = true
+				break
+			}
+		}
+		for sld := range agg.cnames {
+			bump(cnameCounts, sld, ref)
+		}
+		for sld := range agg.nss {
+			bump(nsCounts, sld, ref)
+		}
+	}
+
+	// Step 3: qualify SLDs by specificity or probe. The probe path makes
+	// no demand on seed-AS support: an NS-only managed-DNS service's
+	// customers never route to the provider, yet the service SLD itself
+	// is hosted there.
+	qualify := func(m map[string]*counts) []string {
+		var out []string
+		for sld, c := range m {
+			if c.total < cfg.MinSupport {
+				continue
+			}
+			if c.support >= cfg.MinSupport && float64(c.support)/float64(c.total) >= cfg.MinSpecificity {
+				out = append(out, sld)
+				continue
+			}
+			if probe != nil {
+				if addr, ok := probe(sld); ok {
+					if origins, ok := table.Lookup(addr); ok {
+						for _, o := range origins {
+							if seeds[o] {
+								out = append(out, sld)
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	out.CNAMESLDs = qualify(cnameCounts)
+	out.NSSLDs = qualify(nsCounts)
+
+	qualified := map[string]bool{}
+	for _, sld := range out.CNAMESLDs {
+		qualified["c:"+sld] = true
+	}
+	for _, sld := range out.NSSLDs {
+		qualified["n:"+sld] = true
+	}
+
+	// Step 4a: find missed ASNs — origin ASes whose domain population
+	// overwhelmingly bears the provider's qualified SLDs.
+	perASN := map[uint32]*counts{}
+	for _, agg := range domains {
+		bears := false
+		for sld := range agg.cnames {
+			if qualified["c:"+sld] {
+				bears = true
+			}
+		}
+		for sld := range agg.nss {
+			if qualified["n:"+sld] {
+				bears = true
+			}
+		}
+		for a := range agg.asns {
+			c := perASN[a]
+			if c == nil {
+				c = &counts{}
+				perASN[a] = c
+			}
+			c.total++
+			if bears {
+				c.support++
+			}
+		}
+	}
+	for a, c := range perASN {
+		if seeds[a] || c.total < cfg.MinASSupport {
+			continue
+		}
+		if float64(c.support)/float64(c.total) >= cfg.MinASCohesion {
+			seeds[a] = true
+		}
+	}
+
+	// Step 4b: prune seed ASNs that no measured domain references and
+	// that host none of the qualified SLDs — ASes that match the holder
+	// name but are not mitigation infrastructure.
+	probeOrigins := map[uint32]bool{}
+	if probe != nil {
+		for _, sld := range append(append([]string(nil), out.CNAMESLDs...), out.NSSLDs...) {
+			if addr, ok := probe(sld); ok {
+				if origins, ok := table.Lookup(addr); ok {
+					for _, o := range origins {
+						probeOrigins[o] = true
+					}
+				}
+			}
+		}
+	}
+	for a := range seeds {
+		c := perASN[a]
+		if (c == nil || c.total == 0) && !probeOrigins[a] {
+			delete(seeds, a)
+		}
+	}
+
+	for a := range seeds {
+		out.ASNs = append(out.ASNs, a)
+	}
+	out.normalize()
+	return out, nil
+}
+
+// DiscoverAll runs Discover for a list of provider names and assembles a
+// References table.
+func DiscoverAll(s *store.Store, sources []string, day simtime.Day, reg *bgp.Registry, names []string, table pfx2as.Table, probe Prober, cfg DiscoveryConfig) (*References, error) {
+	rows := make([]ProviderRefs, 0, len(names))
+	for _, name := range names {
+		row, err := Discover(s, sources, day, reg, name, table, probe, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return NewReferences(rows)
+}

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dpsadopt/internal/core"
+)
+
+// ExampleReferences shows how measured DNS data maps to provider
+// references (§3.3): an origin AS, a CNAME expansion SLD, or an NS SLD.
+func ExampleReferences() {
+	refs := core.MustGroundTruth()
+
+	if p, ok := refs.MatchASN(19551); ok {
+		fmt.Println("AS19551 →", refs.Providers[p].Name)
+	}
+	if p, ok := refs.MatchCNAME("shop.example.incapdns.net"); ok {
+		fmt.Println("CNAME →", refs.Providers[p].Name)
+	}
+	if p, ok := refs.MatchNS("kate.ns.cloudflare.com"); ok {
+		fmt.Println("NS →", refs.Providers[p].Name)
+	}
+	_, ok := refs.MatchASN(14618) // Amazon is not a DPS
+	fmt.Println("AS14618 is a DPS:", ok)
+	// Output:
+	// AS19551 → Incapsula
+	// CNAME → Incapsula
+	// NS → CloudFlare
+	// AS14618 is a DPS: false
+}
+
+// ExampleSLD shows public-suffix-aware second-level-domain extraction.
+func ExampleSLD() {
+	fmt.Println(core.SLD("a1832.g.akamaiedge.net"))
+	fmt.Println(core.SLD("www.example.co.uk"))
+	// Output:
+	// akamaiedge.net
+	// example.co.uk
+}
+
+// ExampleMethod shows the reference-combination bitmask.
+func ExampleMethod() {
+	m := core.RefNS | core.RefAS
+	fmt.Println(m)
+	fmt.Println(m.Has(core.RefCNAME))
+	// Output:
+	// AS+NS
+	// false
+}

@@ -1,0 +1,32 @@
+package core
+
+import "dpsadopt/internal/worldsim"
+
+// GroundTruth builds the reference table directly from the simulation's
+// provider specifications — the Table 2 the discovery procedure should
+// reconstruct, and the table the long-horizon experiments use for
+// detection.
+func GroundTruth() (*References, error) {
+	rows := make([]ProviderRefs, 0, worldsim.NumProviders)
+	for i := range worldsim.ProviderSpecs {
+		spec := &worldsim.ProviderSpecs[i]
+		row := ProviderRefs{Name: spec.Name}
+		for _, as := range spec.ASes {
+			row.ASNs = append(row.ASNs, uint32(as.ASN))
+		}
+		row.CNAMESLDs = append(row.CNAMESLDs, spec.CNAMESLDs...)
+		row.NSSLDs = append(row.NSSLDs, spec.NSSLDs...)
+		rows = append(rows, row)
+	}
+	return NewReferences(rows)
+}
+
+// MustGroundTruth panics on table construction failure (the specs are
+// static, so failure is a programming error).
+func MustGroundTruth() *References {
+	r, err := GroundTruth()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

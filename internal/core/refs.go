@@ -1,0 +1,145 @@
+// Package core implements the paper's methodology (§3.3–§3.4): deriving
+// DDoS-protection-service use from stored DNS measurements. Given the
+// per-provider reference identities (AS numbers, CNAME second-level
+// domains, NS second-level domains — Table 2), detection classifies every
+// measured domain on every day by which references it exhibits; the
+// discovery procedure reconstructs those identities from the measurement
+// data itself, starting from AS-to-name seeds.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Method is a bitmask of reference kinds a domain exhibits toward a
+// provider (§3.3: ASN, CNAME, and NS references).
+type Method uint8
+
+// Reference kinds.
+const (
+	RefAS Method = 1 << iota
+	RefCNAME
+	RefNS
+)
+
+// Has reports whether all bits of m2 are set.
+func (m Method) Has(m2 Method) bool { return m&m2 == m2 }
+
+// String renders e.g. "AS+CNAME".
+func (m Method) String() string {
+	var parts []string
+	if m.Has(RefAS) {
+		parts = append(parts, "AS")
+	}
+	if m.Has(RefCNAME) {
+		parts = append(parts, "CNAME")
+	}
+	if m.Has(RefNS) {
+		parts = append(parts, "NS")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// ProviderRefs is one provider's reference identity (a Table 2 row).
+type ProviderRefs struct {
+	Name      string
+	ASNs      []uint32
+	CNAMESLDs []string
+	NSSLDs    []string
+}
+
+// normalize sorts the reference lists for stable comparison.
+func (p *ProviderRefs) normalize() {
+	sort.Slice(p.ASNs, func(i, j int) bool { return p.ASNs[i] < p.ASNs[j] })
+	sort.Strings(p.CNAMESLDs)
+	sort.Strings(p.NSSLDs)
+}
+
+// String renders the row in Table 2 shape.
+func (p ProviderRefs) String() string {
+	asns := make([]string, len(p.ASNs))
+	for i, a := range p.ASNs {
+		asns[i] = fmt.Sprint(a)
+	}
+	return fmt.Sprintf("%-12s AS:%s CNAME:%s NS:%s",
+		p.Name, strings.Join(asns, ","), strings.Join(p.CNAMESLDs, ","), strings.Join(p.NSSLDs, ","))
+}
+
+// References is the full provider reference database with lookup indexes.
+type References struct {
+	Providers []ProviderRefs
+
+	byASN   map[uint32]int
+	byCNAME map[string]int
+	byNS    map[string]int
+}
+
+// NewReferences builds the indexes for a set of provider rows. Reference
+// values must not collide across providers.
+func NewReferences(provs []ProviderRefs) (*References, error) {
+	r := &References{
+		Providers: provs,
+		byASN:     make(map[uint32]int),
+		byCNAME:   make(map[string]int),
+		byNS:      make(map[string]int),
+	}
+	for i := range r.Providers {
+		r.Providers[i].normalize()
+		p := &r.Providers[i]
+		for _, a := range p.ASNs {
+			if prev, dup := r.byASN[a]; dup && prev != i {
+				return nil, fmt.Errorf("core: ASN %d claimed by %s and %s", a, r.Providers[prev].Name, p.Name)
+			}
+			r.byASN[a] = i
+		}
+		for _, s := range p.CNAMESLDs {
+			if prev, dup := r.byCNAME[s]; dup && prev != i {
+				return nil, fmt.Errorf("core: CNAME SLD %s claimed twice", s)
+			}
+			r.byCNAME[s] = i
+		}
+		for _, s := range p.NSSLDs {
+			if prev, dup := r.byNS[s]; dup && prev != i {
+				return nil, fmt.Errorf("core: NS SLD %s claimed twice", s)
+			}
+			r.byNS[s] = i
+		}
+	}
+	return r, nil
+}
+
+// NumProviders returns the number of providers in the table.
+func (r *References) NumProviders() int { return len(r.Providers) }
+
+// ProviderIndex finds a provider by name.
+func (r *References) ProviderIndex(name string) (int, bool) {
+	for i := range r.Providers {
+		if r.Providers[i].Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// MatchASN returns the provider owning an origin AS.
+func (r *References) MatchASN(asn uint32) (int, bool) {
+	i, ok := r.byASN[asn]
+	return i, ok
+}
+
+// MatchCNAME returns the provider owning a CNAME target's SLD.
+func (r *References) MatchCNAME(target string) (int, bool) {
+	i, ok := r.byCNAME[SLD(target)]
+	return i, ok
+}
+
+// MatchNS returns the provider owning an NS host's SLD.
+func (r *References) MatchNS(host string) (int, bool) {
+	i, ok := r.byNS[SLD(host)]
+	return i, ok
+}

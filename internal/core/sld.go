@@ -1,0 +1,38 @@
+package core
+
+import "strings"
+
+// multiLabelSuffixes lists public suffixes that span two labels, so that
+// SLD("www.example.co.uk") is "example.co.uk" rather than "co.uk". The
+// table covers the suffixes a gTLD/.nl-centred measurement encounters in
+// CNAME and NS targets; everything else falls back to the last-two-labels
+// rule, which is exact for all the reference SLDs in Table 2.
+var multiLabelSuffixes = map[string]bool{
+	"co.uk": true, "org.uk": true, "ac.uk": true, "gov.uk": true, "net.uk": true,
+	"com.au": true, "net.au": true, "org.au": true,
+	"co.jp": true, "or.jp": true, "ne.jp": true, "ac.jp": true,
+	"com.br": true, "net.br": true, "org.br": true,
+	"co.za": true, "org.za": true,
+	"com.cn": true, "net.cn": true, "org.cn": true,
+	"com.mx": true, "com.ar": true, "com.tr": true, "com.tw": true,
+	"co.in": true, "co.nz": true, "co.kr": true,
+}
+
+// SLD extracts the second-level domain of a canonical name: the label
+// directly below the public suffix, with the suffix attached
+// ("x.y.edgekey.net" → "edgekey.net", "a.b.co.uk" → "b.co.uk"). Names at
+// or above the public suffix are returned unchanged.
+func SLD(name string) string {
+	labels := strings.Split(name, ".")
+	n := len(labels)
+	if n <= 2 {
+		return name
+	}
+	if multiLabelSuffixes[labels[n-2]+"."+labels[n-1]] {
+		if n == 3 {
+			return name
+		}
+		return strings.Join(labels[n-3:], ".")
+	}
+	return labels[n-2] + "." + labels[n-1]
+}

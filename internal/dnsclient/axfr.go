@@ -1,0 +1,74 @@
+package dnsclient
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/transport"
+)
+
+// AXFR performs a zone transfer (RFC 5936, simplified) from the given
+// server over a stream connection and returns the zone's records in
+// transfer order (SOA first; the terminating repeated SOA is stripped).
+// The transport must support streams.
+func (r *Resolver) AXFR(server netip.AddrPort, zone string) ([]dnswire.RR, error) {
+	origin, err := dnswire.CanonicalName(zone)
+	if err != nil {
+		return nil, err
+	}
+	sn, ok := r.net.(transport.StreamNetwork)
+	if !ok {
+		return nil, fmt.Errorf("dnsclient: transport has no stream support for AXFR")
+	}
+	conn, err := sn.DialStream(r.conn.LocalAddr().Addr(), server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(r.Timeout * 20))
+
+	q := dnswire.NewQuery(uint16(r.rng.Uint32()), origin, dnswire.TypeAXFR)
+	q.Flags.RecursionDesired = false
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if err := dnswire.WriteFramed(conn, wire); err != nil {
+		return nil, err
+	}
+	r.queries++
+
+	var records []dnswire.RR
+	soaSeen := 0
+	for soaSeen < 2 {
+		msg, err := dnswire.ReadFramed(conn)
+		if err != nil {
+			return nil, fmt.Errorf("dnsclient: AXFR stream: %w", err)
+		}
+		resp, err := dnswire.Unpack(msg)
+		if err != nil {
+			return nil, err
+		}
+		if resp.ID != q.ID || !resp.Flags.Response {
+			return nil, fmt.Errorf("dnsclient: AXFR response mismatch")
+		}
+		if resp.Flags.RCode != dnswire.RCodeNoError {
+			return nil, fmt.Errorf("dnsclient: AXFR refused: %v", resp.Flags.RCode)
+		}
+		if len(resp.Answers) == 0 {
+			return nil, fmt.Errorf("dnsclient: empty AXFR message")
+		}
+		for _, rr := range resp.Answers {
+			if rr.Type == dnswire.TypeSOA && rr.Name == origin {
+				soaSeen++
+				if soaSeen == 2 {
+					return records, nil
+				}
+			}
+			records = append(records, rr)
+		}
+	}
+	return records, nil
+}

@@ -1,0 +1,112 @@
+package dnsclient
+
+import (
+	"net/netip"
+	"testing"
+
+	"dpsadopt/internal/dnsserver"
+	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/dnszone"
+	"dpsadopt/internal/transport"
+)
+
+// axfrWorld serves a TLD-like zone with many delegations over UDP + TCP.
+func axfrWorld(t *testing.T, delegations int) (*transport.Mem, netip.AddrPort) {
+	t.Helper()
+	network := transport.NewMem(31)
+	z := dnszone.MustNew("test")
+	z.MustAdd(dnswire.RR{Name: "test", Type: dnswire.TypeSOA, TTL: 1, Data: dnswire.SOA{
+		MName: "a.gtld-servers.net", RName: "nstld.test", Serial: 42,
+	}})
+	z.MustAdd(dnswire.RR{Name: "test", Type: dnswire.TypeNS, TTL: 1, Data: dnswire.NS{Host: "a.gtld-servers.net"}})
+	for i := 0; i < delegations; i++ {
+		name := domainName(i)
+		z.MustAdd(dnswire.RR{Name: name, Type: dnswire.TypeNS, TTL: 1, Data: dnswire.NS{Host: "ns1.hostco.example"}})
+		z.MustAdd(dnswire.RR{Name: name, Type: dnswire.TypeNS, TTL: 1, Data: dnswire.NS{Host: "ns2.hostco.example"}})
+	}
+	srv := dnsserver.New()
+	srv.AddZone(z)
+	run, err := dnsserver.Start(srv, network, "10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { run.Stop() })
+	stream, err := dnsserver.StartStream(srv, network, "10.0.0.1")
+	if err != nil || stream == nil {
+		t.Fatalf("stream start: %v", err)
+	}
+	t.Cleanup(func() { stream.Stop() })
+	return network, netip.MustParseAddrPort("10.0.0.1:53")
+}
+
+func domainName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	return string([]byte{letters[i%26], letters[(i/26)%26], letters[(i/676)%26]}) + ".test"
+}
+
+func axfrResolver(t *testing.T, network *transport.Mem, server netip.AddrPort) *Resolver {
+	t.Helper()
+	r, err := NewResolver(network, netip.MustParseAddr("10.9.0.1"), []netip.AddrPort{server}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestAXFRTransfersWholeZone(t *testing.T) {
+	const n = 500 // >1 batch of 200 records
+	network, server := axfrWorld(t, n)
+	r := axfrResolver(t, network, server)
+	records, err := r.AXFR(server, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SOA + apex NS + 2×n delegations.
+	want := 2 + 2*n
+	if len(records) != want {
+		t.Fatalf("records = %d, want %d", len(records), want)
+	}
+	if records[0].Type != dnswire.TypeSOA {
+		t.Error("transfer does not start with SOA")
+	}
+	// Derive the Stage I domain list from the transferred zone.
+	seen := map[string]bool{}
+	for _, rr := range records {
+		if rr.Type == dnswire.TypeNS && rr.Name != "test" {
+			seen[rr.Name] = true
+		}
+	}
+	if len(seen) != n {
+		t.Errorf("distinct delegations = %d, want %d", len(seen), n)
+	}
+}
+
+func TestAXFRRefusedForForeignZone(t *testing.T) {
+	network, server := axfrWorld(t, 5)
+	r := axfrResolver(t, network, server)
+	if _, err := r.AXFR(server, "other"); err == nil {
+		t.Error("foreign zone transfer accepted")
+	}
+}
+
+func TestAXFRNoStreamSupport(t *testing.T) {
+	// A resolver whose transport lacks streams cannot AXFR. Use a plain
+	// UDP-only wrapper around Mem.
+	network, server := axfrWorld(t, 2)
+	wrapped := datagramOnly{network}
+	r, err := NewResolver(wrapped, netip.MustParseAddr("10.9.0.2"), []netip.AddrPort{server}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.AXFR(server, "test"); err == nil {
+		t.Error("AXFR without stream support accepted")
+	}
+}
+
+// datagramOnly hides the stream methods of a network.
+type datagramOnly struct{ inner *transport.Mem }
+
+func (d datagramOnly) Listen(a netip.AddrPort) (transport.Conn, error) { return d.inner.Listen(a) }
+func (d datagramOnly) Dial(a netip.Addr) (transport.Conn, error)       { return d.inner.Dial(a) }

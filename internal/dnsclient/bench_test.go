@@ -1,0 +1,51 @@
+package dnsclient
+
+import (
+	"net/netip"
+	"testing"
+
+	"dpsadopt/internal/dnswire"
+)
+
+// BenchmarkResolveCached measures resolution with a warm referral cache
+// (the steady state of a TLD sweep: one query per lookup).
+func BenchmarkResolveCached(b *testing.B) {
+	w := newTestWorld(b)
+	r, err := NewResolver(w.net, netip.MustParseAddr("10.9.0.9"), w.roots, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Resolve("examp.le", dnswire.TypeA); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Resolve("examp.le", dnswire.TypeA)
+		if err != nil || len(res.Addrs()) != 1 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkResolveColdChain measures a full cold walk with a cross-zone
+// CNAME: root referral, two TLD referrals, glueless NS resolution, and
+// the chase into the DPS zone.
+func BenchmarkResolveColdChain(b *testing.B) {
+	w := newTestWorld(b)
+	r, err := NewResolver(w.net, netip.MustParseAddr("10.9.0.9"), w.roots, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.FlushCache()
+		res, err := r.Resolve("www.examp.le", dnswire.TypeA)
+		if err != nil || len(res.Addrs()) != 1 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+// Package dnsclient implements the measuring resolver used by the active
+// DNS measurement pipeline. It performs iterative resolution from a set of
+// root servers: following referrals down zone cuts, resolving glueless name
+// servers, chasing CNAME chains across zones, and retrying lost datagrams —
+// capturing the full answer expansion exactly as the paper's measurement
+// system stores it (§3.1: "All fields from the answer section of a DNS
+// response are stored, which includes CNAMEs and their full expansions").
+package dnsclient
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/transport"
+)
+
+// Tunables with sensible defaults; see NewResolver.
+const (
+	DefaultTimeout  = 500 * time.Millisecond
+	DefaultRetries  = 2
+	defaultMaxSteps = 24 // referral hops across one resolution
+	maxCNAMEHops    = 8  // cross-zone CNAME restarts
+	maxGlueDepth    = 3  // recursion when resolving glueless NS hosts
+)
+
+// Errors returned by resolution.
+var (
+	ErrNoServers  = errors.New("dnsclient: no servers to query")
+	ErrExhausted  = errors.New("dnsclient: retries exhausted")
+	ErrTooManyRef = errors.New("dnsclient: referral limit exceeded")
+)
+
+// Result is the outcome of resolving one (name, type) pair.
+type Result struct {
+	RCode dnswire.RCode
+	// Records holds the complete answer expansion: every answer-section
+	// record collected across CNAME restarts, in chain order.
+	Records []dnswire.RR
+	// Queries counts datagrams sent to obtain this result.
+	Queries int
+}
+
+// Addrs extracts the final A/AAAA addresses from the expansion.
+func (r *Result) Addrs() []netip.Addr {
+	var out []netip.Addr
+	for _, rr := range r.Records {
+		switch d := rr.Data.(type) {
+		case dnswire.A:
+			out = append(out, d.Addr)
+		case dnswire.AAAA:
+			out = append(out, d.Addr)
+		}
+	}
+	return out
+}
+
+// CNAMEs extracts the CNAME chain targets from the expansion, in order.
+func (r *Result) CNAMEs() []string {
+	var out []string
+	for _, rr := range r.Records {
+		if c, ok := rr.Data.(dnswire.CNAME); ok {
+			out = append(out, c.Target)
+		}
+	}
+	return out
+}
+
+// Resolver performs iterative resolution. It is not safe for concurrent
+// use: the measurement pipeline creates one Resolver per worker.
+type Resolver struct {
+	Timeout  time.Duration
+	Retries  int
+	MaxSteps int
+	// UDPSize is the EDNS0 payload size advertised on queries; answers
+	// larger than this arrive truncated and are retried over TCP when
+	// the network supports streams. Defaults to the transport MTU.
+	UDPSize int
+
+	net   transport.Network
+	conn  transport.Conn
+	roots []netip.AddrPort
+	rng   *rand.Rand
+	buf   []byte
+
+	// cache maps a zone origin to the addresses of its authoritative
+	// servers, learned from referrals. It makes measuring a whole TLD
+	// tractable: the TLD referral is taken once, not per domain.
+	cache map[string][]netip.AddrPort
+
+	queries int64 // total datagrams sent, for stats
+}
+
+// NewResolver creates a resolver bound to an ephemeral port on local,
+// seeded for reproducible query IDs.
+func NewResolver(network transport.Network, local netip.Addr, roots []netip.AddrPort, seed int64) (*Resolver, error) {
+	if len(roots) == 0 {
+		return nil, ErrNoServers
+	}
+	conn, err := network.Dial(local)
+	if err != nil {
+		return nil, err
+	}
+	return &Resolver{
+		Timeout:  DefaultTimeout,
+		Retries:  DefaultRetries,
+		MaxSteps: defaultMaxSteps,
+		UDPSize:  transport.MTU,
+		net:      network,
+		conn:     conn,
+		roots:    append([]netip.AddrPort(nil), roots...),
+		rng:      rand.New(rand.NewSource(seed)),
+		buf:      make([]byte, transport.MTU),
+		cache:    make(map[string][]netip.AddrPort),
+	}, nil
+}
+
+// Close releases the resolver's socket.
+func (r *Resolver) Close() error { return r.conn.Close() }
+
+// QueriesSent returns the total number of query datagrams sent.
+func (r *Resolver) QueriesSent() int64 { return r.queries }
+
+// FlushCache drops learned referrals; the daily measurement loop calls it
+// between days so delegation changes are observed.
+func (r *Resolver) FlushCache() {
+	r.cache = make(map[string][]netip.AddrPort)
+}
+
+// Resolve iteratively resolves name/qtype, chasing CNAMEs across zones.
+func (r *Resolver) Resolve(name string, qtype dnswire.Type) (*Result, error) {
+	qname, err := dnswire.CanonicalName(name)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{RCode: dnswire.RCodeNoError}
+	seen := map[string]bool{}
+	for hop := 0; hop <= maxCNAMEHops; hop++ {
+		if seen[qname] {
+			break // CNAME loop across zones
+		}
+		seen[qname] = true
+		resp, err := r.resolveOne(qname, qtype, res, 0)
+		if err != nil {
+			return res, err
+		}
+		res.RCode = resp.Flags.RCode
+		res.Records = append(res.Records, resp.Answers...)
+		// If the tail of the chain is a CNAME and we asked for something
+		// else, restart at the target.
+		next := chainTail(resp.Answers, qtype)
+		if next == "" {
+			return res, nil
+		}
+		qname = next
+	}
+	return res, nil
+}
+
+// chainTail returns the target of the final CNAME if the response ended on
+// one without answering qtype.
+func chainTail(answers []dnswire.RR, qtype dnswire.Type) string {
+	if qtype == dnswire.TypeCNAME || qtype == dnswire.TypeANY || len(answers) == 0 {
+		return ""
+	}
+	last := answers[len(answers)-1]
+	if c, ok := last.Data.(dnswire.CNAME); ok {
+		return c.Target
+	}
+	return ""
+}
+
+// resolveOne walks referrals from the closest cached cut (or the roots)
+// until it gets an authoritative answer for qname.
+func (r *Resolver) resolveOne(qname string, qtype dnswire.Type, res *Result, glueDepth int) (*dnswire.Message, error) {
+	servers, _ := r.bestServers(qname)
+	for step := 0; step < r.MaxSteps; step++ {
+		if len(servers) == 0 {
+			return nil, ErrNoServers
+		}
+		resp, err := r.exchange(servers, qname, qtype, res)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.Flags.RCode == dnswire.RCodeNXDomain,
+			resp.Flags.RCode != dnswire.RCodeNoError && resp.Flags.RCode != dnswire.RCodeNXDomain,
+			len(resp.Answers) > 0,
+			resp.Flags.Authoritative:
+			// Terminal: an answer, an authoritative negative, or an error.
+			return resp, nil
+		default:
+			// Referral: learn the cut and descend.
+			next, origin := r.referralServers(resp, res, glueDepth)
+			if len(next) == 0 {
+				return resp, nil // dead end; surface what we have
+			}
+			if origin != "" {
+				r.cache[origin] = next
+			}
+			servers = next
+		}
+	}
+	return nil, ErrTooManyRef
+}
+
+// bestServers returns the cached servers for the deepest known ancestor of
+// qname, falling back to the roots.
+func (r *Resolver) bestServers(qname string) ([]netip.AddrPort, string) {
+	for cand := qname; ; cand = dnswire.Parent(cand) {
+		if s, ok := r.cache[cand]; ok && len(s) > 0 {
+			return s, cand
+		}
+		if cand == "." {
+			return r.roots, "."
+		}
+	}
+}
+
+// referralServers extracts the delegation from a referral response,
+// resolving glueless NS hosts if needed.
+func (r *Resolver) referralServers(resp *dnswire.Message, res *Result, glueDepth int) ([]netip.AddrPort, string) {
+	glue := map[string][]netip.Addr{}
+	for _, rr := range resp.Extra {
+		switch d := rr.Data.(type) {
+		case dnswire.A:
+			glue[rr.Name] = append(glue[rr.Name], d.Addr)
+		case dnswire.AAAA:
+			glue[rr.Name] = append(glue[rr.Name], d.Addr)
+		}
+	}
+	var out []netip.AddrPort
+	origin := ""
+	var glueless []string
+	for _, rr := range resp.Authority {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok {
+			continue
+		}
+		origin = rr.Name
+		if addrs, ok := glue[ns.Host]; ok {
+			for _, a := range addrs {
+				out = append(out, netip.AddrPortFrom(a, transport.DNSPort))
+			}
+		} else {
+			glueless = append(glueless, ns.Host)
+		}
+	}
+	// Resolve glueless NS hosts only if no glued server is available.
+	if len(out) == 0 && glueDepth < maxGlueDepth {
+		for _, host := range glueless {
+			sub, err := r.resolveOne(host, dnswire.TypeA, res, glueDepth+1)
+			if err != nil {
+				continue
+			}
+			for _, rr := range sub.Answers {
+				if a, ok := rr.Data.(dnswire.A); ok {
+					out = append(out, netip.AddrPortFrom(a.Addr, transport.DNSPort))
+				}
+			}
+		}
+	}
+	return out, origin
+}
+
+// exchange sends the query to the servers in order, retrying on timeout,
+// and returns the first matching response.
+func (r *Resolver) exchange(servers []netip.AddrPort, qname string, qtype dnswire.Type, res *Result) (*dnswire.Message, error) {
+	q := dnswire.NewQuery(uint16(r.rng.Uint32()), qname, qtype)
+	// Advertise an EDNS0 payload size so TLD referrals with glue fit.
+	size := r.UDPSize
+	if size <= 0 || size > transport.MTU {
+		size = transport.MTU
+	}
+	q.Extra = append(q.Extra, dnswire.RR{
+		Name: ".", Type: dnswire.TypeOPT, Class: dnswire.Class(size), Data: dnswire.OPT{},
+	})
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt <= r.Retries; attempt++ {
+		server := servers[attempt%len(servers)]
+		if err := r.conn.WriteTo(wire, server); err != nil {
+			return nil, err
+		}
+		r.queries++
+		if res != nil {
+			res.Queries++
+		}
+		deadline := time.Now().Add(r.Timeout)
+		for {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				break // retry
+			}
+			n, from, err := r.conn.ReadFrom(r.buf, remain)
+			if err == transport.ErrTimeout {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			if from != server {
+				continue // stray datagram
+			}
+			resp, err := dnswire.Unpack(r.buf[:n])
+			if err != nil || resp.ID != q.ID || !resp.Flags.Response {
+				continue // malformed or mismatched: keep waiting
+			}
+			if len(resp.Questions) != 1 || !questionMatches(resp.Questions[0], qname, qtype) {
+				continue
+			}
+			if resp.Flags.Truncated {
+				// RFC 1035 §4.2.2: retry over TCP. Keep the truncated
+				// response if the stream path is unavailable or fails.
+				if full, err := r.exchangeTCP(server, wire, q.ID, qname, qtype); err == nil {
+					return full, nil
+				}
+			}
+			return resp, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s %s", ErrExhausted, qname, qtype)
+}
+
+// exchangeTCP repeats one query over a stream connection.
+func (r *Resolver) exchangeTCP(server netip.AddrPort, wire []byte, id uint16, qname string, qtype dnswire.Type) (*dnswire.Message, error) {
+	sn, ok := r.net.(transport.StreamNetwork)
+	if !ok {
+		return nil, fmt.Errorf("dnsclient: transport has no stream support")
+	}
+	conn, err := sn.DialStream(r.conn.LocalAddr().Addr(), server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(r.Timeout * 4)
+	_ = conn.SetDeadline(deadline)
+	if err := dnswire.WriteFramed(conn, wire); err != nil {
+		return nil, err
+	}
+	r.queries++
+	msg, err := dnswire.ReadFramed(conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := dnswire.Unpack(msg)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != id || !resp.Flags.Response || len(resp.Questions) != 1 || !questionMatches(resp.Questions[0], qname, qtype) {
+		return nil, fmt.Errorf("dnsclient: TCP response mismatch")
+	}
+	return resp, nil
+}
+
+func questionMatches(q dnswire.Question, name string, t dnswire.Type) bool {
+	c, err := dnswire.CanonicalName(q.Name)
+	return err == nil && c == name && q.Type == t
+}

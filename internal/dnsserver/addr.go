@@ -1,0 +1,27 @@
+package dnsserver
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"dpsadopt/internal/transport"
+)
+
+// parseListenAddr accepts "ip" (implying port 53) or "ip:port".
+func parseListenAddr(addr string) (netip.AddrPort, error) {
+	if strings.Contains(addr, ":") && !strings.Contains(addr, "]") {
+		// Could be host:port or a bare IPv6 literal; try AddrPort first.
+		if ap, err := netip.ParseAddrPort(addr); err == nil {
+			return ap, nil
+		}
+	}
+	if ap, err := netip.ParseAddrPort(addr); err == nil {
+		return ap, nil
+	}
+	a, err := netip.ParseAddr(addr)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("dnsserver: bad listen address %q: %w", addr, err)
+	}
+	return netip.AddrPortFrom(a, transport.DNSPort), nil
+}

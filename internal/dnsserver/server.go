@@ -1,0 +1,287 @@
+// Package dnsserver implements an authoritative DNS server over the
+// transport abstraction. One Server instance can be authoritative for many
+// zones (a real DPS or hoster name server hosts millions); queries are
+// routed to the zone with the longest matching origin suffix.
+//
+// The server is intentionally a pure responder: it answers from zone data
+// via dnszone.Lookup, sets AA, returns referrals below zone cuts, and
+// truncates oversized UDP responses with the TC bit, mirroring the
+// behaviour the paper's measurement infrastructure observes from real
+// authoritative servers.
+package dnsserver
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/dnszone"
+	"dpsadopt/internal/transport"
+)
+
+// Server answers authoritative DNS queries for a set of zones.
+type Server struct {
+	mu    sync.RWMutex
+	zones map[string]*dnszone.Zone
+
+	// concurrency is the Serve worker-pool size (see SetConcurrency).
+	concurrency int
+
+	// Queries counts handled queries (including refused ones).
+	queries atomic.Int64
+}
+
+// New creates an empty server.
+func New() *Server {
+	return &Server{zones: make(map[string]*dnszone.Zone)}
+}
+
+// AddZone makes the server authoritative for z, replacing any zone with
+// the same origin.
+func (s *Server) AddZone(z *dnszone.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin] = z
+}
+
+// RemoveZone drops authority for the zone rooted at origin.
+func (s *Server) RemoveZone(origin string) {
+	o, err := dnswire.CanonicalName(origin)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.zones, o)
+}
+
+// Zone returns the zone with the given origin, if the server carries it.
+func (s *Server) Zone(origin string) (*dnszone.Zone, bool) {
+	o, err := dnswire.CanonicalName(origin)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	z, ok := s.zones[o]
+	return z, ok
+}
+
+// ZoneCount returns the number of zones served.
+func (s *Server) ZoneCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.zones)
+}
+
+// Queries returns the number of queries handled so far.
+func (s *Server) Queries() int64 { return s.queries.Load() }
+
+// findZone returns the zone whose origin is the longest suffix of qname.
+func (s *Server) findZone(qname string) *dnszone.Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Walk from the full name toward the root, so the most specific zone
+	// wins (a server can host both "examp.le" and "le").
+	for cand := qname; ; cand = dnswire.Parent(cand) {
+		if z, ok := s.zones[cand]; ok {
+			return z
+		}
+		if cand == "." {
+			return nil
+		}
+	}
+}
+
+// Handle answers a single query message. It never returns nil: malformed
+// or unsupported queries produce FORMERR/NOTIMP/REFUSED responses.
+func (s *Server) Handle(q *dnswire.Message) *dnswire.Message {
+	s.queries.Add(1)
+	resp := q.Reply()
+	if q.Flags.Response || len(q.Questions) != 1 {
+		resp.Flags.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	if q.Flags.OpCode != dnswire.OpQuery {
+		resp.Flags.RCode = dnswire.RCodeNotImp
+		return resp
+	}
+	question := q.Questions[0]
+	qname, err := dnswire.CanonicalName(question.Name)
+	if err != nil || question.Class != dnswire.ClassIN {
+		resp.Flags.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	z := s.findZone(qname)
+	if z == nil {
+		resp.Flags.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	res := z.Lookup(qname, question.Type)
+	resp.Flags.RCode = res.RCode
+	resp.Flags.Authoritative = res.Authoritative
+	resp.Answers = res.Answer
+	resp.Authority = res.Authority
+	resp.Extra = res.Additional
+	return resp
+}
+
+// maxPayload returns the response size limit advertised by the query's
+// EDNS0 OPT record, or the classic 512-byte default.
+func maxPayload(q *dnswire.Message) int {
+	for _, rr := range q.Extra {
+		if rr.Type == dnswire.TypeOPT {
+			if size := int(rr.Class); size > dnswire.MaxUDPPayload {
+				if size > transport.MTU {
+					return transport.MTU
+				}
+				return size
+			}
+			return dnswire.MaxUDPPayload
+		}
+	}
+	return dnswire.MaxUDPPayload
+}
+
+// packWithLimit packs resp, truncating it (clearing sections and setting
+// TC) if it exceeds limit bytes.
+func packWithLimit(resp *dnswire.Message, limit int) ([]byte, error) {
+	wire, err := resp.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if len(wire) <= limit {
+		return wire, nil
+	}
+	trunc := *resp
+	trunc.Flags.Truncated = true
+	trunc.Answers = nil
+	trunc.Authority = nil
+	trunc.Extra = nil
+	return trunc.Pack()
+}
+
+// Concurrency is the number of goroutines handling queries per Serve
+// loop; 1 (the default when unset) handles queries inline. Set before
+// Serve starts.
+func (s *Server) SetConcurrency(n int) {
+	if n > 0 {
+		s.concurrency = n
+	}
+}
+
+// Serve reads queries from conn and writes responses until conn is closed.
+// It is typically run in its own goroutine per simulated server address.
+// With SetConcurrency(n>1), decoding and answering happen in a worker
+// pool while the loop keeps reading.
+func (s *Server) Serve(conn transport.Conn) error {
+	workers := s.concurrency
+	if workers <= 1 {
+		return s.serveInline(conn)
+	}
+	type job struct {
+		data []byte
+		from netip.AddrPort
+	}
+	jobs := make(chan job, workers*2)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				s.answer(conn, j.data, j.from)
+			}
+		}()
+	}
+	buf := make([]byte, transport.MTU)
+	var err error
+	for {
+		var n int
+		var from netip.AddrPort
+		n, from, err = conn.ReadFrom(buf, 0)
+		if err != nil {
+			break
+		}
+		jobs <- job{data: append([]byte(nil), buf[:n]...), from: from}
+	}
+	close(jobs)
+	wg.Wait()
+	if err == transport.ErrClosed {
+		return nil
+	}
+	return fmt.Errorf("dnsserver: read: %w", err)
+}
+
+func (s *Server) serveInline(conn transport.Conn) error {
+	buf := make([]byte, transport.MTU)
+	for {
+		n, from, err := conn.ReadFrom(buf, 0)
+		if err != nil {
+			if err == transport.ErrClosed {
+				return nil
+			}
+			return fmt.Errorf("dnsserver: read: %w", err)
+		}
+		s.answer(conn, buf[:n], from)
+	}
+}
+
+// answer decodes, handles, and responds to one datagram; malformed input
+// is dropped as real servers do.
+func (s *Server) answer(conn transport.Conn, data []byte, from netip.AddrPort) {
+	q, err := dnswire.Unpack(data)
+	if err != nil {
+		return
+	}
+	resp := s.Handle(q)
+	wire, err := packWithLimit(resp, maxPayload(q))
+	if err != nil {
+		return
+	}
+	_ = conn.WriteTo(wire, from)
+}
+
+// Running wraps a Server bound to an address with lifecycle management.
+type Running struct {
+	Server *Server
+	conn   transport.Conn
+	done   chan struct{}
+	err    error
+}
+
+// Start binds srv at addr on the network and serves it in a goroutine.
+func Start(srv *Server, net transport.Network, addr string) (*Running, error) {
+	conn, err := listen(net, addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Running{Server: srv, conn: conn, done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.err = srv.Serve(conn)
+	}()
+	return r, nil
+}
+
+// Stop closes the listener and waits for the serve loop to exit, waiting
+// at most a second before giving up.
+func (r *Running) Stop() error {
+	r.conn.Close()
+	select {
+	case <-r.done:
+	case <-time.After(time.Second):
+	}
+	return r.err
+}
+
+func listen(net transport.Network, addr string) (transport.Conn, error) {
+	ap, err := parseListenAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.Listen(ap)
+}

@@ -1,0 +1,154 @@
+package dnsserver
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/transport"
+)
+
+// DNS over TCP (RFC 1035 §4.2.2): each message is preceded by a two-byte
+// big-endian length. Clients fall back to TCP when a UDP response arrives
+// truncated; over TCP the server never truncates.
+
+// tcpIdleTimeout bounds how long a connection may sit between queries.
+const tcpIdleTimeout = 5 * time.Second
+
+// ServeStream accepts TCP connections and answers framed queries until
+// the listener is closed. Each connection is handled in its own
+// goroutine and can carry multiple queries.
+func (s *Server) ServeStream(l transport.StreamListener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout))
+		msg, err := dnswire.ReadFramed(conn)
+		if err != nil {
+			return
+		}
+		q, err := dnswire.Unpack(msg)
+		if err != nil {
+			return // garbage on a stream: drop the connection
+		}
+		if len(q.Questions) == 1 && q.Questions[0].Type == dnswire.TypeAXFR {
+			if err := s.serveAXFR(conn, q); err != nil {
+				return
+			}
+			continue
+		}
+		resp := s.Handle(q)
+		wire, err := resp.Pack()
+		if err != nil {
+			return
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(tcpIdleTimeout))
+		if err := dnswire.WriteFramed(conn, wire); err != nil {
+			return
+		}
+	}
+}
+
+// StartStream binds a TCP listener for srv at addr (when the network
+// supports streams) and serves it in a goroutine. Returns nil, nil when
+// the network has no stream support.
+func StartStream(srv *Server, network transport.Network, addr string) (*RunningStream, error) {
+	sn, ok := network.(transport.StreamNetwork)
+	if !ok {
+		return nil, nil
+	}
+	ap, err := parseListenAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	l, err := sn.ListenStream(ap)
+	if err != nil {
+		return nil, err
+	}
+	r := &RunningStream{listener: l, done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.err = srv.ServeStream(l)
+	}()
+	return r, nil
+}
+
+// RunningStream wraps a serving TCP listener.
+type RunningStream struct {
+	listener transport.StreamListener
+	done     chan struct{}
+	err      error
+}
+
+// Stop closes the listener and waits briefly for the accept loop.
+func (r *RunningStream) Stop() error {
+	r.listener.Close()
+	select {
+	case <-r.done:
+	case <-time.After(time.Second):
+	}
+	return r.err
+}
+
+// serveAXFR answers a zone-transfer query on a stream connection
+// (RFC 5936, simplified): the zone's records are sent as a sequence of
+// response messages, beginning with the SOA and ending with a repeated
+// SOA. Transfers are only honoured for zones the server carries and only
+// over TCP.
+func (s *Server) serveAXFR(conn net.Conn, q *dnswire.Message) error {
+	qname := q.Questions[0].Name
+	z, ok := s.Zone(qname)
+	if !ok {
+		resp := q.Reply()
+		resp.Flags.RCode = dnswire.RCodeRefused
+		wire, err := resp.Pack()
+		if err != nil {
+			return err
+		}
+		return dnswire.WriteFramed(conn, wire)
+	}
+	records := z.AllRecords()
+	if len(records) == 0 || records[0].Type != dnswire.TypeSOA {
+		resp := q.Reply()
+		resp.Flags.RCode = dnswire.RCodeServFail
+		wire, err := resp.Pack()
+		if err != nil {
+			return err
+		}
+		return dnswire.WriteFramed(conn, wire)
+	}
+	// Close the sequence with the SOA again.
+	records = append(records, records[0])
+	const batch = 200
+	for i := 0; i < len(records); i += batch {
+		hi := i + batch
+		if hi > len(records) {
+			hi = len(records)
+		}
+		resp := q.Reply()
+		resp.Flags.Authoritative = true
+		resp.Answers = records[i:hi]
+		wire, err := resp.Pack()
+		if err != nil {
+			return err
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(tcpIdleTimeout))
+		if err := dnswire.WriteFramed(conn, wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}

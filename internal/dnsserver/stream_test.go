@@ -1,0 +1,150 @@
+package dnsserver
+
+import (
+	"net/netip"
+	"testing"
+
+	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/dnszone"
+	"dpsadopt/internal/transport"
+)
+
+func startStreamServer(t *testing.T) (*transport.Mem, netip.AddrPort) {
+	t.Helper()
+	network := transport.NewMem(41)
+	s := New()
+	s.AddZone(testZone())
+	run, err := Start(s, network, "10.0.0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { run.Stop() })
+	stream, err := StartStream(s, network, "10.0.0.3")
+	if err != nil || stream == nil {
+		t.Fatalf("StartStream: %v", err)
+	}
+	t.Cleanup(func() { stream.Stop() })
+	return network, netip.MustParseAddrPort("10.0.0.3:53")
+}
+
+func TestStreamQuery(t *testing.T) {
+	network, server := startStreamServer(t)
+	conn, err := network.DialStream(netip.MustParseAddr("10.9.0.7"), server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(77, "www.examp.le", dnswire.TypeA)
+	wire, _ := q.Pack()
+	if err := dnswire.WriteFramed(conn, wire); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := dnswire.ReadFramed(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 77 || len(resp.Answers) != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestStreamGarbageDropsConnection(t *testing.T) {
+	network, server := startStreamServer(t)
+	conn, err := network.DialStream(netip.MustParseAddr("10.9.0.8"), server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A framed blob that is not a DNS message: the server closes.
+	if err := dnswire.WriteFramed(conn, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dnswire.ReadFramed(conn); err == nil {
+		t.Error("expected closed connection after garbage")
+	}
+}
+
+func TestAXFRServerSide(t *testing.T) {
+	network, server := startStreamServer(t)
+	conn, err := network.DialStream(netip.MustParseAddr("10.9.0.9"), server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(5, "examp.le", dnswire.TypeAXFR)
+	wire, _ := q.Pack()
+	if err := dnswire.WriteFramed(conn, wire); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := dnswire.ReadFramed(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Flags.RCode != dnswire.RCodeNoError || len(resp.Answers) < 3 {
+		t.Fatalf("axfr resp = %+v", resp)
+	}
+	if resp.Answers[0].Type != dnswire.TypeSOA || resp.Answers[len(resp.Answers)-1].Type != dnswire.TypeSOA {
+		t.Error("transfer not SOA-delimited")
+	}
+}
+
+func TestAXFRRefusedForUnknownZone(t *testing.T) {
+	network, server := startStreamServer(t)
+	conn, err := network.DialStream(netip.MustParseAddr("10.9.0.10"), server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(6, "foreign.test", dnswire.TypeAXFR)
+	wire, _ := q.Pack()
+	if err := dnswire.WriteFramed(conn, wire); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := dnswire.ReadFramed(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := dnswire.Unpack(msg)
+	if resp.Flags.RCode != dnswire.RCodeRefused {
+		t.Errorf("rcode = %v", resp.Flags.RCode)
+	}
+}
+
+func TestAXFRServFailWithoutSOA(t *testing.T) {
+	network := transport.NewMem(43)
+	s := New()
+	z := dnszone.MustNew("nosoa.test")
+	z.MustAdd(dnswire.RR{Name: "nosoa.test", Type: dnswire.TypeNS, TTL: 1, Data: dnswire.NS{Host: "ns.nosoa.test"}})
+	s.AddZone(z)
+	stream, err := StartStream(s, network, "10.0.0.4")
+	if err != nil || stream == nil {
+		t.Fatalf("StartStream: %v", err)
+	}
+	defer stream.Stop()
+	conn, err := network.DialStream(netip.MustParseAddr("10.9.0.11"), netip.MustParseAddrPort("10.0.0.4:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(8, "nosoa.test", dnswire.TypeAXFR)
+	wire, _ := q.Pack()
+	if err := dnswire.WriteFramed(conn, wire); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := dnswire.ReadFramed(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := dnswire.Unpack(msg)
+	if resp.Flags.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %v", resp.Flags.RCode)
+	}
+}

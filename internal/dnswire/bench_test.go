@@ -1,0 +1,137 @@
+package dnswire
+
+import (
+	"testing"
+)
+
+// Ablation: name compression on vs off for a referral-shaped response
+// (DESIGN.md §5) — compression costs a map per message but shrinks
+// referrals, which dominate the measurement traffic.
+
+func benchMessage() *Message {
+	m := NewQuery(1, "www.examp.le", TypeA).Reply()
+	m.Flags.Authoritative = true
+	m.Answers = []RR{
+		{Name: "www.examp.le", Type: TypeCNAME, Class: ClassIN, TTL: 300, Data: CNAME{Target: "www-examp-le.cdn.foob.ar"}},
+		{Name: "www-examp-le.cdn.foob.ar", Type: TypeA, Class: ClassIN, TTL: 60, Data: A{Addr: mustAddr("10.0.0.2")}},
+	}
+	m.Authority = []RR{
+		{Name: "foob.ar", Type: TypeNS, Class: ClassIN, TTL: 3600, Data: NS{Host: "ns1.foob.ar"}},
+		{Name: "foob.ar", Type: TypeNS, Class: ClassIN, TTL: 3600, Data: NS{Host: "ns2.foob.ar"}},
+	}
+	m.Extra = []RR{
+		{Name: "ns1.foob.ar", Type: TypeA, Class: ClassIN, TTL: 3600, Data: A{Addr: mustAddr("10.0.0.53")}},
+		{Name: "ns2.foob.ar", Type: TypeA, Class: ClassIN, TTL: 3600, Data: A{Addr: mustAddr("10.0.0.54")}},
+	}
+	return m
+}
+
+func BenchmarkAblationNameCompressionOn(b *testing.B) {
+	m := benchMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// packUncompressed encodes the message with compression disabled by
+// passing a nil compression map through a private pack path.
+func packUncompressed(m *Message) ([]byte, error) {
+	var buf []byte
+	var hdr [12]byte
+	hdr[0], hdr[1] = byte(m.ID>>8), byte(m.ID)
+	flags := m.Flags.pack()
+	hdr[2], hdr[3] = byte(flags>>8), byte(flags)
+	counts := []int{len(m.Questions), len(m.Answers), len(m.Authority), len(m.Extra)}
+	for i, n := range counts {
+		hdr[4+2*i], hdr[5+2*i] = byte(n>>8), byte(n)
+	}
+	buf = append(buf, hdr[:]...)
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, 0, q.Name, nil); err != nil {
+			return nil, err
+		}
+		buf = be16(buf, uint16(q.Type))
+		buf = be16(buf, uint16(q.Class))
+	}
+	comp := compMap{off: nil} // nil map: appendName never compresses
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Extra} {
+		for _, rr := range sec {
+			if buf, err = appendRR(buf, rr, &comp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+func BenchmarkAblationNameCompressionOff(b *testing.B) {
+	m := benchMessage()
+	wire, err := packUncompressed(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packUncompressed(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestUncompressedLargerButDecodable(t *testing.T) {
+	m := benchMessage()
+	comp, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := packUncompressed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) <= len(comp) {
+		t.Errorf("compression ineffective: %d vs %d bytes", len(comp), len(flat))
+	}
+	got, err := Unpack(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 2 || len(got.Extra) != 2 {
+		t.Errorf("uncompressed decode mismatch: %+v", got)
+	}
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	wire, err := benchMessage().Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackQuery(b *testing.B) {
+	q := NewQuery(9, "some-domain.com", TypeA)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package dnswire_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"dpsadopt/internal/dnswire"
+)
+
+// ExampleMessage shows a query/response round trip through the wire
+// format, mirroring the paper's Section 2 CNAME example.
+func ExampleMessage() {
+	query := dnswire.NewQuery(7, "www.examp.le", dnswire.TypeA)
+	wire, _ := query.Pack()
+
+	// The authoritative side decodes, answers, and re-encodes.
+	decoded, _ := dnswire.Unpack(wire)
+	resp := decoded.Reply()
+	resp.Flags.Authoritative = true
+	resp.Answers = []dnswire.RR{
+		{Name: "www.examp.le", Type: dnswire.TypeCNAME, Class: dnswire.ClassIN, TTL: 300,
+			Data: dnswire.CNAME{Target: "foob.ar"}},
+		{Name: "foob.ar", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60,
+			Data: dnswire.A{Addr: netip.MustParseAddr("10.0.0.2")}},
+	}
+	respWire, _ := resp.Pack()
+
+	back, _ := dnswire.Unpack(respWire)
+	for _, rr := range back.Answers {
+		fmt.Println(rr)
+	}
+	// Output:
+	// www.examp.le 300 IN CNAME foob.ar
+	// foob.ar 60 IN A 10.0.0.2
+}
+
+// ExampleCanonicalName shows name normalisation.
+func ExampleCanonicalName() {
+	n, _ := dnswire.CanonicalName("WWW.Example.COM.")
+	fmt.Println(n)
+	fmt.Println(dnswire.Parent(n))
+	fmt.Println(dnswire.IsSubdomain(n, "example.com"))
+	// Output:
+	// www.example.com
+	// example.com
+	// true
+}

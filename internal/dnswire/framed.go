@@ -1,0 +1,47 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// DNS-over-TCP framing (RFC 1035 §4.2.2): each message on a stream is
+// preceded by a two-byte big-endian length.
+
+// maxFramedMessage bounds accepted stream message sizes.
+const maxFramedMessage = 1 << 16
+
+// ErrBadFrame reports an invalid TCP frame length.
+var ErrBadFrame = errors.New("dnswire: bad TCP frame length")
+
+// ReadFramed reads one length-prefixed DNS message from a stream.
+func ReadFramed(r io.Reader) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(hdr[:]))
+	if n == 0 || n > maxFramedMessage {
+		return nil, ErrBadFrame
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// WriteFramed writes one length-prefixed DNS message to a stream.
+func WriteFramed(w io.Writer, msg []byte) error {
+	if len(msg) > 0xFFFF {
+		return ErrBadFrame
+	}
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}

@@ -1,0 +1,334 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by message packing and unpacking.
+var (
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	ErrTooManyRecords   = errors.New("dnswire: section count exceeds 4096")
+	ErrMessageTooLarge  = errors.New("dnswire: packed message exceeds 65535 bytes")
+)
+
+// maxSectionRecords bounds per-section record counts on decode so that a
+// hostile header cannot force large allocations.
+const maxSectionRecords = 4096
+
+// MaxUDPPayload is the classic DNS UDP payload limit; responses larger than
+// the negotiated payload size are truncated with the TC bit set.
+const MaxUDPPayload = 512
+
+// Flags holds the header bit fields of a DNS message.
+type Flags struct {
+	Response           bool   // QR
+	OpCode             OpCode // four-bit opcode
+	Authoritative      bool   // AA
+	Truncated          bool   // TC
+	RecursionDesired   bool   // RD
+	RecursionAvailable bool   // RA
+	RCode              RCode  // four-bit response code
+}
+
+func (f Flags) pack() uint16 {
+	var v uint16
+	if f.Response {
+		v |= 1 << 15
+	}
+	v |= uint16(f.OpCode&0xF) << 11
+	if f.Authoritative {
+		v |= 1 << 10
+	}
+	if f.Truncated {
+		v |= 1 << 9
+	}
+	if f.RecursionDesired {
+		v |= 1 << 8
+	}
+	if f.RecursionAvailable {
+		v |= 1 << 7
+	}
+	v |= uint16(f.RCode & 0xF)
+	return v
+}
+
+func unpackFlags(v uint16) Flags {
+	return Flags{
+		Response:           v&(1<<15) != 0,
+		OpCode:             OpCode(v >> 11 & 0xF),
+		Authoritative:      v&(1<<10) != 0,
+		Truncated:          v&(1<<9) != 0,
+		RecursionDesired:   v&(1<<8) != 0,
+		RecursionAvailable: v&(1<<7) != 0,
+		RCode:              RCode(v & 0xF),
+	}
+}
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig-like presentation format.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// RR is a resource record: an owner name plus typed RDATA.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String renders the record in zone-file presentation format.
+func (rr RR) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", rr.Name, rr.TTL, rr.Class, rr.Type, rr.Data)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	ID        uint16
+	Flags     Flags
+	Questions []Question
+	Answers   []RR
+	Authority []RR
+	Extra     []RR
+}
+
+// NewQuery builds a standard query message for one question.
+func NewQuery(id uint16, name string, qtype Type) *Message {
+	return &Message{
+		ID:    id,
+		Flags: Flags{RecursionDesired: true},
+		Questions: []Question{{
+			Name:  name,
+			Type:  qtype,
+			Class: ClassIN,
+		}},
+	}
+}
+
+// Reply builds a response skeleton mirroring the query's ID and question.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		ID: m.ID,
+		Flags: Flags{
+			Response:         true,
+			OpCode:           m.Flags.OpCode,
+			RecursionDesired: m.Flags.RecursionDesired,
+		},
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// Pack encodes the message into wire format with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	return m.AppendPack(nil)
+}
+
+// AppendPack appends the wire encoding of the message to buf. Compression
+// offsets are computed relative to the start of the appended message, so
+// buf must be empty or the caller must only use the appended bytes as a
+// standalone datagram starting at the original length of buf.
+func (m *Message) AppendPack(buf []byte) ([]byte, error) {
+	base := len(buf)
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[0:], m.ID)
+	binary.BigEndian.PutUint16(hdr[2:], m.Flags.pack())
+	for i, n := range []int{len(m.Questions), len(m.Answers), len(m.Authority), len(m.Extra)} {
+		if n > maxSectionRecords {
+			return nil, ErrTooManyRecords
+		}
+		binary.BigEndian.PutUint16(hdr[4+2*i:], uint16(n))
+	}
+	buf = append(buf, hdr[:]...)
+
+	comp := compMap{base: base, off: make(map[string]int)}
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = comp.appendName(buf, q.Name); err != nil {
+			return nil, err
+		}
+		buf = be16(buf, uint16(q.Type))
+		buf = be16(buf, uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Extra} {
+		for _, rr := range sec {
+			if buf, err = appendRR(buf, rr, &comp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(buf)-base > 0xFFFF {
+		return nil, ErrMessageTooLarge
+	}
+	return buf, nil
+}
+
+// compMap adapts the name compressor to messages packed at a nonzero buffer
+// offset: pointers are stored relative to the message start.
+type compMap struct {
+	base int
+	off  map[string]int
+}
+
+func (c *compMap) appendName(buf []byte, name string) ([]byte, error) {
+	return appendName(buf, c.base, name, c.off)
+}
+
+func be16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+func be32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendRR(buf []byte, rr RR, comp *compMap) ([]byte, error) {
+	var err error
+	if buf, err = comp.appendName(buf, rr.Name); err != nil {
+		return nil, err
+	}
+	buf = be16(buf, uint16(rr.Type))
+	buf = be16(buf, uint16(rr.Class))
+	buf = be32(buf, rr.TTL)
+	// Reserve RDLENGTH and backfill once the RDATA is encoded.
+	lenAt := len(buf)
+	buf = append(buf, 0, 0)
+	if rr.Data == nil {
+		return nil, fmt.Errorf("dnswire: record %s %s has nil RDATA", rr.Name, rr.Type)
+	}
+	if buf, err = rr.Data.appendRData(buf, comp); err != nil {
+		return nil, err
+	}
+	rdlen := len(buf) - lenAt - 2
+	if rdlen > 0xFFFF {
+		return nil, fmt.Errorf("dnswire: RDATA of %s exceeds 65535 bytes", rr.Name)
+	}
+	binary.BigEndian.PutUint16(buf[lenAt:], uint16(rdlen))
+	return buf, nil
+}
+
+// Unpack decodes a wire-format message.
+func Unpack(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	m := &Message{
+		ID:    binary.BigEndian.Uint16(data[0:]),
+		Flags: unpackFlags(binary.BigEndian.Uint16(data[2:])),
+	}
+	counts := [4]int{}
+	for i := range counts {
+		counts[i] = int(binary.BigEndian.Uint16(data[4+2*i:]))
+		if counts[i] > maxSectionRecords {
+			return nil, ErrTooManyRecords
+		}
+	}
+	off := 12
+	var err error
+	for i := 0; i < counts[0]; i++ {
+		var q Question
+		if q.Name, off, err = unpackName(data, off); err != nil {
+			return nil, err
+		}
+		if off+4 > len(data) {
+			return nil, ErrTruncatedMessage
+		}
+		q.Type = Type(binary.BigEndian.Uint16(data[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(data[off+2:]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for sec, dst := range []*[]RR{&m.Answers, &m.Authority, &m.Extra} {
+		for i := 0; i < counts[sec+1]; i++ {
+			var rr RR
+			if rr, off, err = unpackRR(data, off); err != nil {
+				return nil, err
+			}
+			*dst = append(*dst, rr)
+		}
+	}
+	return m, nil
+}
+
+func unpackRR(data []byte, off int) (RR, int, error) {
+	var rr RR
+	var err error
+	if rr.Name, off, err = unpackName(data, off); err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(data) {
+		return rr, 0, ErrTruncatedMessage
+	}
+	rr.Type = Type(binary.BigEndian.Uint16(data[off:]))
+	rr.Class = Class(binary.BigEndian.Uint16(data[off+2:]))
+	rr.TTL = binary.BigEndian.Uint32(data[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(data[off+8:]))
+	off += 10
+	if off+rdlen > len(data) {
+		return rr, 0, ErrTruncatedMessage
+	}
+	rr.Data, err = unpackRData(rr.Type, data, off, rdlen)
+	if err != nil {
+		return rr, 0, err
+	}
+	return rr, off + rdlen, nil
+}
+
+// String renders the message in a dig-like multi-section format, which the
+// examples use to show measurement responses.
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; id %d %s %s", m.ID, m.Flags.RCode, m.Flags.OpCode.flagString(m.Flags))
+	sb.WriteByte('\n')
+	if len(m.Questions) > 0 {
+		sb.WriteString(";; QUESTION SECTION:\n")
+		for _, q := range m.Questions {
+			fmt.Fprintf(&sb, ";%s\n", q)
+		}
+	}
+	for _, s := range []struct {
+		name string
+		rrs  []RR
+	}{{"ANSWER", m.Answers}, {"AUTHORITY", m.Authority}, {"ADDITIONAL", m.Extra}} {
+		if len(s.rrs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, ";; %s SECTION:\n", s.name)
+		for _, rr := range s.rrs {
+			sb.WriteString(rr.String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func (o OpCode) flagString(f Flags) string {
+	var parts []string
+	if f.Response {
+		parts = append(parts, "qr")
+	}
+	if f.Authoritative {
+		parts = append(parts, "aa")
+	}
+	if f.Truncated {
+		parts = append(parts, "tc")
+	}
+	if f.RecursionDesired {
+		parts = append(parts, "rd")
+	}
+	if f.RecursionAvailable {
+		parts = append(parts, "ra")
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,231 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name-handling rules for this package: a domain name is represented in Go
+// as a lowercase dotted string without a trailing dot; the root zone is the
+// one-character string ".". CanonicalName normalises external input into
+// this form, and all comparisons in the measurement stack operate on
+// canonical names.
+
+// Limits from RFC 1035 §2.3.4.
+const (
+	maxLabelLen = 63
+	maxNameLen  = 255 // total wire-format octets
+)
+
+// Errors returned by name validation and decoding.
+var (
+	ErrNameTooLong    = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong   = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel     = errors.New("dnswire: empty label")
+	ErrBadPointer     = errors.New("dnswire: bad compression pointer")
+	ErrTruncatedName  = errors.New("dnswire: truncated name")
+	ErrBadLabelByte   = errors.New("dnswire: invalid character in label")
+	ErrPointerForward = errors.New("dnswire: compression pointer does not point backward")
+)
+
+// CanonicalName normalises a domain name: lowercases ASCII, strips a single
+// trailing dot, and validates label lengths and characters. The root name
+// is returned as ".".
+func CanonicalName(name string) (string, error) {
+	if name == "" || name == "." {
+		return ".", nil
+	}
+	name = strings.TrimSuffix(name, ".")
+	b := make([]byte, len(name))
+	wire := 1 // terminal zero octet
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '.' {
+			l := i - start
+			if l == 0 {
+				return "", ErrEmptyLabel
+			}
+			if l > maxLabelLen {
+				return "", ErrLabelTooLong
+			}
+			wire += 1 + l
+			start = i + 1
+			continue
+		}
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', '0' <= c && c <= '9', c == '-', c == '_':
+			b[i] = c
+		case 'A' <= c && c <= 'Z':
+			b[i] = c + ('a' - 'A')
+		case c == '*' && i == 0 && (i+1 == len(name) || name[i+1] == '.'):
+			// Allow a leading "*" label (wildcard owner names appear in
+			// zone files even though our lookup path does not expand them).
+			b[i] = c
+		default:
+			return "", fmt.Errorf("%w: %q in %q", ErrBadLabelByte, c, name)
+		}
+	}
+	// Dot positions were skipped by the per-label loop above; copy them in.
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			b[i] = '.'
+		}
+	}
+	if wire > maxNameLen {
+		return "", ErrNameTooLong
+	}
+	return string(b), nil
+}
+
+// MustCanonical is CanonicalName for trusted, programmatically built names;
+// it panics on invalid input and is intended for tests and generators.
+func MustCanonical(name string) string {
+	c, err := CanonicalName(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Labels splits a canonical name into its labels, most-significant last
+// ("www.example.com" → ["www" "example" "com"]). The root name has no labels.
+func Labels(name string) []string {
+	if name == "." || name == "" {
+		return nil
+	}
+	return strings.Split(name, ".")
+}
+
+// CountLabels returns the number of labels in a canonical name.
+func CountLabels(name string) int {
+	if name == "." || name == "" {
+		return 0
+	}
+	return strings.Count(name, ".") + 1
+}
+
+// Parent returns the name with its leftmost label removed
+// ("www.example.com" → "example.com"); the parent of a single-label name is
+// the root ".".
+func Parent(name string) string {
+	if name == "." || name == "" {
+		return "."
+	}
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return "."
+}
+
+// IsSubdomain reports whether child is equal to or ends with a label
+// boundary followed by parent. Both must be canonical. Every name is a
+// subdomain of the root.
+func IsSubdomain(child, parent string) bool {
+	if parent == "." || parent == "" {
+		return true
+	}
+	if child == parent {
+		return true
+	}
+	return strings.HasSuffix(child, "."+parent)
+}
+
+// appendName appends the wire encoding of a canonical name to buf. When
+// comp is non-nil, suffixes already emitted into the message are replaced
+// with compression pointers and newly emitted suffixes are recorded. base
+// is the index in buf where the DNS message starts; compression offsets are
+// message-relative.
+func appendName(buf []byte, base int, name string, comp map[string]int) ([]byte, error) {
+	if name == "" || name == "." {
+		return append(buf, 0), nil
+	}
+	rest := name
+	for rest != "" {
+		if comp != nil {
+			if off, ok := comp[rest]; ok && off <= 0x3FFF {
+				return append(buf, 0xC0|byte(off>>8), byte(off)), nil
+			}
+			if len(buf)-base <= 0x3FFF {
+				comp[rest] = len(buf) - base
+			}
+		}
+		label := rest
+		if i := strings.IndexByte(rest, '.'); i >= 0 {
+			label, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		if label == "" {
+			return nil, ErrEmptyLabel
+		}
+		if len(label) > maxLabelLen {
+			return nil, ErrLabelTooLong
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// unpackName decodes a (possibly compressed) name starting at off in msg.
+// It returns the canonical name and the offset of the first byte after the
+// name's in-place representation. Compression pointers must point strictly
+// backward, which bounds the walk and rejects loops.
+func unpackName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	next := -1 // offset after the name, set when the first pointer is taken
+	ptrBudget := len(msg)
+	total := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		c := int(msg[off])
+		switch {
+		case c == 0:
+			if next < 0 {
+				next = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			return name, next, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			target := (c&0x3F)<<8 | int(msg[off+1])
+			if target >= off {
+				return "", 0, ErrPointerForward
+			}
+			if next < 0 {
+				next = off + 2
+			}
+			off = target
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrBadPointer
+			}
+		case c&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type 0x%02x", c&0xC0)
+		default:
+			if off+1+c > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			total += c + 1
+			if total > maxNameLen {
+				return "", 0, ErrNameTooLong
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			for _, b := range msg[off+1 : off+1+c] {
+				sb.WriteByte(lowerByte(b))
+			}
+			off += 1 + c
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package dnszone
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dpsadopt/internal/dnswire"
+)
+
+// This file implements a textual zone format: one record per line,
+//
+//	owner TTL IN TYPE rdata...
+//
+// with '#' or ';' comments and a leading "$ORIGIN name" directive. It is a
+// deliberately small subset of RFC 1035 master-file syntax — enough for the
+// measurement pipeline's Stage I to "download" zone snapshots as files and
+// for the demo server to load zones from disk.
+
+// WriteText serialises the zone. Records are emitted in sorted owner order
+// with the SOA first, matching how registry zone files are distributed.
+func (z *Zone) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "$ORIGIN %s\n", z.Origin); err != nil {
+		return err
+	}
+	if soa, ok := z.SOA(); ok {
+		if _, err := fmt.Fprintln(bw, soa.String()); err != nil {
+			return err
+		}
+	}
+	for _, name := range z.Names() {
+		z.mu.RLock()
+		byType := z.records[name]
+		types := make([]dnswire.Type, 0, len(byType))
+		for t := range byType {
+			types = append(types, t)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		var lines []string
+		for _, t := range types {
+			for _, rr := range byType[t] {
+				if t == dnswire.TypeSOA && name == z.Origin {
+					continue // already written first
+				}
+				lines = append(lines, rr.String())
+			}
+		}
+		z.mu.RUnlock()
+		for _, l := range lines {
+			if _, err := fmt.Fprintln(bw, l); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Text returns the zone serialised as a string.
+func (z *Zone) Text() string {
+	var sb strings.Builder
+	_ = z.WriteText(&sb)
+	return sb.String()
+}
+
+// ParseText reads a zone in the format produced by WriteText. If origin is
+// empty, a $ORIGIN directive must appear before the first record.
+func ParseText(r io.Reader, origin string) (*Zone, error) {
+	var z *Zone
+	if origin != "" {
+		var err error
+		if z, err = New(origin); err != nil {
+			return nil, err
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "$ORIGIN" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dnszone: line %d: bad $ORIGIN", lineNo)
+			}
+			nz, err := New(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("dnszone: line %d: %w", lineNo, err)
+			}
+			if z != nil && z.Len() > 0 {
+				return nil, fmt.Errorf("dnszone: line %d: $ORIGIN after records", lineNo)
+			}
+			z = nz
+			continue
+		}
+		if z == nil {
+			return nil, fmt.Errorf("dnszone: line %d: record before $ORIGIN", lineNo)
+		}
+		rr, err := parseRecordLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("dnszone: line %d: %w", lineNo, err)
+		}
+		if err := z.Add(rr); err != nil {
+			return nil, fmt.Errorf("dnszone: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if z == nil {
+		return nil, fmt.Errorf("dnszone: empty input and no origin")
+	}
+	return z, nil
+}
+
+func parseRecordLine(fields []string) (dnswire.RR, error) {
+	var rr dnswire.RR
+	if len(fields) < 5 {
+		return rr, fmt.Errorf("need at least 5 fields, got %d", len(fields))
+	}
+	rr.Name = fields[0]
+	ttl, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return rr, fmt.Errorf("bad TTL %q", fields[1])
+	}
+	rr.TTL = uint32(ttl)
+	if !strings.EqualFold(fields[2], "IN") {
+		return rr, fmt.Errorf("unsupported class %q", fields[2])
+	}
+	rr.Class = dnswire.ClassIN
+	t, err := dnswire.ParseType(fields[3])
+	if err != nil {
+		return rr, err
+	}
+	rr.Type = t
+	rd := fields[4:]
+	switch t {
+	case dnswire.TypeA:
+		addr, err := netip.ParseAddr(rd[0])
+		if err != nil || !addr.Is4() {
+			return rr, fmt.Errorf("bad A address %q", rd[0])
+		}
+		rr.Data = dnswire.A{Addr: addr}
+	case dnswire.TypeAAAA:
+		addr, err := netip.ParseAddr(rd[0])
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return rr, fmt.Errorf("bad AAAA address %q", rd[0])
+		}
+		rr.Data = dnswire.AAAA{Addr: addr}
+	case dnswire.TypeCNAME:
+		target, err := dnswire.CanonicalName(rd[0])
+		if err != nil {
+			return rr, err
+		}
+		rr.Data = dnswire.CNAME{Target: target}
+	case dnswire.TypeNS:
+		host, err := dnswire.CanonicalName(rd[0])
+		if err != nil {
+			return rr, err
+		}
+		rr.Data = dnswire.NS{Host: host}
+	case dnswire.TypePTR:
+		target, err := dnswire.CanonicalName(rd[0])
+		if err != nil {
+			return rr, err
+		}
+		rr.Data = dnswire.PTR{Target: target}
+	case dnswire.TypeMX:
+		if len(rd) != 2 {
+			return rr, fmt.Errorf("MX needs preference and host")
+		}
+		pref, err := strconv.ParseUint(rd[0], 10, 16)
+		if err != nil {
+			return rr, fmt.Errorf("bad MX preference %q", rd[0])
+		}
+		host, err := dnswire.CanonicalName(rd[1])
+		if err != nil {
+			return rr, err
+		}
+		rr.Data = dnswire.MX{Preference: uint16(pref), Host: host}
+	case dnswire.TypeSOA:
+		if len(rd) != 7 {
+			return rr, fmt.Errorf("SOA needs 7 fields, got %d", len(rd))
+		}
+		var s dnswire.SOA
+		if s.MName, err = dnswire.CanonicalName(rd[0]); err != nil {
+			return rr, err
+		}
+		if s.RName, err = dnswire.CanonicalName(rd[1]); err != nil {
+			return rr, err
+		}
+		nums := [5]*uint32{&s.Serial, &s.Refresh, &s.Retry, &s.Expire, &s.Minimum}
+		for i, p := range nums {
+			v, err := strconv.ParseUint(rd[2+i], 10, 32)
+			if err != nil {
+				return rr, fmt.Errorf("bad SOA field %q", rd[2+i])
+			}
+			*p = uint32(v)
+		}
+		rr.Data = s
+	case dnswire.TypeTXT:
+		var t dnswire.TXT
+		for _, s := range rd {
+			unq, err := strconv.Unquote(s)
+			if err != nil {
+				return rr, fmt.Errorf("bad TXT string %q", s)
+			}
+			t.Strings = append(t.Strings, unq)
+		}
+		rr.Data = t
+	default:
+		return rr, fmt.Errorf("unsupported type %s in zone file", t)
+	}
+	return rr, nil
+}

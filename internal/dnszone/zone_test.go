@@ -1,0 +1,363 @@
+package dnszone
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"dpsadopt/internal/dnswire"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// exampleZone builds the zone from the paper's Section 2 examples:
+// examp.le with a www CNAME into a DPS domain, plus a delegated child.
+func exampleZone(t testing.TB) *Zone {
+	z := MustNew("examp.le")
+	z.MustAdd(dnswire.RR{Name: "examp.le", Type: dnswire.TypeSOA, TTL: 3600, Data: dnswire.SOA{
+		MName: "ns.registr.ar", RName: "hostmaster.examp.le",
+		Serial: 2015030500, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
+	}})
+	z.MustAdd(dnswire.RR{Name: "examp.le", Type: dnswire.TypeNS, TTL: 3600, Data: dnswire.NS{Host: "ns.registr.ar"}})
+	z.MustAdd(dnswire.RR{Name: "examp.le", Type: dnswire.TypeA, TTL: 300, Data: dnswire.A{Addr: addr("10.0.0.1")}})
+	z.MustAdd(dnswire.RR{Name: "www.examp.le", Type: dnswire.TypeCNAME, TTL: 300, Data: dnswire.CNAME{Target: "foob.ar"}})
+	z.MustAdd(dnswire.RR{Name: "mail.examp.le", Type: dnswire.TypeA, TTL: 300, Data: dnswire.A{Addr: addr("10.0.0.9")}})
+	z.MustAdd(dnswire.RR{Name: "alias.examp.le", Type: dnswire.TypeCNAME, TTL: 300, Data: dnswire.CNAME{Target: "mail.examp.le"}})
+	// Delegated child zone.
+	z.MustAdd(dnswire.RR{Name: "child.examp.le", Type: dnswire.TypeNS, TTL: 3600, Data: dnswire.NS{Host: "ns1.child.examp.le"}})
+	z.MustAdd(dnswire.RR{Name: "ns1.child.examp.le", Type: dnswire.TypeA, TTL: 3600, Data: dnswire.A{Addr: addr("10.0.0.53")}})
+	return z
+}
+
+func TestLookupPositive(t *testing.T) {
+	z := exampleZone(t)
+	res := z.Lookup("examp.le", dnswire.TypeA)
+	if res.RCode != dnswire.RCodeNoError || !res.Authoritative || res.Delegated {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if len(res.Answer) != 1 || res.Answer[0].Data.String() != "10.0.0.1" {
+		t.Errorf("answer = %v", res.Answer)
+	}
+	if len(res.Authority) != 1 || res.Authority[0].Type != dnswire.TypeNS {
+		t.Errorf("authority = %v", res.Authority)
+	}
+}
+
+func TestLookupCNAMEToExternal(t *testing.T) {
+	z := exampleZone(t)
+	res := z.Lookup("www.examp.le", dnswire.TypeA)
+	if res.RCode != dnswire.RCodeNoError {
+		t.Fatalf("rcode = %v", res.RCode)
+	}
+	if len(res.Answer) != 1 {
+		t.Fatalf("answer = %v", res.Answer)
+	}
+	cn, ok := res.Answer[0].Data.(dnswire.CNAME)
+	if !ok || cn.Target != "foob.ar" {
+		t.Errorf("expected CNAME foob.ar, got %v", res.Answer[0])
+	}
+}
+
+func TestLookupCNAMEChainInZone(t *testing.T) {
+	z := exampleZone(t)
+	res := z.Lookup("alias.examp.le", dnswire.TypeA)
+	if len(res.Answer) != 2 {
+		t.Fatalf("expected CNAME + A, got %v", res.Answer)
+	}
+	if res.Answer[0].Type != dnswire.TypeCNAME || res.Answer[1].Type != dnswire.TypeA {
+		t.Errorf("chain order wrong: %v", res.Answer)
+	}
+	if res.Answer[1].Data.String() != "10.0.0.9" {
+		t.Errorf("final address = %v", res.Answer[1])
+	}
+}
+
+func TestLookupCNAMEQueryForCNAMEItself(t *testing.T) {
+	z := exampleZone(t)
+	res := z.Lookup("www.examp.le", dnswire.TypeCNAME)
+	if len(res.Answer) != 1 || res.Answer[0].Type != dnswire.TypeCNAME {
+		t.Errorf("answer = %v", res.Answer)
+	}
+}
+
+func TestLookupNXDomain(t *testing.T) {
+	z := exampleZone(t)
+	res := z.Lookup("nope.examp.le", dnswire.TypeA)
+	if res.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %v, want NXDOMAIN", res.RCode)
+	}
+	if len(res.Authority) != 1 || res.Authority[0].Type != dnswire.TypeSOA {
+		t.Errorf("authority = %v, want SOA", res.Authority)
+	}
+}
+
+func TestLookupNoData(t *testing.T) {
+	z := exampleZone(t)
+	res := z.Lookup("mail.examp.le", dnswire.TypeAAAA)
+	if res.RCode != dnswire.RCodeNoError {
+		t.Errorf("rcode = %v, want NOERROR", res.RCode)
+	}
+	if len(res.Answer) != 0 {
+		t.Errorf("answer = %v, want empty", res.Answer)
+	}
+	if len(res.Authority) != 1 || res.Authority[0].Type != dnswire.TypeSOA {
+		t.Errorf("authority = %v, want SOA", res.Authority)
+	}
+}
+
+func TestLookupReferral(t *testing.T) {
+	z := exampleZone(t)
+	res := z.Lookup("www.child.examp.le", dnswire.TypeA)
+	if !res.Delegated || res.Authoritative {
+		t.Fatalf("expected referral, got %+v", res)
+	}
+	if len(res.Authority) != 1 || res.Authority[0].Name != "child.examp.le" {
+		t.Errorf("authority = %v", res.Authority)
+	}
+	if len(res.Additional) != 1 || res.Additional[0].Data.String() != "10.0.0.53" {
+		t.Errorf("glue = %v", res.Additional)
+	}
+}
+
+func TestLookupOutOfZone(t *testing.T) {
+	z := exampleZone(t)
+	res := z.Lookup("other.example", dnswire.TypeA)
+	if res.RCode != dnswire.RCodeRefused {
+		t.Errorf("rcode = %v, want REFUSED", res.RCode)
+	}
+}
+
+func TestLookupANY(t *testing.T) {
+	z := exampleZone(t)
+	res := z.Lookup("examp.le", dnswire.TypeANY)
+	if len(res.Answer) < 3 {
+		t.Errorf("ANY answer = %v", res.Answer)
+	}
+}
+
+func TestCNAMELoopBounded(t *testing.T) {
+	z := MustNew("loop.test")
+	z.MustAdd(dnswire.RR{Name: "a.loop.test", Type: dnswire.TypeCNAME, TTL: 1, Data: dnswire.CNAME{Target: "b.loop.test"}})
+	z.MustAdd(dnswire.RR{Name: "b.loop.test", Type: dnswire.TypeCNAME, TTL: 1, Data: dnswire.CNAME{Target: "a.loop.test"}})
+	res := z.Lookup("a.loop.test", dnswire.TypeA) // must terminate
+	if len(res.Answer) == 0 {
+		t.Error("expected partial chain answer")
+	}
+	if len(res.Answer) > 2*maxCNAMEChain+2 {
+		t.Errorf("chain not bounded: %d records", len(res.Answer))
+	}
+}
+
+func TestAddRejectsOutOfZone(t *testing.T) {
+	z := MustNew("examp.le")
+	err := z.Add(dnswire.RR{Name: "other.test", Type: dnswire.TypeA, Data: dnswire.A{Addr: addr("10.0.0.1")}})
+	if err == nil {
+		t.Error("out-of-zone add accepted")
+	}
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	z := MustNew("examp.le")
+	rr := dnswire.RR{Name: "examp.le", Type: dnswire.TypeA, TTL: 60, Data: dnswire.A{Addr: addr("10.0.0.1")}}
+	z.MustAdd(rr)
+	z.MustAdd(rr)
+	if got := len(z.Get("examp.le", dnswire.TypeA)); got != 1 {
+		t.Errorf("len = %d, want 1 (dedup)", got)
+	}
+}
+
+func TestSetRRSetReplaces(t *testing.T) {
+	z := exampleZone(t)
+	err := z.SetRRSet("examp.le", dnswire.TypeA, []dnswire.RR{
+		{TTL: 60, Data: dnswire.A{Addr: addr("203.0.113.5")}},
+		{TTL: 60, Data: dnswire.A{Addr: addr("203.0.113.6")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := z.Get("examp.le", dnswire.TypeA)
+	if len(got) != 2 || got[0].Name != "examp.le" || got[0].Class != dnswire.ClassIN {
+		t.Errorf("got %v", got)
+	}
+	if err := z.SetRRSet("examp.le", dnswire.TypeA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if z.Get("examp.le", dnswire.TypeA) != nil {
+		t.Error("empty SetRRSet did not clear")
+	}
+}
+
+func TestRemoveClearsDelegation(t *testing.T) {
+	z := exampleZone(t)
+	z.Remove("child.examp.le", dnswire.TypeNS)
+	res := z.Lookup("www.child.examp.le", dnswire.TypeA)
+	if res.Delegated {
+		t.Error("delegation survived NS removal")
+	}
+	if res.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %v", res.RCode)
+	}
+}
+
+func TestRemoveName(t *testing.T) {
+	z := exampleZone(t)
+	z.RemoveName("mail.examp.le")
+	if z.HasName("mail.examp.le") {
+		t.Error("name survived RemoveName")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	z := exampleZone(t)
+	c := z.Clone()
+	z.RemoveName("mail.examp.le")
+	if !c.HasName("mail.examp.le") {
+		t.Error("clone shares record map with original")
+	}
+	if c.Len() == z.Len() {
+		t.Error("expected differing lengths after mutation")
+	}
+}
+
+func TestZoneTextRoundTrip(t *testing.T) {
+	z := exampleZone(t)
+	text := z.Text()
+	z2, err := ParseText(strings.NewReader(text), "")
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if z2.Origin != "examp.le" {
+		t.Errorf("origin = %q", z2.Origin)
+	}
+	if z2.Len() != z.Len() {
+		t.Errorf("round trip record count %d, want %d\n%s", z2.Len(), z.Len(), text)
+	}
+	res := z2.Lookup("alias.examp.le", dnswire.TypeA)
+	if len(res.Answer) != 2 {
+		t.Errorf("parsed zone lookup broken: %v", res.Answer)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []string{
+		"examp.le 300 IN A 10.0.0.1",             // record before $ORIGIN
+		"$ORIGIN examp.le\nfoo 300 IN A",         // missing rdata
+		"$ORIGIN examp.le\nfoo bar IN A 1.2.3.4", // bad TTL
+		"$ORIGIN examp.le\nfoo.examp.le 300 CH A 1.2.3.4",
+		"$ORIGIN examp.le\nfoo.examp.le 300 IN A not-an-ip",
+		"$ORIGIN",
+	}
+	for i, c := range cases {
+		if _, err := ParseText(strings.NewReader(c), ""); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, c)
+		}
+	}
+}
+
+func TestParseTextComments(t *testing.T) {
+	text := "# leading comment\n$ORIGIN t.est\nt.est 300 IN A 10.0.0.1 ; trailing\n\n"
+	z, err := ParseText(strings.NewReader(text), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() != 1 {
+		t.Errorf("len = %d", z.Len())
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	z := exampleZone(t)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 500; j++ {
+				_ = z.Lookup("alias.examp.le", dnswire.TypeA)
+				_ = z.Lookup("www.child.examp.le", dnswire.TypeA)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		_ = z.SetRRSet("flap.examp.le", dnswire.TypeA, []dnswire.RR{{TTL: 1, Data: dnswire.A{Addr: addr("10.9.9.9")}}})
+		z.Remove("flap.examp.le", dnswire.TypeA)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}
+
+// TestLookupNeverPanics throws random names and types at a populated zone;
+// every result must satisfy the basic RFC 1034 invariants.
+func TestLookupNeverPanics(t *testing.T) {
+	z := exampleZone(t)
+	r := rand.New(rand.NewSource(7))
+	labels := []string{"www", "mail", "alias", "child", "nope", "a", "examp", "le", "ns1", "*"}
+	types := []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeNS, dnswire.TypeCNAME, dnswire.TypeSOA, dnswire.TypeANY, dnswire.Type(250)}
+	for i := 0; i < 5000; i++ {
+		n := 1 + r.Intn(4)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = labels[r.Intn(len(labels))]
+		}
+		name := strings.Join(parts, ".")
+		res := z.Lookup(name, types[r.Intn(len(types))])
+		switch res.RCode {
+		case dnswire.RCodeNXDomain:
+			if len(res.Answer) != 0 && res.Answer[0].Type != dnswire.TypeCNAME {
+				t.Fatalf("%s: NXDOMAIN with non-CNAME answers", name)
+			}
+		case dnswire.RCodeNoError:
+			if res.Delegated && res.Authoritative {
+				t.Fatalf("%s: delegated AND authoritative", name)
+			}
+		case dnswire.RCodeRefused, dnswire.RCodeFormErr:
+			// Out of zone or invalid name: fine.
+		default:
+			t.Fatalf("%s: unexpected rcode %v", name, res.RCode)
+		}
+	}
+}
+
+func TestWildcardSynthesis(t *testing.T) {
+	// A parking zone: *.park.test answers every subdomain.
+	z := MustNew("park.test")
+	z.MustAdd(dnswire.RR{Name: "park.test", Type: dnswire.TypeSOA, TTL: 1, Data: dnswire.SOA{MName: "ns.park.test", RName: "h.park.test", Serial: 1}})
+	z.MustAdd(dnswire.RR{Name: "*.park.test", Type: dnswire.TypeA, TTL: 60, Data: dnswire.A{Addr: addr("198.51.100.7")}})
+	z.MustAdd(dnswire.RR{Name: "real.park.test", Type: dnswire.TypeA, TTL: 60, Data: dnswire.A{Addr: addr("198.51.100.8")}})
+
+	// Synthesis: the answer's owner is the query name.
+	res := z.Lookup("anything.park.test", dnswire.TypeA)
+	if res.RCode != dnswire.RCodeNoError || len(res.Answer) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Answer[0].Name != "anything.park.test" || res.Answer[0].Data.String() != "198.51.100.7" {
+		t.Errorf("answer = %v", res.Answer[0])
+	}
+	// Existing names win over the wildcard.
+	res = z.Lookup("real.park.test", dnswire.TypeA)
+	if res.Answer[0].Data.String() != "198.51.100.8" {
+		t.Errorf("explicit record lost to wildcard: %v", res.Answer)
+	}
+	// Wildcard NODATA: the name is covered but the type is absent.
+	res = z.Lookup("anything.park.test", dnswire.TypeAAAA)
+	if res.RCode != dnswire.RCodeNoError || len(res.Answer) != 0 {
+		t.Errorf("wildcard NODATA = %+v", res)
+	}
+	// An existing closer encloser without a wildcard blocks synthesis:
+	// sub.real.park.test must be NXDOMAIN (real.park.test exists).
+	res = z.Lookup("sub.real.park.test", dnswire.TypeA)
+	if res.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("closer-encloser rule broken: %+v", res)
+	}
+	// Deep names are still covered when the intermediate does not exist.
+	res = z.Lookup("a.b.park.test", dnswire.TypeA)
+	if res.RCode != dnswire.RCodeNoError || len(res.Answer) != 1 {
+		t.Errorf("deep wildcard = %+v", res)
+	}
+	// The apex is not covered by its own child wildcard.
+	res = z.Lookup("park.test", dnswire.TypeA)
+	if res.RCode != dnswire.RCodeNoError || len(res.Answer) != 0 {
+		t.Errorf("apex synthesized: %+v", res)
+	}
+}

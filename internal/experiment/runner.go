@@ -1,0 +1,442 @@
+// Package experiment orchestrates full paper reproductions: it streams
+// the daily measurement of a generated world through detection and
+// aggregation, accounting Table 1 statistics on the fly and dropping raw
+// partitions so that a 550-day full-namespace run fits in memory. Each
+// table and figure of the paper has a regeneration method here; the
+// report package renders the returned structures.
+package experiment
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"dpsadopt/internal/analysis"
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/measure"
+	"dpsadopt/internal/pfx2as"
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+	"dpsadopt/internal/worldsim"
+)
+
+// Config sizes a reproduction run.
+type Config struct {
+	// Scale is the world scale divisor (1000 = the paper at 1:1000).
+	Scale int
+	// Workers is the measurement worker count.
+	Workers int
+	// Days truncates the run to the first N days of the window (0 = the
+	// full 550 days), for quick runs and benchmarks.
+	Days int
+	// KeepStore retains raw partitions instead of dropping them after
+	// aggregation (needed when callers want to re-scan; costs memory).
+	KeepStore bool
+	// OnProgress, when set, receives (day index, total days).
+	OnProgress func(done, total int)
+}
+
+// SourceStats accumulates one Table 1 row.
+type SourceStats struct {
+	Source          string
+	FirstDay        simtime.Day
+	Days            int
+	UniqueSLDs      int
+	DataPoints      int64
+	CompressedBytes int64
+
+	unique map[uint32]bool
+}
+
+// Runner drives a reproduction.
+type Runner struct {
+	Cfg   Config
+	World *worldsim.World
+	Refs  *core.References
+	Store *store.Store
+	Agg   *analysis.Aggregator
+
+	pipeline *measure.Pipeline
+	stats    map[string]*SourceStats
+	window   simtime.Range
+	ran      bool
+}
+
+// New builds a runner over a freshly generated world.
+func New(cfg Config) (*Runner, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	w, err := worldsim.New(worldsim.DefaultConfig(cfg.Scale))
+	if err != nil {
+		return nil, err
+	}
+	refs, err := core.GroundTruth()
+	if err != nil {
+		return nil, err
+	}
+	s := store.New()
+	r := &Runner{
+		Cfg:   cfg,
+		World: w,
+		Refs:  refs,
+		Store: s,
+		Agg:   analysis.NewAggregator(refs, s, worldsim.GTLDs()),
+		stats: make(map[string]*SourceStats),
+	}
+	r.pipeline = measure.New(w, s, measure.Config{Mode: measure.ModeDirect, Workers: cfg.Workers})
+	r.window = w.Cfg.Window
+	if cfg.Days > 0 && cfg.Days < r.window.Len() {
+		r.window.End = r.window.Start + simtime.Day(cfg.Days)
+	}
+	return r, nil
+}
+
+// Window returns the days actually run.
+func (r *Runner) Window() simtime.Range { return r.window }
+
+// Run executes the streaming measurement + analysis pass.
+func (r *Runner) Run() error {
+	if r.ran {
+		return fmt.Errorf("experiment: Run called twice")
+	}
+	r.ran = true
+	total := r.window.Len()
+	for i := 0; i < total; i++ {
+		day := r.window.Start + simtime.Day(i)
+		if err := r.pipeline.RunDay(day); err != nil {
+			return fmt.Errorf("experiment: day %s: %w", day, err)
+		}
+		for _, src := range r.Store.Sources() {
+			rows, bytes, ids := r.Store.DayStats(src, day)
+			if rows == 0 {
+				continue
+			}
+			st := r.stats[src]
+			if st == nil {
+				st = &SourceStats{Source: src, FirstDay: day, unique: make(map[uint32]bool)}
+				r.stats[src] = st
+			}
+			st.Days++
+			st.DataPoints += int64(rows)
+			st.CompressedBytes += bytes
+			for _, id := range ids {
+				st.unique[id] = true
+			}
+			if err := r.Agg.AddDay(src, day); err != nil {
+				return err
+			}
+			if !r.Cfg.KeepStore {
+				r.Store.DropDay(src, day)
+			}
+		}
+		if r.Cfg.OnProgress != nil {
+			r.Cfg.OnProgress(i+1, total)
+		}
+	}
+	for _, st := range r.stats {
+		st.UniqueSLDs = len(st.unique)
+	}
+	return nil
+}
+
+// MaterializeDay re-measures one day into a fresh store (the world is
+// deterministic, so any day can be reproduced after the streaming pass).
+func (r *Runner) MaterializeDay(day simtime.Day) (*store.Store, error) {
+	tmp := store.New()
+	p := measure.New(r.World, tmp, measure.Config{Mode: measure.ModeDirect, Workers: r.Cfg.Workers})
+	if err := p.RunDay(day); err != nil {
+		return nil, err
+	}
+	return tmp, nil
+}
+
+// ---- Table 1 ----
+
+// Table1 returns the accumulated data-set statistics, in the paper's
+// source order.
+func (r *Runner) Table1() []SourceStats {
+	order := []string{"com", "net", "org", "nl", measure.SourceAlexa}
+	var out []SourceStats
+	for _, src := range order {
+		if st := r.stats[src]; st != nil {
+			out = append(out, *st)
+		}
+	}
+	return out
+}
+
+// ---- Table 2 ----
+
+// Table2Result pairs the discovered reference rows with ground truth.
+type Table2Result struct {
+	Discovered []core.ProviderRefs
+	Truth      []core.ProviderRefs
+	// Exact reports per provider whether discovery matched ground truth
+	// exactly.
+	Exact []bool
+}
+
+// Table2 runs the §3.3 discovery procedure on a materialized quiet day.
+func (r *Runner) Table2(day simtime.Day) (*Table2Result, error) {
+	tmp, err := r.MaterializeDay(day)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := pfx2as.Parse(strings.NewReader(r.World.RIBForDay(day).Snapshot()))
+	if err != nil {
+		return nil, err
+	}
+	table := pfx2as.NewWalk(entries)
+	probe := func(sld string) (netip.Addr, bool) { return r.World.ProbeApex(sld, day) }
+	res := &Table2Result{}
+	for i := range r.Refs.Providers {
+		truth := r.Refs.Providers[i]
+		// MinSupport 1 compensates the scale divisor: Incapsula's NS
+		// delegation is used by only ~0.02% of its customers (tens of
+		// domains at paper scale), which a 1:1000 world shrinks to a
+		// single domain. The probe filter keeps single-bearer SLDs from
+		// qualifying unless their own apex is hosted by the provider.
+		got, err := core.Discover(tmp, worldsim.GTLDs(), day, r.World.Registry, truth.Name, table, probe,
+			core.DiscoveryConfig{MinSupport: 1, MinASSupport: 2})
+		if err != nil {
+			return nil, err
+		}
+		res.Discovered = append(res.Discovered, got)
+		res.Truth = append(res.Truth, truth)
+		res.Exact = append(res.Exact, refEqual(got, truth))
+	}
+	return res, nil
+}
+
+func refEqual(a, b core.ProviderRefs) bool {
+	if len(a.ASNs) != len(b.ASNs) || len(a.CNAMESLDs) != len(b.CNAMESLDs) || len(a.NSSLDs) != len(b.NSSLDs) {
+		return false
+	}
+	for i := range a.ASNs {
+		if a.ASNs[i] != b.ASNs[i] {
+			return false
+		}
+	}
+	for i := range a.CNAMESLDs {
+		if a.CNAMESLDs[i] != b.CNAMESLDs[i] {
+			return false
+		}
+	}
+	for i := range a.NSSLDs {
+		if a.NSSLDs[i] != b.NSSLDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Figures ----
+
+// Series is a generic named day series.
+type Series struct {
+	Name string
+	Days []simtime.Day
+	Vals []float64
+}
+
+// Figure2 returns the daily DPS-use counts per gTLD plus the combined
+// series.
+func (r *Runner) Figure2() []Series {
+	days := r.Agg.Days("com")
+	var out []Series
+	for _, tld := range worldsim.GTLDs() {
+		s := Series{Name: tld, Days: days}
+		for _, d := range days {
+			s.Vals = append(s.Vals, float64(r.Agg.SumAny([]string{tld}, d)))
+		}
+		out = append(out, s)
+	}
+	comb := Series{Name: "combined", Days: days}
+	for _, d := range days {
+		comb.Vals = append(comb.Vals, float64(r.Agg.SumAny(worldsim.GTLDs(), d)))
+	}
+	out = append(out, comb)
+	return out
+}
+
+// Figure3Panel is one provider's panel: total use plus the per-method
+// breakdown.
+type Figure3Panel struct {
+	Provider string
+	Days     []simtime.Day
+	Total    []float64
+	AS       []float64
+	CNAME    []float64
+	NS       []float64
+}
+
+// Figure3 returns the nine per-provider panels.
+func (r *Runner) Figure3() []Figure3Panel {
+	days := r.Agg.Days("com")
+	g := worldsim.GTLDs()
+	var out []Figure3Panel
+	for p := range r.Refs.Providers {
+		panel := Figure3Panel{Provider: r.Refs.Providers[p].Name, Days: days}
+		for _, d := range days {
+			panel.Total = append(panel.Total, float64(r.Agg.SumProvider(g, p, d)))
+			panel.AS = append(panel.AS, float64(r.Agg.SumMethod(g, p, 0, d)))
+			panel.CNAME = append(panel.CNAME, float64(r.Agg.SumMethod(g, p, 1, d)))
+			panel.NS = append(panel.NS, float64(r.Agg.SumMethod(g, p, 2, d)))
+		}
+		out = append(out, panel)
+	}
+	return out
+}
+
+// Figure4Result holds the two Fig 4 distributions.
+type Figure4Result struct {
+	Namespace map[string]float64
+	DPSUse    map[string]float64
+}
+
+// Figure4 returns the namespace and DPS-use shares per gTLD.
+func (r *Runner) Figure4() Figure4Result {
+	ns, dps := r.Agg.Distribution(worldsim.GTLDs())
+	return Figure4Result{Namespace: ns, DPSUse: dps}
+}
+
+// Figure5 returns the combined gTLD growth trend.
+func (r *Runner) Figure5() analysis.GrowthResult {
+	return r.Agg.Growth(worldsim.GTLDs())
+}
+
+// Figure6Result holds the .nl and Alexa trends.
+type Figure6Result struct {
+	NL    analysis.GrowthResult
+	Alexa analysis.GrowthResult
+}
+
+// Figure6 returns the .nl and Alexa growth trends (their windows start
+// later; series are relative to their own first day).
+func (r *Runner) Figure6() Figure6Result {
+	var out Figure6Result
+	if len(r.Agg.Days("nl")) > 0 {
+		out.NL = r.Agg.Growth([]string{"nl"})
+	}
+	if len(r.Agg.Days(measure.SourceAlexa)) > 0 {
+		out.Alexa = r.Agg.Growth([]string{measure.SourceAlexa})
+	}
+	return out
+}
+
+// Figure7Panel is one provider's flux plot.
+type Figure7Panel struct {
+	Provider string
+	Bins     []analysis.FluxBin
+}
+
+// Figure7 returns the per-provider two-week flux panels.
+func (r *Runner) Figure7() []Figure7Panel {
+	var out []Figure7Panel
+	for p := range r.Refs.Providers {
+		out = append(out, Figure7Panel{
+			Provider: r.Refs.Providers[p].Name,
+			Bins:     r.Agg.Flux(p, r.window, 14),
+		})
+	}
+	return out
+}
+
+// Figure8Panel is one provider's peak-duration CDF.
+type Figure8Panel struct {
+	Provider string
+	Stats    analysis.PeakStats
+	P80      int
+}
+
+// Figure8 returns the per-provider on-demand peak-duration panels
+// (domains with ≥3 peaks, as in §4.4.3).
+func (r *Runner) Figure8() []Figure8Panel {
+	var out []Figure8Panel
+	for p := range r.Refs.Providers {
+		st := r.Agg.OnDemandPeaks(p, 3)
+		out = append(out, Figure8Panel{
+			Provider: r.Refs.Providers[p].Name,
+			Stats:    st,
+			P80:      st.P(0.8),
+		})
+	}
+	return out
+}
+
+// AnomalyReport is one attributed swing (§4.4.1).
+type AnomalyReport struct {
+	Provider    string
+	Attribution analysis.Attribution
+}
+
+// Anomalies finds each provider's largest day-over-day swing and
+// attributes it to the third party whose NS SLD the changed domains
+// share. Attribution re-materializes the two days involved.
+func (r *Runner) Anomalies(perProvider int) ([]AnomalyReport, error) {
+	var out []AnomalyReport
+	g := worldsim.GTLDs()
+	for p := range r.Refs.Providers {
+		swings := r.Agg.LargestSwings(g, p, perProvider)
+		for _, sw := range swings {
+			days := r.Agg.Days("com")
+			prev := sw.Day - 1
+			for i, d := range days {
+				if d == sw.Day && i > 0 {
+					prev = days[i-1]
+				}
+			}
+			tmp := store.New()
+			pipe := measure.New(r.World, tmp, measure.Config{Mode: measure.ModeDirect, Workers: r.Cfg.Workers})
+			if err := pipe.RunDay(prev); err != nil {
+				return nil, err
+			}
+			if err := pipe.RunDay(sw.Day); err != nil {
+				return nil, err
+			}
+			tmpAgg := analysis.NewAggregator(r.Refs, tmp, nil)
+			if err := tmpAgg.Run(g); err != nil {
+				return nil, err
+			}
+			att := tmpAgg.Attribute(g, p, sw.Day)
+			out = append(out, AnomalyReport{Provider: r.Refs.Providers[p].Name, Attribution: att})
+		}
+	}
+	return out, nil
+}
+
+// ClassificationRow summarises §3.4 for one provider: how its detected
+// domains split across use classes over the run window.
+type ClassificationRow struct {
+	Provider string
+	AlwaysOn int
+	OnDemand int
+	Single   int
+	Other    int
+}
+
+// Classification tabulates the always-on/on-demand split per provider.
+func (r *Runner) Classification() []ClassificationRow {
+	var out []ClassificationRow
+	for p := range r.Refs.Providers {
+		row := ClassificationRow{Provider: r.Refs.Providers[p].Name}
+		for _, dom := range r.Agg.Detected(p) {
+			switch r.Agg.Classify(p, dom, r.window) {
+			case analysis.ClassAlwaysOn:
+				row.AlwaysOn++
+			case analysis.ClassOnDemand:
+				row.OnDemand++
+			case analysis.ClassSingle:
+				row.Single++
+			default:
+				row.Other++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package measure
+
+import (
+	"testing"
+
+	"dpsadopt/internal/store"
+	"dpsadopt/internal/worldsim"
+)
+
+// Ablation: measurement fidelity — the in-process direct derivation
+// against full wire resolution over the in-memory network, on the same
+// world and day (DESIGN.md §5). The two produce identical rows
+// (TestModesEquivalent); the benchmark quantifies what the wire path
+// costs.
+
+var benchWorldCache *worldsim.World
+
+func benchWorld(b *testing.B) *worldsim.World {
+	b.Helper()
+	if benchWorldCache == nil {
+		w, err := worldsim.New(worldsim.DefaultConfig(400_000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWorldCache = w
+	}
+	return benchWorldCache
+}
+
+func BenchmarkAblationTransportDirect(b *testing.B) {
+	w := benchWorld(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := store.New()
+		p := New(w, s, Config{Mode: ModeDirect, Workers: 4})
+		if err := p.RunDay(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTransportWire(b *testing.B) {
+	w := benchWorld(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := store.New()
+		p := New(w, s, Config{Mode: ModeWire, Workers: 8, Timeout: 500, Retries: 3})
+		if err := p.RunDay(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package measure reimplements the paper's active DNS measurement system
+// (§3.1, Fig 1) against the simulated Internet: Stage I acquires the day's
+// domain lists from the TLD namespace models (the "zone file download"),
+// Stage II fans the lists over a worker cloud that queries A, AAAA, NS and
+// CNAME for the apex and www labels of every domain, and Stage III stores
+// all answer-section fields, supplemented with origin-AS numbers from the
+// day's pfx2as snapshot (§3.2).
+//
+// Two fidelity modes share the same storage schema. ModeWire drives real
+// DNS messages through resolvers against authoritative servers built by
+// worldsim.BuildWire — byte-level fidelity, used by tests and examples.
+// ModeDirect derives the identical records from the world model in
+// process, which makes 550-day full-namespace runs tractable; the
+// equivalence of both modes is asserted by TestModesEquivalent.
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"dpsadopt/internal/dnsclient"
+	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/pfx2as"
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+	"dpsadopt/internal/transport"
+	"dpsadopt/internal/worldsim"
+)
+
+// Mode selects the measurement fidelity.
+type Mode int
+
+// Measurement modes.
+const (
+	// ModeDirect derives records from the world model in process.
+	ModeDirect Mode = iota
+	// ModeWire resolves every query over the transport network.
+	ModeWire
+)
+
+// SourceAlexa is the store source name for the popularity-list
+// measurements; TLD sources use their labels ("com", "net", ...).
+const SourceAlexa = "alexa"
+
+// Config tunes the pipeline.
+type Config struct {
+	Mode    Mode
+	Workers int
+	// Timeout/Retries apply to wire-mode resolvers.
+	Timeout int // milliseconds; 0 = dnsclient default
+	Retries int
+	// WireNetwork, when set, supplies the transport for each wire-mode
+	// day (e.g. transport.NewMappedUDP to measure over kernel sockets);
+	// by default each day gets a fresh in-memory network.
+	WireNetwork func() transport.Network
+	// StageIZoneFiles, when true, derives the daily TLD domain lists by
+	// rendering and parsing the registry zone files instead of reading
+	// the world model — the literal Stage I of Fig 1. Slower; used by
+	// fidelity tests and demos.
+	StageIZoneFiles bool
+	// OnDay, when set, receives per-day progress.
+	OnDay func(day simtime.Day, rows int)
+}
+
+// Pipeline measures a world into a store.
+type Pipeline struct {
+	World *worldsim.World
+	Store *store.Store
+	Cfg   Config
+
+	queriesSent int64
+}
+
+// New creates a pipeline.
+func New(w *worldsim.World, s *store.Store, cfg Config) *Pipeline {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	return &Pipeline{World: w, Store: s, Cfg: cfg}
+}
+
+// QueriesSent reports wire-mode query datagrams sent so far.
+func (p *Pipeline) QueriesSent() int64 { return p.queriesSent }
+
+// task is one domain to measure into one source partition.
+type task struct {
+	dom *worldsim.Domain
+}
+
+// stageOneLists assembles the day's measurement lists per source — the
+// zone-file acquisition step.
+func (p *Pipeline) stageOneLists(day simtime.Day) map[string][]task {
+	lists := make(map[string][]task)
+	w := p.World
+	if p.Cfg.StageIZoneFiles {
+		// Literal Stage I: render each TLD's registry zone file and parse
+		// the delegations back out.
+		for tld := range w.TLDs {
+			var window simtime.Range
+			if tld == "nl" {
+				window = w.Cfg.NLWindow
+			} else {
+				window = w.Cfg.Window
+			}
+			if !window.Contains(day) {
+				continue
+			}
+			var buf strings.Builder
+			if err := w.WriteZoneFile(tld, day, &buf); err != nil {
+				continue
+			}
+			_, names, err := worldsim.ZoneFileDomains(strings.NewReader(buf.String()))
+			if err != nil {
+				continue
+			}
+			for _, name := range names {
+				if d, ok := w.DomainByName(name); ok {
+					lists[tld] = append(lists[tld], task{dom: d})
+				}
+			}
+		}
+	} else {
+		// The world's flat domain table is TLD-ordered and carries
+		// lifetimes; one scan assembles every TLD's list.
+		for _, d := range w.Domains {
+			var window simtime.Range
+			if d.TLD == "nl" {
+				window = w.Cfg.NLWindow
+			} else {
+				window = w.Cfg.Window
+			}
+			if !window.Contains(day) || !d.Life.Contains(day) {
+				continue
+			}
+			lists[d.TLD] = append(lists[d.TLD], task{dom: d})
+		}
+	}
+	if w.Cfg.NLWindow.Contains(day) {
+		for _, idx := range w.AlexaList(day) {
+			d := w.Domains[idx]
+			if d.Life.Contains(day) {
+				lists[SourceAlexa] = append(lists[SourceAlexa], task{dom: d})
+			}
+		}
+	}
+	return lists
+}
+
+// RunDay measures one day into the store.
+func (p *Pipeline) RunDay(day simtime.Day) error {
+	lists := p.stageOneLists(day)
+	if len(lists) == 0 {
+		return nil
+	}
+	// The day's pfx2as snapshot, via the textual Routeviews format, as
+	// the paper's Stage III does.
+	rib := p.World.RIBForDay(day)
+	entries, err := pfx2as.Parse(strings.NewReader(rib.Snapshot()))
+	if err != nil {
+		return fmt.Errorf("measure: pfx2as snapshot: %w", err)
+	}
+	table := pfx2as.NewWalk(entries)
+
+	var wire *worldsim.Wire
+	var network transport.Network
+	if p.Cfg.Mode == ModeWire {
+		if p.Cfg.WireNetwork != nil {
+			network = p.Cfg.WireNetwork()
+		} else {
+			network = transport.NewMem(int64(day) ^ 0x3f3f)
+		}
+		wire, err = p.World.BuildWire(day, network)
+		if err != nil {
+			return fmt.Errorf("measure: wire build: %w", err)
+		}
+		defer wire.Close()
+	}
+
+	rows := 0
+	for source, tasks := range lists {
+		n, err := p.runSource(day, source, tasks, table, wire, network)
+		if err != nil {
+			return err
+		}
+		rows += n
+	}
+	if p.Cfg.OnDay != nil {
+		p.Cfg.OnDay(day, rows)
+	}
+	return nil
+}
+
+// RunRange measures every day in [r.Start, r.End).
+func (p *Pipeline) RunRange(r simtime.Range) error {
+	for day := r.Start; day < r.End; day++ {
+		if err := p.RunDay(day); err != nil {
+			return fmt.Errorf("measure: day %s: %w", day, err)
+		}
+	}
+	return nil
+}
+
+// runSource measures one source's task list with the worker cloud.
+func (p *Pipeline) runSource(day simtime.Day, source string, tasks []task, table pfx2as.Table, wire *worldsim.Wire, network transport.Network) (int, error) {
+	workers := p.Cfg.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers == 0 {
+		return 0, nil
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	var firstErr error
+	chunk := (len(tasks) + workers - 1) / workers
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * chunk
+		hi := lo + chunk
+		if hi > len(tasks) {
+			hi = len(tasks)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			writer := p.Store.NewWriter(source, day)
+			var resolver *dnsclient.Resolver
+			if p.Cfg.Mode == ModeWire {
+				local := netip.AddrFrom4([4]byte{10, 200, byte(wi >> 8), byte(wi)})
+				r, err := dnsclient.NewResolver(network, local, wire.Roots, int64(day)*1000+int64(wi))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if p.Cfg.Timeout > 0 {
+					r.Timeout = time.Duration(p.Cfg.Timeout) * time.Millisecond
+				}
+				if p.Cfg.Retries > 0 {
+					r.Retries = p.Cfg.Retries
+				}
+				resolver = r
+				defer r.Close()
+			}
+			n := 0
+			for _, t := range tasks[lo:hi] {
+				if p.Cfg.Mode == ModeDirect {
+					n += p.measureDirect(writer, t.dom, day, table)
+				} else {
+					n += p.measureWire(writer, resolver, t.dom, table)
+				}
+			}
+			writer.Commit()
+			mu.Lock()
+			total += n
+			if resolver != nil {
+				p.queriesSent += resolver.QueriesSent()
+			}
+			mu.Unlock()
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	return total, firstErr
+}
+
+// measureDirect emits the rows for one domain from the world model.
+func (p *Pipeline) measureDirect(w *store.Writer, d *worldsim.Domain, day simtime.Day, table pfx2as.Table) int {
+	st := p.World.StateFor(d, day)
+	if !st.Exists || st.Unmeasurable {
+		return 0
+	}
+	before := w.Rows()
+	for _, a := range st.ApexA {
+		w.AddAddr(d.Name, store.KindApexA, a, lookupASNs(table, a))
+	}
+	for _, a := range st.ApexAAAA {
+		w.AddAddr(d.Name, store.KindApexAAAA, a, lookupASNs(table, a))
+	}
+	if st.WWWCNAME != "" {
+		w.AddStr(d.Name, store.KindWWWCNAME, st.WWWCNAME)
+	}
+	for _, a := range st.WWWA {
+		w.AddAddr(d.Name, store.KindWWWA, a, lookupASNs(table, a))
+	}
+	for _, a := range st.WWWAAAA {
+		w.AddAddr(d.Name, store.KindWWWAAAA, a, lookupASNs(table, a))
+	}
+	for _, ns := range st.NSHosts {
+		w.AddStr(d.Name, store.KindNS, ns)
+	}
+	return w.Rows() - before
+}
+
+// measureWire resolves the domain's records over the network and emits
+// the same row shapes as measureDirect.
+func (p *Pipeline) measureWire(w *store.Writer, r *dnsclient.Resolver, d *worldsim.Domain, table pfx2as.Table) int {
+	before := w.Rows()
+	name := d.Name
+	if res, err := r.Resolve(name, dnswire.TypeA); err == nil {
+		for _, rr := range res.Records {
+			if a, ok := rr.Data.(dnswire.A); ok {
+				w.AddAddr(name, store.KindApexA, a.Addr, lookupASNs(table, a.Addr))
+			}
+		}
+	}
+	if res, err := r.Resolve(name, dnswire.TypeAAAA); err == nil {
+		for _, rr := range res.Records {
+			if a, ok := rr.Data.(dnswire.AAAA); ok {
+				w.AddAddr(name, store.KindApexAAAA, a.Addr, lookupASNs(table, a.Addr))
+			}
+		}
+	}
+	if res, err := r.Resolve(name, dnswire.TypeNS); err == nil {
+		for _, rr := range res.Records {
+			if ns, ok := rr.Data.(dnswire.NS); ok {
+				w.AddStr(name, store.KindNS, ns.Host)
+			}
+		}
+	}
+	if res, err := r.Resolve("www."+name, dnswire.TypeA); err == nil {
+		for _, rr := range res.Records {
+			switch data := rr.Data.(type) {
+			case dnswire.CNAME:
+				w.AddStr(name, store.KindWWWCNAME, data.Target)
+			case dnswire.A:
+				w.AddAddr(name, store.KindWWWA, data.Addr, lookupASNs(table, data.Addr))
+			}
+		}
+	}
+	if res, err := r.Resolve("www."+name, dnswire.TypeAAAA); err == nil {
+		for _, rr := range res.Records {
+			if a, ok := rr.Data.(dnswire.AAAA); ok {
+				w.AddAddr(name, store.KindWWWAAAA, a.Addr, lookupASNs(table, a.Addr))
+			}
+		}
+	}
+	return w.Rows() - before
+}
+
+func lookupASNs(table pfx2as.Table, a netip.Addr) []uint32 {
+	origins, ok := table.Lookup(a)
+	if !ok {
+		return nil
+	}
+	return origins
+}

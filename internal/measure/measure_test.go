@@ -1,0 +1,377 @@
+package measure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+	"dpsadopt/internal/transport"
+	"dpsadopt/internal/worldsim"
+)
+
+// tinyWorld builds a very small world for wire-mode tests.
+func tinyWorld(t testing.TB) *worldsim.World {
+	t.Helper()
+	cfg := worldsim.DefaultConfig(400_000) // ≈350 gTLD domains
+	w, err := worldsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// midWorld is used for direct-mode pipeline tests.
+func midWorld(t testing.TB) *worldsim.World {
+	t.Helper()
+	cfg := worldsim.DefaultConfig(50_000)
+	w, err := worldsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDirectRunDay(t *testing.T) {
+	w := midWorld(t)
+	s := store.New()
+	p := New(w, s, Config{Mode: ModeDirect, Workers: 4})
+	if err := p.RunDay(0); err != nil {
+		t.Fatal(err)
+	}
+	srcs := s.Sources()
+	if len(srcs) < 3 {
+		t.Fatalf("sources = %v", srcs)
+	}
+	for _, tld := range worldsim.GTLDs() {
+		n := 0
+		s.ForEachRow(tld, 0, func(store.Row) { n++ })
+		active := w.TLDs[tld].ActiveCount(0)
+		// Every active domain yields ≥4 rows (apex A, www A or CNAME+A,
+		// 2 NS).
+		if n < active*3 {
+			t.Errorf("%s: %d rows for %d domains", tld, n, active)
+		}
+	}
+	// Day 0 is before the .nl/Alexa window.
+	if len(s.Days(SourceAlexa)) != 0 || len(s.Days("nl")) != 0 {
+		t.Error("alexa/nl measured before their window")
+	}
+}
+
+func TestDirectAlexaAndNLWindows(t *testing.T) {
+	w := midWorld(t)
+	s := store.New()
+	p := New(w, s, Config{Mode: ModeDirect, Workers: 2})
+	day := w.Cfg.NLWindow.Start
+	if err := p.RunDay(day); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Days(SourceAlexa)) != 1 {
+		t.Error("alexa not measured in window")
+	}
+	if len(s.Days("nl")) != 1 {
+		t.Error("nl not measured in window")
+	}
+}
+
+func TestASNSupplementation(t *testing.T) {
+	w := midWorld(t)
+	s := store.New()
+	p := New(w, s, Config{Mode: ModeDirect, Workers: 2})
+	if err := p.RunDay(100); err != nil {
+		t.Fatal(err)
+	}
+	addrRows, withASN := 0, 0
+	for _, tld := range worldsim.GTLDs() {
+		s.ForEachRow(tld, 100, func(r store.Row) {
+			if r.Kind == store.KindApexA {
+				addrRows++
+				if len(r.ASNs) > 0 {
+					withASN++
+				}
+			}
+		})
+	}
+	if addrRows == 0 {
+		t.Fatal("no address rows")
+	}
+	if withASN != addrRows {
+		t.Errorf("ASN coverage %d/%d; every simulated address should be routed", withASN, addrRows)
+	}
+}
+
+// rowKey canonicalises a row for set comparison.
+func rowKey(r store.Row) string {
+	asns := append([]uint32(nil), r.ASNs...)
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	return fmt.Sprintf("%s|%v|%v|%s|%v", r.Domain, r.Kind, r.Addr, r.Str, asns)
+}
+
+func collectRows(s *store.Store, source string, day simtime.Day) []string {
+	var keys []string
+	s.ForEachRow(source, day, func(r store.Row) { keys = append(keys, rowKey(r)) })
+	sort.Strings(keys)
+	return keys
+}
+
+// TestModesEquivalent is the core fidelity check: wire-mode measurement
+// through real DNS messages produces exactly the rows the direct mode
+// derives from the world model.
+func TestModesEquivalent(t *testing.T) {
+	w := tinyWorld(t)
+	day := simtime.Day(100)
+
+	direct := store.New()
+	pd := New(w, direct, Config{Mode: ModeDirect, Workers: 2})
+	if err := pd.RunDay(day); err != nil {
+		t.Fatal(err)
+	}
+	wireStore := store.New()
+	pw := New(w, wireStore, Config{Mode: ModeWire, Workers: 4, Timeout: 250, Retries: 3})
+	if err := pw.RunDay(day); err != nil {
+		t.Fatal(err)
+	}
+	if pw.QueriesSent() == 0 {
+		t.Error("wire mode sent no queries")
+	}
+	for _, src := range direct.Sources() {
+		want := collectRows(direct, src, day)
+		got := collectRows(wireStore, src, day)
+		if len(want) != len(got) {
+			t.Errorf("%s: direct %d rows, wire %d rows", src, len(want), len(got))
+			diffSample(t, want, got)
+			continue
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("%s row %d:\ndirect %s\nwire   %s", src, i, want[i], got[i])
+				break
+			}
+		}
+	}
+}
+
+func diffSample(t *testing.T, want, got []string) {
+	t.Helper()
+	wset := map[string]bool{}
+	for _, k := range want {
+		wset[k] = true
+	}
+	gset := map[string]bool{}
+	for _, k := range got {
+		gset[k] = true
+	}
+	shown := 0
+	for _, k := range want {
+		if !gset[k] && shown < 5 {
+			t.Logf("missing in wire: %s", k)
+			shown++
+		}
+	}
+	shown = 0
+	for _, k := range got {
+		if !wset[k] && shown < 5 {
+			t.Logf("extra in wire: %s", k)
+			shown++
+		}
+	}
+}
+
+func TestSedoOutageDropsRows(t *testing.T) {
+	w := midWorld(t)
+	s := store.New()
+	p := New(w, s, Config{Mode: ModeDirect, Workers: 2})
+	outage := simtime.FromDate(2015, 11, 22)
+	if err := p.RunDay(outage); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunDay(outage + 1); err != nil {
+		t.Fatal(err)
+	}
+	sedoRows := func(day simtime.Day) int {
+		n := 0
+		for _, tld := range worldsim.GTLDs() {
+			s.ForEachRow(tld, day, func(r store.Row) {
+				if strings.HasSuffix(r.Str, ".sedoparking.com") {
+					n++
+				}
+			})
+		}
+		return n
+	}
+	if n := sedoRows(outage); n != 0 {
+		t.Errorf("outage day has %d sedo rows", n)
+	}
+	if n := sedoRows(outage + 1); n == 0 {
+		t.Error("no sedo rows the day after the outage")
+	}
+}
+
+func TestRunRange(t *testing.T) {
+	w := midWorld(t)
+	s := store.New()
+	var days []simtime.Day
+	p := New(w, s, Config{Mode: ModeDirect, Workers: 2, OnDay: func(d simtime.Day, rows int) {
+		if rows <= 0 {
+			t.Errorf("day %s: %d rows", d, rows)
+		}
+		days = append(days, d)
+	}})
+	if err := p.RunRange(simtime.Range{Start: 0, End: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 3 {
+		t.Errorf("OnDay calls = %d", len(days))
+	}
+	if got := s.Days("com"); len(got) != 3 {
+		t.Errorf("com days = %v", got)
+	}
+}
+
+// TestModesEquivalentOnOutageDay checks the two fidelity modes agree even
+// when an operator's name servers are down: direct mode marks the domains
+// unmeasurable, wire mode times out on them — either way, no rows.
+func TestModesEquivalentOnOutageDay(t *testing.T) {
+	w := tinyWorld(t)
+	outage := simtime.FromDate(2015, 11, 22)
+
+	direct := store.New()
+	if err := New(w, direct, Config{Mode: ModeDirect, Workers: 2}).RunDay(outage); err != nil {
+		t.Fatal(err)
+	}
+	wireStore := store.New()
+	if err := New(w, wireStore, Config{Mode: ModeWire, Workers: 8, Timeout: 60, Retries: 1}).RunDay(outage); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range direct.Sources() {
+		want := collectRows(direct, src, outage)
+		got := collectRows(wireStore, src, outage)
+		if len(want) != len(got) {
+			t.Errorf("%s: direct %d rows, wire %d rows", src, len(want), len(got))
+			diffSample(t, want, got)
+		}
+	}
+	// And the Sedo domains really are absent.
+	for _, src := range direct.Sources() {
+		direct.ForEachRow(src, outage, func(r store.Row) {
+			if strings.HasSuffix(r.Str, ".sedoparking.com") {
+				t.Errorf("sedo row present on outage day: %+v", r)
+			}
+		})
+	}
+}
+
+// TestWireOverMappedUDP runs a wire-mode day over real kernel UDP sockets
+// via the NAT-style mapped transport.
+func TestWireOverMappedUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel sockets")
+	}
+	w := tinyWorld(t)
+	day := simtime.Day(10)
+
+	direct := store.New()
+	if err := New(w, direct, Config{Mode: ModeDirect, Workers: 2}).RunDay(day); err != nil {
+		t.Fatal(err)
+	}
+	udp := store.New()
+	cfg := Config{Mode: ModeWire, Workers: 8, Timeout: 400, Retries: 3,
+		WireNetwork: func() transport.Network { return transport.NewMappedUDP() }}
+	if err := New(w, udp, cfg).RunDay(day); err != nil {
+		t.Skipf("cannot run over UDP: %v", err)
+	}
+	for _, src := range direct.Sources() {
+		want := collectRows(direct, src, day)
+		got := collectRows(udp, src, day)
+		if len(want) != len(got) {
+			t.Errorf("%s: direct %d rows, udp-wire %d rows", src, len(want), len(got))
+		}
+	}
+}
+
+func TestAAAAMeasured(t *testing.T) {
+	w := midWorld(t)
+	s := store.New()
+	if err := New(w, s, Config{Mode: ModeDirect, Workers: 2}).RunDay(0); err != nil {
+		t.Fatal(err)
+	}
+	v6 := 0
+	for _, tld := range worldsim.GTLDs() {
+		s.ForEachRow(tld, 0, func(r store.Row) {
+			if r.Kind == store.KindApexAAAA || r.Kind == store.KindWWWAAAA {
+				v6++
+				if !r.Addr.Is6() || r.Addr.Is4In6() {
+					t.Fatalf("AAAA row with non-v6 address: %v", r.Addr)
+				}
+				if len(r.ASNs) == 0 {
+					t.Fatalf("AAAA row without origin AS: %+v", r)
+				}
+			}
+		})
+	}
+	if v6 == 0 {
+		t.Error("no AAAA rows measured")
+	}
+}
+
+// TestStageIZoneFilesEquivalent checks the literal zone-file Stage I
+// produces the same measurement rows as the direct domain-table listing.
+func TestStageIZoneFilesEquivalent(t *testing.T) {
+	w := midWorld(t)
+	day := simtime.Day(20)
+
+	plain := store.New()
+	if err := New(w, plain, Config{Mode: ModeDirect, Workers: 2}).RunDay(day); err != nil {
+		t.Fatal(err)
+	}
+	viaZone := store.New()
+	if err := New(w, viaZone, Config{Mode: ModeDirect, Workers: 2, StageIZoneFiles: true}).RunDay(day); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range plain.Sources() {
+		want := collectRows(plain, src, day)
+		got := collectRows(viaZone, src, day)
+		if len(want) != len(got) {
+			t.Errorf("%s: %d vs %d rows", src, len(want), len(got))
+			continue
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("%s row %d differs", src, i)
+				break
+			}
+		}
+	}
+}
+
+// TestWireSurvivesPacketLoss injects 10% datagram loss: the resolvers'
+// retries must still produce a (nearly) complete measurement.
+func TestWireSurvivesPacketLoss(t *testing.T) {
+	w := tinyWorld(t)
+	day := simtime.Day(50)
+
+	direct := store.New()
+	if err := New(w, direct, Config{Mode: ModeDirect, Workers: 2}).RunDay(day); err != nil {
+		t.Fatal(err)
+	}
+	lossy := store.New()
+	cfg := Config{Mode: ModeWire, Workers: 8, Timeout: 20, Retries: 8,
+		WireNetwork: func() transport.Network {
+			n := transport.NewMem(99)
+			n.SetLoss(0.10)
+			return n
+		}}
+	if err := New(w, lossy, cfg).RunDay(day); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range direct.Sources() {
+		want := len(collectRows(direct, src, day))
+		got := len(collectRows(lossy, src, day))
+		if got < want*95/100 {
+			t.Errorf("%s: only %d/%d rows under 10%% loss", src, got, want)
+		}
+	}
+}

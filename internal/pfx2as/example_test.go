@@ -1,0 +1,33 @@
+package pfx2as_test
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"dpsadopt/internal/pfx2as"
+)
+
+// Example shows the §3.2 supplementation path: parse a Routeviews-format
+// snapshot and map an address to the origin AS of its most specific
+// covering prefix.
+func Example() {
+	snapshot := `
+10.0.0.0	8	64600
+10.13.0.0	16	19551
+203.0.113.0	24	19551_55002
+`
+	entries, _ := pfx2as.Parse(strings.NewReader(snapshot))
+	table := pfx2as.NewWalk(entries)
+
+	origins, _ := table.Lookup(netip.MustParseAddr("10.13.25.29"))
+	fmt.Println("10.13.25.29 →", origins)
+	origins, _ = table.Lookup(netip.MustParseAddr("203.0.113.9"))
+	fmt.Println("203.0.113.9 →", origins, "(multi-origin)")
+	_, ok := table.Lookup(netip.MustParseAddr("192.0.2.1"))
+	fmt.Println("192.0.2.1 covered:", ok)
+	// Output:
+	// 10.13.25.29 → [19551]
+	// 203.0.113.9 → [19551 55002] (multi-origin)
+	// 192.0.2.1 covered: false
+}

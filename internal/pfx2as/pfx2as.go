@@ -1,0 +1,245 @@
+// Package pfx2as implements the Routeviews Prefix-to-AS mapping used to
+// supplement every measured IP address with its origin AS (paper §3.2):
+// "The origin AS of the most-specific prefix in which an address was
+// contained at measurement time is determined on the basis of the
+// Routeviews Prefix-to-AS mappings (pfx2as) data set."
+//
+// Three lookup structures are provided. Walk (per-prefix-length hash
+// probing) is the default; Scan (linear with best-match tracking) and
+// Search (sorted-interval binary search with backward scan) exist as
+// ablation baselines benchmarked in the repository root.
+package pfx2as
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Origins is the origin-AS set of a prefix; multi-origin (MOAS) prefixes
+// carry more than one entry.
+type Origins []uint32
+
+// Entry is one mapping line: a prefix and its origin set.
+type Entry struct {
+	Prefix  netip.Prefix
+	Origins Origins
+}
+
+// Table answers most-specific-prefix origin lookups.
+type Table interface {
+	// Lookup returns the origin set of the most specific prefix
+	// containing addr, with ok=false when uncovered.
+	Lookup(addr netip.Addr) (Origins, bool)
+	// Len returns the number of entries.
+	Len() int
+}
+
+// Parse reads the Routeviews pfx2as text format: three tab-separated
+// fields per line — prefix address, prefix length, origin ASNs joined by
+// '_' (MOAS) or ',' (AS sets); both separators are accepted and merged.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("pfx2as: line %d: %d fields", line, len(fields))
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("pfx2as: line %d: %w", line, err)
+		}
+		bits, err := strconv.Atoi(fields[1])
+		if err != nil || bits < 0 || bits > addr.BitLen() {
+			return nil, fmt.Errorf("pfx2as: line %d: bad length %q", line, fields[1])
+		}
+		var origins Origins
+		for _, part := range strings.FieldsFunc(fields[2], func(r rune) bool { return r == '_' || r == ',' }) {
+			asn, err := strconv.ParseUint(part, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("pfx2as: line %d: bad ASN %q", line, part)
+			}
+			origins = append(origins, uint32(asn))
+		}
+		if len(origins) == 0 {
+			return nil, fmt.Errorf("pfx2as: line %d: no origins", line)
+		}
+		out = append(out, Entry{Prefix: netip.PrefixFrom(addr, bits).Masked(), Origins: origins})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Walk is the default Table: entries are bucketed per prefix length and a
+// lookup probes only the lengths present, most specific first.
+type Walk struct {
+	entries map[netip.Prefix]Origins
+	lens4   [33]bool
+	lens6   [129]bool
+	n       int
+}
+
+// NewWalk builds a Walk table from entries; later duplicates of the same
+// prefix replace earlier ones.
+func NewWalk(entries []Entry) *Walk {
+	w := &Walk{entries: make(map[netip.Prefix]Origins, len(entries))}
+	for _, e := range entries {
+		if _, dup := w.entries[e.Prefix]; !dup {
+			w.n++
+		}
+		w.entries[e.Prefix] = e.Origins
+		if e.Prefix.Addr().Is4() {
+			w.lens4[e.Prefix.Bits()] = true
+		} else {
+			w.lens6[e.Prefix.Bits()] = true
+		}
+	}
+	return w
+}
+
+// Lookup implements Table.
+func (w *Walk) Lookup(addr netip.Addr) (Origins, bool) {
+	maxBits := 32
+	lens := w.lens4[:]
+	if !addr.Is4() {
+		maxBits = 128
+		lens = w.lens6[:]
+	}
+	for bits := maxBits; bits >= 0; bits-- {
+		if !lens[bits] {
+			continue
+		}
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if o, ok := w.entries[p]; ok {
+			return o, true
+		}
+	}
+	return nil, false
+}
+
+// Len implements Table.
+func (w *Walk) Len() int { return w.n }
+
+// Scan is the naive baseline: a linear pass tracking the longest match.
+type Scan struct {
+	entries []Entry
+}
+
+// NewScan builds a Scan table.
+func NewScan(entries []Entry) *Scan {
+	return &Scan{entries: append([]Entry(nil), entries...)}
+}
+
+// Lookup implements Table.
+func (s *Scan) Lookup(addr netip.Addr) (Origins, bool) {
+	best := -1
+	var out Origins
+	for _, e := range s.entries {
+		if e.Prefix.Contains(addr) && e.Prefix.Bits() > best {
+			best = e.Prefix.Bits()
+			out = e.Origins
+		}
+	}
+	return out, best >= 0
+}
+
+// Len implements Table.
+func (s *Scan) Len() int { return len(s.entries) }
+
+// Search keeps IPv4 entries sorted by (network address, length) and
+// answers lookups with a binary search followed by a bounded backward scan
+// over candidate covering prefixes. IPv6 entries fall back to an embedded
+// Walk table.
+type Search struct {
+	v4   []searchEntry
+	walk *Walk // IPv6 fallback
+	n    int
+}
+
+type searchEntry struct {
+	start   uint32 // network address
+	bits    int
+	origins Origins
+}
+
+// NewSearch builds a Search table.
+func NewSearch(entries []Entry) *Search {
+	s := &Search{n: len(entries)}
+	var v6 []Entry
+	for _, e := range entries {
+		if e.Prefix.Addr().Is4() {
+			b := e.Prefix.Masked().Addr().As4()
+			s.v4 = append(s.v4, searchEntry{
+				start:   uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]),
+				bits:    e.Prefix.Bits(),
+				origins: e.Origins,
+			})
+		} else {
+			v6 = append(v6, e)
+		}
+	}
+	sort.Slice(s.v4, func(i, j int) bool {
+		if s.v4[i].start != s.v4[j].start {
+			return s.v4[i].start < s.v4[j].start
+		}
+		return s.v4[i].bits < s.v4[j].bits
+	})
+	s.walk = NewWalk(v6)
+	return s
+}
+
+// Lookup implements Table.
+func (s *Search) Lookup(addr netip.Addr) (Origins, bool) {
+	if !addr.Is4() {
+		return s.walk.Lookup(addr)
+	}
+	b := addr.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	// First entry with start > v; candidates are at i-1 and before.
+	i := sort.Search(len(s.v4), func(i int) bool { return s.v4[i].start > v })
+	best := -1
+	var out Origins
+	for j := i - 1; j >= 0; j-- {
+		e := s.v4[j]
+		size := uint64(1) << (32 - e.bits)
+		if uint64(e.start)+size <= uint64(v) {
+			// This entry ends before v. Any earlier entry with the same
+			// or longer length also ends before v, but a shorter (less
+			// specific) earlier prefix may still cover v. We can stop
+			// once even a /0 starting here could not reach v — which
+			// only happens at start 0 — so instead bound the scan by
+			// checking whether a covering prefix is still possible.
+			if e.start == 0 {
+				break
+			}
+			continue
+		}
+		if e.bits > best {
+			best = e.bits
+			out = e.origins
+		}
+		if best == 32 {
+			break
+		}
+	}
+	return out, best >= 0
+}
+
+// Len implements Table.
+func (s *Search) Len() int { return s.n }

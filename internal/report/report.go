@@ -1,0 +1,260 @@
+// Package report renders the reproduction's tables and figures as text
+// (with simple ASCII charts) and as CSV, from the structures produced by
+// internal/experiment. Every artifact of the paper's evaluation section
+// has a renderer here; cmd/dpsreport wires them to flags.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"dpsadopt/internal/analysis"
+	"dpsadopt/internal/experiment"
+	"dpsadopt/internal/simtime"
+)
+
+// Table1 renders the data-set statistics table.
+func Table1(w io.Writer, rows []experiment.SourceStats) {
+	fmt.Fprintf(w, "Table 1: data set\n")
+	fmt.Fprintf(w, "%-8s %-12s %6s %10s %12s %12s\n", "Source", "start", "days", "#SLDs", "#DPs", "size")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-12s %6d %10d %12d %12s\n",
+			r.Source, r.FirstDay, r.Days, r.UniqueSLDs, r.DataPoints, byteSize(r.CompressedBytes))
+	}
+	var slds, dps, size int64
+	for _, r := range rows {
+		slds += int64(r.UniqueSLDs)
+		dps += r.DataPoints
+		size += r.CompressedBytes
+	}
+	fmt.Fprintf(w, "%-8s %-12s %6s %10d %12d %12s\n", "Total", "", "", slds, dps, byteSize(size))
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// Table2 renders discovered vs ground-truth provider references.
+func Table2(w io.Writer, res *experiment.Table2Result) {
+	fmt.Fprintf(w, "Table 2: DPS provider references (discovered by the §3.3 procedure)\n")
+	for i := range res.Discovered {
+		mark := "EXACT"
+		if !res.Exact[i] {
+			mark = "PARTIAL"
+		}
+		fmt.Fprintf(w, "[%s]\n  discovered: %s\n  truth:      %s\n", mark, res.Discovered[i], res.Truth[i])
+	}
+}
+
+// seriesChart renders a down-sampled ASCII chart of one or more series
+// sharing a day axis.
+func seriesChart(w io.Writer, days []simtime.Day, series map[string][]float64, order []string, samples int) {
+	if len(days) == 0 {
+		return
+	}
+	if samples <= 0 || samples > len(days) {
+		samples = len(days)
+	}
+	maxV := 0.0
+	for _, vals := range series {
+		for _, v := range vals {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	step := float64(len(days)-1) / float64(samples-1)
+	if samples == 1 {
+		step = 0
+	}
+	const width = 50
+	fmt.Fprintf(w, "%-12s", "date")
+	for _, name := range order {
+		fmt.Fprintf(w, " %12s", name)
+	}
+	fmt.Fprintln(w, "  (bar: "+order[len(order)-1]+")")
+	for s := 0; s < samples; s++ {
+		i := int(math.Round(float64(s) * step))
+		if i >= len(days) {
+			i = len(days) - 1
+		}
+		fmt.Fprintf(w, "%-12s", days[i])
+		var last float64
+		for _, name := range order {
+			v := series[name][i]
+			last = v
+			fmt.Fprintf(w, " %12.0f", v)
+		}
+		bar := 0
+		if maxV > 0 {
+			bar = int(last / maxV * width)
+		}
+		fmt.Fprintf(w, "  |%s\n", strings.Repeat("#", bar))
+	}
+}
+
+// Figure2 renders the per-TLD daily use series.
+func Figure2(w io.Writer, series []experiment.Series, samples int) {
+	fmt.Fprintln(w, "Figure 2: DPS use and zone breakdown (domains using any of the nine providers)")
+	if len(series) == 0 {
+		return
+	}
+	m := map[string][]float64{}
+	var order []string
+	for _, s := range series {
+		m[s.Name] = s.Vals
+		order = append(order, s.Name)
+	}
+	seriesChart(w, series[0].Days, m, order, samples)
+}
+
+// Figure3 renders the nine provider panels with method breakdowns.
+func Figure3(w io.Writer, panels []experiment.Figure3Panel, samples int) {
+	fmt.Fprintln(w, "Figure 3: DPS use per provider and protection method breakdown")
+	for _, p := range panels {
+		fmt.Fprintf(w, "\n-- %s --\n", p.Provider)
+		seriesChart(w, p.Days, map[string][]float64{
+			"total": p.Total, "AS": p.AS, "CNAME": p.CNAME, "NS": p.NS,
+		}, []string{"total", "AS", "CNAME", "NS"}, samples)
+	}
+}
+
+// Figure4 renders the namespace vs DPS-use distributions.
+func Figure4(w io.Writer, res experiment.Figure4Result) {
+	fmt.Fprintln(w, "Figure 4: DPS use and gTLD distribution over namespace")
+	fmt.Fprintf(w, "%-6s %12s %12s\n", "zone", "namespace", "DPS use")
+	for _, tld := range []string{"com", "net", "org"} {
+		fmt.Fprintf(w, "%-6s %11.2f%% %11.2f%%\n", tld, res.Namespace[tld]*100, res.DPSUse[tld]*100)
+	}
+}
+
+// Growth renders a Fig 5 / Fig 6 trend.
+func Growth(w io.Writer, title string, g analysis.GrowthResult, samples int) {
+	fmt.Fprintln(w, title)
+	if len(g.Days) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	m := map[string][]float64{"expansion%": scale100(g.Expansion), "adoption%": scale100(g.Adoption)}
+	order := []string{"expansion%", "adoption%"}
+	if len(g.Expansion) == 0 {
+		m = map[string][]float64{"adoption%": scale100(g.Adoption)}
+		order = order[1:]
+	}
+	seriesChart(w, g.Days, m, order, samples)
+	if len(g.Expansion) > 0 {
+		fmt.Fprintf(w, "final: adoption %.3fx, expansion %.3fx\n", g.AdoptionGrowth(), g.ExpansionGrowth())
+	} else {
+		fmt.Fprintf(w, "final: adoption %.3fx\n", g.AdoptionGrowth())
+	}
+}
+
+func scale100(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v * 100
+	}
+	return out
+}
+
+// Figure7 renders the per-provider flux panels.
+func Figure7(w io.Writer, panels []experiment.Figure7Panel) {
+	fmt.Fprintln(w, "Figure 7: flux of DPS use per provider (2-week bins, first-seen/last-seen)")
+	for _, p := range panels {
+		fmt.Fprintf(w, "\n-- %s --\n", p.Provider)
+		maxAbs := 1
+		for _, b := range p.Bins {
+			if a := abs(b.Delta()); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for _, b := range p.Bins {
+			if b.In == 0 && b.Out == 0 {
+				continue
+			}
+			bar := b.Delta() * 20 / maxAbs
+			pad := strings.Repeat(" ", 20)
+			var lhs, rhs string
+			if bar >= 0 {
+				lhs, rhs = pad, strings.Repeat("+", bar)
+			} else {
+				lhs = strings.Repeat(" ", 20+bar) + strings.Repeat("-", -bar)
+			}
+			fmt.Fprintf(w, "%-12s in=%-6d out=%-6d delta=%-7d %s|%s\n", b.Start, b.In, b.Out, b.Delta(), lhs, rhs)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Figure8 renders the peak-duration CDFs.
+func Figure8(w io.Writer, panels []experiment.Figure8Panel) {
+	fmt.Fprintln(w, "Figure 8: on-demand peak duration occurrences (domains with >=3 peaks)")
+	for _, p := range panels {
+		fmt.Fprintf(w, "\n-- %s -- (%d on-demand domains, %d peaks, p80 = %dd)\n",
+			p.Provider, p.Stats.Domains, len(p.Stats.Durations), p.P80)
+		days, frac := p.Stats.CDF()
+		for i := range days {
+			if i > 0 && i < len(days)-1 && frac[i] < 0.795 && days[i]%7 != 0 {
+				continue // thin the listing
+			}
+			fmt.Fprintf(w, "  P(duration <= %3dd) = %.2f |%s\n", days[i], frac[i], strings.Repeat("#", int(frac[i]*40)))
+		}
+	}
+}
+
+// Classification renders the §3.4 use-class split per provider.
+func Classification(w io.Writer, rows []experiment.ClassificationRow) {
+	fmt.Fprintln(w, "Use classification per provider (§3.4: always-on vs on-demand)")
+	fmt.Fprintf(w, "%-12s %10s %10s %8s %7s\n", "provider", "always-on", "on-demand", "single", "other")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10d %10d %8d %7d\n", r.Provider, r.AlwaysOn, r.OnDemand, r.Single, r.Other)
+	}
+}
+
+// Anomalies renders the §4.4.1 attribution report.
+func Anomalies(w io.Writer, reports []experiment.AnomalyReport) {
+	fmt.Fprintln(w, "Third-party anomaly attribution (largest day-over-day swing per provider)")
+	for _, r := range reports {
+		att := r.Attribution
+		fmt.Fprintf(w, "%-12s %s: %+d domains (%d joined, %d left)",
+			r.Provider, att.Swing.Day, att.Swing.Delta, att.Joined, att.Left)
+		if len(att.Shared) > 0 {
+			fmt.Fprintf(w, " — %.0f%% share NS SLD %q", att.Shared[0].Fraction*100, att.Shared[0].SLD)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// SeriesCSV writes a day-indexed multi-column CSV.
+func SeriesCSV(w io.Writer, days []simtime.Day, cols map[string][]float64, order []string) error {
+	if _, err := fmt.Fprintf(w, "date,%s\n", strings.Join(order, ",")); err != nil {
+		return err
+	}
+	for i, d := range days {
+		row := make([]string, 0, len(order)+1)
+		row = append(row, d.String())
+		for _, name := range order {
+			row = append(row, fmt.Sprintf("%g", cols[name][i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dpsadopt/internal/analysis"
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/experiment"
+	"dpsadopt/internal/simtime"
+)
+
+func TestTable1Rendering(t *testing.T) {
+	var sb strings.Builder
+	Table1(&sb, []experiment.SourceStats{
+		{Source: "com", FirstDay: 0, Days: 550, UniqueSLDs: 161200, DataPoints: 534500, CompressedBytes: 17 << 30},
+		{Source: "net", FirstDay: 0, Days: 550, UniqueSLDs: 20200, DataPoints: 62400, CompressedBytes: 2 << 30},
+	})
+	out := sb.String()
+	for _, want := range []string{"com", "161200", "17.0GiB", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	var sb strings.Builder
+	row := core.ProviderRefs{Name: "CloudFlare", ASNs: []uint32{13335}, CNAMESLDs: []string{"cloudflare.net"}, NSSLDs: []string{"cloudflare.com"}}
+	Table2(&sb, &experiment.Table2Result{
+		Discovered: []core.ProviderRefs{row},
+		Truth:      []core.ProviderRefs{row},
+		Exact:      []bool{true},
+	})
+	if !strings.Contains(sb.String(), "EXACT") || !strings.Contains(sb.String(), "13335") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func days(n int) []simtime.Day {
+	out := make([]simtime.Day, n)
+	for i := range out {
+		out[i] = simtime.Day(i)
+	}
+	return out
+}
+
+func TestFigure2Rendering(t *testing.T) {
+	var sb strings.Builder
+	d := days(30)
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = float64(100 + i)
+	}
+	Figure2(&sb, []experiment.Series{{Name: "com", Days: d, Vals: vals}}, 5)
+	out := sb.String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "2015-03-01") {
+		t.Errorf("output:\n%s", out)
+	}
+	if strings.Count(out, "\n") > 12 {
+		t.Errorf("sampling not applied:\n%s", out)
+	}
+}
+
+func TestGrowthRendering(t *testing.T) {
+	var sb strings.Builder
+	g := analysis.GrowthResult{
+		Days:      days(10),
+		Adoption:  []float64{1, 1.02, 1.05, 1.08, 1.1, 1.12, 1.15, 1.18, 1.2, 1.24},
+		Expansion: []float64{1, 1.01, 1.02, 1.03, 1.04, 1.05, 1.06, 1.07, 1.08, 1.09},
+	}
+	Growth(&sb, "Figure 5", g, 5)
+	out := sb.String()
+	if !strings.Contains(out, "adoption 1.240x") || !strings.Contains(out, "expansion 1.090x") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFigure7Rendering(t *testing.T) {
+	var sb strings.Builder
+	Figure7(&sb, []experiment.Figure7Panel{{
+		Provider: "Incapsula",
+		Bins: []analysis.FluxBin{
+			{Start: 0, In: 55, Out: 0},
+			{Start: 14, In: 0, Out: 50},
+			{Start: 28},
+		},
+	}})
+	out := sb.String()
+	if !strings.Contains(out, "Incapsula") || !strings.Contains(out, "delta=55") || !strings.Contains(out, "delta=-50") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFigure8Rendering(t *testing.T) {
+	var sb strings.Builder
+	Figure8(&sb, []experiment.Figure8Panel{{
+		Provider: "Neustar",
+		Stats:    analysis.PeakStats{Domains: 3, Durations: []int{1, 2, 2, 3, 4, 7, 14}},
+		P80:      7,
+	}})
+	if !strings.Contains(sb.String(), "p80 = 7d") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestAnomaliesRendering(t *testing.T) {
+	var sb strings.Builder
+	Anomalies(&sb, []experiment.AnomalyReport{{
+		Provider: "Incapsula",
+		Attribution: analysis.Attribution{
+			Swing:  analysis.Swing{Day: 4, Delta: 55},
+			Joined: 55,
+			Shared: []analysis.SLDShare{{SLD: "wixdns.net", Domains: 55, Fraction: 1.0}},
+		},
+	}})
+	out := sb.String()
+	if !strings.Contains(out, "wixdns.net") || !strings.Contains(out, "100%") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	err := SeriesCSV(&sb, days(3), map[string][]float64{"a": {1, 2, 3}, "b": {4, 5, 6}}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "date,a,b\n2015-03-01,1,4\n2015-03-02,2,5\n2015-03-03,3,6\n"
+	if sb.String() != want {
+		t.Errorf("csv:\n%s", sb.String())
+	}
+}
+
+func TestFigure4Rendering(t *testing.T) {
+	var sb strings.Builder
+	Figure4(&sb, experiment.Figure4Result{
+		Namespace: map[string]float64{"com": 0.8247, "net": 0.1033, "org": 0.0721},
+		DPSUse:    map[string]float64{"com": 0.8571, "net": 0.0822, "org": 0.0607},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "82.47%") || !strings.Contains(out, "85.71%") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestClassificationRendering(t *testing.T) {
+	var sb strings.Builder
+	Classification(&sb, []experiment.ClassificationRow{
+		{Provider: "CloudFlare", AlwaysOn: 1800, OnDemand: 49, Single: 120, Other: 30},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "CloudFlare") || !strings.Contains(out, "1800") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestWriteSVGChart(t *testing.T) {
+	var sb strings.Builder
+	d := days(120)
+	a := make([]float64, 120)
+	b := make([]float64, 120)
+	for i := range a {
+		a[i] = 1000 + float64(i)*3
+		b[i] = 100 + float64(i)
+	}
+	err := WriteSVGChart(&sb, "Figure 5 <test>", d, []SVGSeries{
+		{Name: "adoption", Vals: a}, {Name: "expansion", Vals: b},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "polyline", "Figure 5 &lt;test&gt;", "adoption", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("polylines = %d", strings.Count(out, "<polyline"))
+	}
+	// Log scale with a zero value must not emit NaN coordinates.
+	b[0] = 0
+	sb.Reset()
+	if err := WriteSVGChart(&sb, "log", d, []SVGSeries{{Name: "x", Vals: b}}, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("NaN coordinates in log chart")
+	}
+	// Empty input errors.
+	if err := WriteSVGChart(&sb, "empty", nil, nil, false); err == nil {
+		t.Error("empty chart accepted")
+	}
+}

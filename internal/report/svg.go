@@ -1,0 +1,147 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"dpsadopt/internal/simtime"
+)
+
+// A minimal SVG line-chart renderer, so the reproduction can emit actual
+// figure files (results/*.svg) with nothing but the standard library.
+// It draws a titled plot area with y-axis gridlines, month ticks on the
+// x-axis, one polyline per series, and a legend.
+
+// SVGSeries is one line of an SVG chart.
+type SVGSeries struct {
+	Name string
+	Vals []float64
+}
+
+// svgPalette holds distinguishable stroke colors.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const (
+	svgW, svgH                 = 880, 420
+	svgML, svgMR, svgMT, svgMB = 70, 20, 40, 50
+)
+
+// WriteSVGChart renders a day-indexed line chart.
+func WriteSVGChart(w io.Writer, title string, days []simtime.Day, series []SVGSeries, logY bool) error {
+	if len(days) == 0 || len(series) == 0 {
+		return fmt.Errorf("report: empty chart %q", title)
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Vals {
+			if logY && v <= 0 {
+				continue
+			}
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if math.IsInf(minV, 1) {
+		minV, maxV = 0, 1
+	}
+	if !logY {
+		minV = math.Min(minV, 0)
+	}
+	if maxV <= minV {
+		maxV = minV + 1
+	}
+
+	plotW := float64(svgW - svgML - svgMR)
+	plotH := float64(svgH - svgMT - svgMB)
+	x := func(i int) float64 {
+		if len(days) == 1 {
+			return float64(svgML)
+		}
+		return float64(svgML) + plotW*float64(i)/float64(len(days)-1)
+	}
+	y := func(v float64) float64 {
+		var f float64
+		if logY {
+			f = (math.Log10(v) - math.Log10(minV)) / (math.Log10(maxV) - math.Log10(minV))
+		} else {
+			f = (v - minV) / (maxV - minV)
+		}
+		return float64(svgMT) + plotH*(1-f)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, svgW, svgH)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`, svgML, xmlEscape(title))
+
+	// Y gridlines and labels.
+	for i := 0; i <= 5; i++ {
+		var v float64
+		if logY {
+			v = math.Pow(10, math.Log10(minV)+(math.Log10(maxV)-math.Log10(minV))*float64(i)/5)
+		} else {
+			v = minV + (maxV-minV)*float64(i)/5
+		}
+		yy := y(v)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`, svgML, yy, svgW-svgMR, yy)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end" fill="#444">%s</text>`, svgML-6, yy+4, formatTick(v))
+	}
+	// X ticks: first of each quarter.
+	for i, d := range days {
+		t := d.Date()
+		if t.Day() == 1 && (int(t.Month())-1)%3 == 0 {
+			xx := x(i)
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eee"/>`, xx, svgMT, xx, svgH-svgMB)
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle" fill="#444">%s</text>`, xx, svgH-svgMB+18, t.Format("Jan '06"))
+		}
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, svgML, svgH-svgMB, svgW-svgMR, svgH-svgMB)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, svgML, svgMT, svgML, svgH-svgMB)
+
+	// Series.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts strings.Builder
+		for i, v := range s.Vals {
+			if i >= len(days) {
+				break
+			}
+			if logY && v <= 0 {
+				continue
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f ", x(i), y(v))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`, strings.TrimSpace(pts.String()), color)
+		// Legend.
+		lx := svgML + 12 + si*150
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`, lx, svgMT-8, lx+22, svgMT-8, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="#222">%s</text>`, lx+28, svgMT-4, xmlEscape(s.Name))
+	}
+	sb.WriteString(`</svg>`)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

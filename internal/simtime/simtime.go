@@ -1,0 +1,57 @@
+// Package simtime provides the virtual calendar of the simulation: a Day
+// is a number of days since the measurement epoch (2015-03-01, the first
+// day of the paper's data set). Daily snapshots, event schedules, and
+// analysis windows are all expressed in Days.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Epoch is the calendar date of Day 0.
+var Epoch = time.Date(2015, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// Day is a day index relative to Epoch. Negative values are valid (days
+// before the measurement started).
+type Day int
+
+// Date converts a Day to its calendar date (UTC midnight).
+func (d Day) Date() time.Time { return Epoch.AddDate(0, 0, int(d)) }
+
+// String renders ISO 8601, e.g. "2015-03-05".
+func (d Day) String() string { return d.Date().Format("2006-01-02") }
+
+// FromDate converts a calendar date to a Day, truncating to UTC midnight.
+func FromDate(year int, month time.Month, day int) Day {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return Day(t.Sub(Epoch) / (24 * time.Hour))
+}
+
+// Parse converts "2006-01-02" to a Day.
+func Parse(s string) (Day, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("simtime: %w", err)
+	}
+	return FromDate(t.Year(), t.Month(), t.Day()), nil
+}
+
+// Range is a half-open interval of days [Start, End).
+type Range struct {
+	Start, End Day
+}
+
+// Contains reports whether d falls inside the range.
+func (r Range) Contains(d Day) bool { return d >= r.Start && d < r.End }
+
+// Len returns the number of days in the range.
+func (r Range) Len() int {
+	if r.End <= r.Start {
+		return 0
+	}
+	return int(r.End - r.Start)
+}
+
+// String renders "[2015-03-01, 2015-03-05)".
+func (r Range) String() string { return fmt.Sprintf("[%s, %s)", r.Start, r.End) }

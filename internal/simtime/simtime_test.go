@@ -1,0 +1,50 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDayConversions(t *testing.T) {
+	if Day(0).String() != "2015-03-01" {
+		t.Errorf("Day 0 = %s", Day(0))
+	}
+	if Day(4).String() != "2015-03-05" {
+		t.Errorf("Day 4 = %s", Day(4)) // the paper's 1.1M-domain peak
+	}
+	if got := FromDate(2016, time.August, 31); got != 549 {
+		t.Errorf("2016-08-31 = day %d, want 549", got)
+	}
+	if got := FromDate(2016, time.March, 1); got != 366 {
+		t.Errorf("2016-03-01 = day %d, want 366 (2016 is a leap year)", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	d, err := Parse("2015-11-22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != "2015-11-22" {
+		t.Errorf("round trip = %s", d)
+	}
+	if _, err := Parse("not-a-date"); err == nil {
+		t.Error("bad date accepted")
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := Range{Start: 10, End: 20}
+	if !r.Contains(10) || r.Contains(20) || !r.Contains(19) || r.Contains(9) {
+		t.Error("Contains wrong at boundaries")
+	}
+	if r.Len() != 10 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if (Range{Start: 5, End: 5}).Len() != 0 {
+		t.Error("empty range Len != 0")
+	}
+	if (Range{Start: 9, End: 2}).Len() != 0 {
+		t.Error("inverted range Len != 0")
+	}
+}

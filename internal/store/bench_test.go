@@ -1,0 +1,123 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"dpsadopt/internal/simtime"
+)
+
+// Ablation: columnar vs row-interleaved block encoding, measured by
+// compressed size and encode throughput (DESIGN.md §5). The columnar
+// layout groups each field's bytes so flate sees long runs of repeating
+// dictionary IDs; row-major interleaving destroys those runs.
+
+func benchBlock(rows int) (*Store, simtime.Day) {
+	s := New()
+	w := s.NewWriter("com", 1)
+	addr := netip.MustParseAddr("104.16.3.7")
+	for i := 0; i < rows/3; i++ {
+		name := fmt.Sprintf("dom%06d.com", i)
+		w.AddAddr(name, KindApexA, addr, []uint32{13335})
+		w.AddStr(name, KindNS, "kate.ns.cloudflare.com")
+		w.AddStr(name, KindNS, "mike.ns.cloudflare.com")
+	}
+	w.Commit()
+	return s, 1
+}
+
+// rowMajorEncode interleaves the same data row by row.
+func rowMajorEncode(b *dayBlock) []byte {
+	var buf bytes.Buffer
+	var tmp [4]byte
+	for i := range b.domains {
+		binary.LittleEndian.PutUint32(tmp[:], b.domains[i])
+		buf.Write(tmp[:])
+		buf.WriteByte(byte(b.kinds[i]))
+		binary.LittleEndian.PutUint32(tmp[:], b.addrs[i])
+		buf.Write(tmp[:])
+		binary.LittleEndian.PutUint32(tmp[:], b.strs[i])
+		buf.Write(tmp[:])
+		binary.LittleEndian.PutUint32(tmp[:], b.asnOff[i])
+		buf.Write(tmp[:])
+	}
+	return buf.Bytes()
+}
+
+func compress(raw []byte) int64 {
+	var out countWriter
+	fw, _ := flate.NewWriter(&out, flate.BestSpeed)
+	_, _ = fw.Write(raw)
+	_ = fw.Close()
+	return out.n
+}
+
+func blockOf(s *Store, day simtime.Day) *dayBlock {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.blocks["com"][day]
+}
+
+func BenchmarkAblationStoreLayoutColumnar(b *testing.B) {
+	s, day := benchBlock(30_000)
+	blk := blockOf(s, day)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size int64
+	for i := 0; i < b.N; i++ {
+		size = compress(encodeBlock(blk))
+	}
+	b.ReportMetric(float64(size), "compressed-bytes")
+}
+
+func BenchmarkAblationStoreLayoutRowMajor(b *testing.B) {
+	s, day := benchBlock(30_000)
+	blk := blockOf(s, day)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size int64
+	for i := 0; i < b.N; i++ {
+		size = compress(rowMajorEncode(blk))
+	}
+	b.ReportMetric(float64(size), "compressed-bytes")
+}
+
+func TestColumnarCompressesBetter(t *testing.T) {
+	s, day := benchBlock(30_000)
+	blk := blockOf(s, day)
+	col := compress(encodeBlock(blk))
+	row := compress(rowMajorEncode(blk))
+	if col >= row {
+		t.Errorf("columnar %d bytes >= row-major %d bytes", col, row)
+	}
+}
+
+func BenchmarkStoreScan(b *testing.B) {
+	s, day := benchBlock(30_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.ForEachRow("com", day, func(Row) { n++ })
+		if n == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkStoreAppend(b *testing.B) {
+	addr := netip.MustParseAddr("104.16.3.7")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		w := s.NewWriter("com", 1)
+		for j := 0; j < 1000; j++ {
+			w.AddAddr("example.com", KindApexA, addr, []uint32{13335})
+		}
+		w.Commit()
+	}
+}

@@ -1,0 +1,334 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"dpsadopt/internal/simtime"
+)
+
+// On-disk format: a flate-free framed binary archive (the columns are
+// already dictionary-encoded; callers can compress the file externally).
+//
+//	magic "DPSA" | version u32
+//	dict: count u32, then per string: len u16 + bytes
+//	partitions: count u32, then per partition:
+//	  source len u16 + bytes | day i64 | rows u32 | v6 count u32 |
+//	  asnVals count u32 | columns in order (domains, kinds, addrs,
+//	  addrs6, strs, asnOff, asnVals)
+//
+// All integers are little-endian.
+
+const (
+	persistMagic   = "DPSA"
+	persistVersion = 2
+)
+
+// Save writes the store to path atomically (via a temp file + rename).
+func (s *Store) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := s.encode(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a store written by Save.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decode(bufio.NewReaderSize(f, 1<<20))
+}
+
+func (s *Store) encode(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, err := io.WriteString(w, persistMagic); err != nil {
+		return err
+	}
+	if err := writeU32(w, persistVersion); err != nil {
+		return err
+	}
+	// Dictionary.
+	s.dict.mu.RLock()
+	strs := s.dict.strs
+	if err := writeU32(w, uint32(len(strs))); err != nil {
+		s.dict.mu.RUnlock()
+		return err
+	}
+	for _, str := range strs {
+		if err := writeStr(w, str); err != nil {
+			s.dict.mu.RUnlock()
+			return err
+		}
+	}
+	s.dict.mu.RUnlock()
+	// Partitions.
+	nParts := 0
+	for _, days := range s.blocks {
+		nParts += len(days)
+	}
+	if err := writeU32(w, uint32(nParts)); err != nil {
+		return err
+	}
+	for source, days := range s.blocks {
+		for day, b := range days {
+			if err := writeStr(w, source); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, int64(day)); err != nil {
+				return err
+			}
+			if err := writeU32(w, uint32(b.rows())); err != nil {
+				return err
+			}
+			if err := writeU32(w, uint32(len(b.addrs6))); err != nil {
+				return err
+			}
+			if err := writeU32(w, uint32(len(b.asnVals))); err != nil {
+				return err
+			}
+			if err := writeU32s(w, b.domains); err != nil {
+				return err
+			}
+			kinds := make([]byte, len(b.kinds))
+			for i, k := range b.kinds {
+				kinds[i] = byte(k)
+			}
+			if _, err := w.Write(kinds); err != nil {
+				return err
+			}
+			if err := writeU32s(w, b.addrs); err != nil {
+				return err
+			}
+			for _, a := range b.addrs6 {
+				if _, err := w.Write(a[:]); err != nil {
+					return err
+				}
+			}
+			if err := writeU32s(w, b.strs); err != nil {
+				return err
+			}
+			if err := writeU32s(w, b.asnOff); err != nil {
+				return err
+			}
+			if err := writeU32s(w, b.asnVals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// maxPersistCount bounds per-section element counts on load.
+const maxPersistCount = 1 << 30
+
+func decode(r io.Reader) (*Store, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != persistMagic {
+		return nil, fmt.Errorf("store: not a dataset file")
+	}
+	version, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("store: unsupported version %d", version)
+	}
+	s := New()
+	nStrs, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nStrs > maxPersistCount {
+		return nil, fmt.Errorf("store: dictionary too large")
+	}
+	for i := uint32(0); i < nStrs; i++ {
+		str, err := readStr(r)
+		if err != nil {
+			return nil, err
+		}
+		s.dict.ID(str)
+	}
+	nParts, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nParts; i++ {
+		source, err := readStr(r)
+		if err != nil {
+			return nil, err
+		}
+		var day int64
+		if err := binary.Read(r, binary.LittleEndian, &day); err != nil {
+			return nil, err
+		}
+		rows, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		nV6, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		nASN, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if rows > maxPersistCount || nV6 > rows || nASN > maxPersistCount {
+			return nil, fmt.Errorf("store: corrupt partition header")
+		}
+		b := &dayBlock{}
+		if b.domains, err = readU32s(r, rows); err != nil {
+			return nil, err
+		}
+		kinds := make([]byte, rows)
+		if _, err := io.ReadFull(r, kinds); err != nil {
+			return nil, err
+		}
+		b.kinds = make([]Kind, rows)
+		for j, k := range kinds {
+			if Kind(k) >= numKinds {
+				return nil, fmt.Errorf("store: bad kind %d", k)
+			}
+			b.kinds[j] = Kind(k)
+		}
+		if b.addrs, err = readU32s(r, rows); err != nil {
+			return nil, err
+		}
+		b.addrs6 = make([][16]byte, nV6)
+		for j := range b.addrs6 {
+			if _, err := io.ReadFull(r, b.addrs6[j][:]); err != nil {
+				return nil, err
+			}
+		}
+		if b.strs, err = readU32s(r, rows); err != nil {
+			return nil, err
+		}
+		if b.asnOff, err = readU32s(r, rows); err != nil {
+			return nil, err
+		}
+		if b.asnVals, err = readU32s(r, nASN); err != nil {
+			return nil, err
+		}
+		if err := validateBlock(b, s.dict.Len()); err != nil {
+			return nil, err
+		}
+		days := s.blocks[source]
+		if days == nil {
+			days = make(map[simtime.Day]*dayBlock)
+			s.blocks[source] = days
+		}
+		days[simtime.Day(day)] = b
+	}
+	return s, nil
+}
+
+// validateBlock checks cross-column invariants of a loaded partition so a
+// corrupt file cannot cause out-of-range panics later.
+func validateBlock(b *dayBlock, dictLen int) error {
+	for i := range b.domains {
+		if int(b.domains[i]) >= dictLen {
+			return fmt.Errorf("store: domain id out of range")
+		}
+		if b.strs[i] != ^uint32(0) && int(b.strs[i]) >= dictLen {
+			return fmt.Errorf("store: string id out of range")
+		}
+		if isV6Kind(b.kinds[i]) && int(b.addrs[i]) >= len(b.addrs6) {
+			return fmt.Errorf("store: v6 index out of range")
+		}
+		if int(b.asnOff[i]) > len(b.asnVals) {
+			return fmt.Errorf("store: ASN offset out of range")
+		}
+		if i > 0 && b.asnOff[i] < b.asnOff[i-1] {
+			return fmt.Errorf("store: ASN offsets not monotone")
+		}
+	}
+	return nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeU32s(w io.Writer, vals []uint32) error {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readU32s(r io.Reader, n uint32) ([]uint32, error) {
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return out, nil
+}
+
+func writeStr(w io.Writer, s string) error {
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("store: string too long")
+	}
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], uint16(len(s)))
+	if _, err := w.Write(b[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readStr(r io.Reader) (string, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, binary.LittleEndian.Uint16(b[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

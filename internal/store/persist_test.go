@@ -1,0 +1,142 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dpsadopt/internal/simtime"
+)
+
+func populatedStore() *Store {
+	s := New()
+	for day := simtime.Day(0); day < 3; day++ {
+		w := s.NewWriter("com", day)
+		w.AddAddr("foo.com", KindApexA, addr("10.0.0.1"), []uint32{13335})
+		w.AddAddr("foo.com", KindApexAAAA, addr("2001:db8::7"), []uint32{13335})
+		w.AddStr("foo.com", KindNS, "kate.ns.cloudflare.com")
+		w.AddStr("bar.com", KindWWWCNAME, "bar.incapdns.net")
+		w.AddAddr("bar.com", KindWWWA, addr("10.8.0.4"), []uint32{19551, 55002})
+		w.Commit()
+	}
+	w := s.NewWriter("nl", 10)
+	w.AddStr("x.nl", KindNS, "ns1.hostco1.net")
+	w.Commit()
+	return s
+}
+
+func rowsOf(s *Store, source string, day simtime.Day) []Row {
+	var out []Row
+	s.ForEachRow(source, day, func(r Row) {
+		r.ASNs = append([]uint32(nil), r.ASNs...)
+		out = append(out, r)
+	})
+	return out
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := populatedStore()
+	path := filepath.Join(t.TempDir(), "data.dpsa")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Sources(), s.Sources()) {
+		t.Fatalf("sources = %v", got.Sources())
+	}
+	for _, src := range s.Sources() {
+		if !reflect.DeepEqual(got.Days(src), s.Days(src)) {
+			t.Fatalf("%s days = %v", src, got.Days(src))
+		}
+		for _, day := range s.Days(src) {
+			want := rowsOf(s, src, day)
+			have := rowsOf(got, src, day)
+			if !reflect.DeepEqual(want, have) {
+				t.Fatalf("%s day %v rows differ:\nwant %+v\ngot  %+v", src, day, want, have)
+			}
+		}
+	}
+	// Statistics agree too.
+	ws, gs := s.SourceStats("com"), got.SourceStats("com")
+	if ws.DataPoints != gs.DataPoints || ws.UniqueSLDs != gs.UniqueSLDs {
+		t.Errorf("stats differ: %+v vs %+v", ws, gs)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"empty.dpsa": {},
+		"short.dpsa": []byte("DP"),
+		"magic.dpsa": []byte("NOPE\x00\x00\x00\x00"),
+		"ver.dpsa":   []byte("DPSA\xff\x00\x00\x00"),
+	}
+	for name, data := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing.dpsa")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	s := populatedStore()
+	path := filepath.Join(t.TempDir(), "data.dpsa")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(data) / 4, len(data) / 2, len(data) - 3} {
+		trunc := filepath.Join(t.TempDir(), "trunc.dpsa")
+		if err := os.WriteFile(trunc, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(trunc); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadValidatesBlocks(t *testing.T) {
+	// Flip bytes in a saved file; Load must never panic.
+	s := populatedStore()
+	path := filepath.Join(t.TempDir(), "data.dpsa")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < len(data); i += 7 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x55
+		p := filepath.Join(t.TempDir(), "mut.dpsa")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Load(p)
+		if err != nil || st == nil {
+			continue // rejected: fine
+		}
+		// Accepted: scanning must still be safe.
+		for _, src := range st.Sources() {
+			for _, day := range st.Days(src) {
+				st.ForEachRow(src, day, func(Row) {})
+			}
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Package store holds measurement results the way the paper's cluster
+// does (§3.5): partitioned per source (TLD or list) per day, in columnar
+// form with dictionary encoding — name servers and CNAME targets repeat
+// massively across domains, so interning them is what makes a 23 TiB
+// archive (or its scaled-down counterpart) tractable.
+//
+// A row is one stored data point: (domain, record kind, value), where the
+// value is an IPv4 address, an interned string (CNAME target or NS host),
+// and optionally the supplemented origin-AS set (§3.2).
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"dpsadopt/internal/simtime"
+)
+
+// Kind classifies a stored record.
+type Kind uint8
+
+// Record kinds: the query/label combinations the pipeline issues.
+const (
+	KindApexA Kind = iota
+	KindApexAAAA
+	KindWWWA
+	KindWWWAAAA
+	KindWWWCNAME
+	KindNS
+	numKinds
+)
+
+var kindNames = [numKinds]string{"apex/A", "apex/AAAA", "www/A", "www/AAAA", "www/CNAME", "NS"}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// Row is one data point in presentation form.
+type Row struct {
+	Domain string
+	Kind   Kind
+	// Addr is set for address kinds.
+	Addr netip.Addr
+	// Str is the CNAME target or NS host for string kinds.
+	Str string
+	// ASNs is the supplemented origin-AS set for address kinds (empty
+	// when the address was not covered by any announced prefix).
+	ASNs []uint32
+}
+
+// Dict interns strings (domain names, NS hosts, CNAME targets).
+type Dict struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	strs []string
+}
+
+// NewDict creates an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]uint32)}
+}
+
+// ID interns s.
+func (d *Dict) ID(s string) uint32 {
+	d.mu.RLock()
+	id, ok := d.ids[s]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	id = uint32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.ids[s] = id
+	return id
+}
+
+// Str resolves an interned ID.
+func (d *Dict) Str(id uint32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.strs[id]
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.strs)
+}
+
+// dayBlock is the columnar storage of one (source, day) partition.
+type dayBlock struct {
+	domains []uint32 // dict IDs
+	kinds   []Kind
+	// addrs holds IPv4 addresses as big-endian uint32; for IPv6 rows it
+	// is an index into addrs6 (the row's kind disambiguates); 0 for
+	// string kinds.
+	addrs  []uint32
+	addrs6 [][16]byte
+	strs   []uint32 // dict IDs; ^0 for address kinds
+	// asns is a packed adjacency: asnOff[i]..asnOff[i+1] index into
+	// asnVals for row i.
+	asnOff  []uint32
+	asnVals []uint32
+}
+
+func (b *dayBlock) rows() int { return len(b.domains) }
+
+// Store accumulates measurement rows.
+type Store struct {
+	mu     sync.RWMutex
+	dict   *Dict
+	blocks map[string]map[simtime.Day]*dayBlock
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		dict:   NewDict(),
+		blocks: make(map[string]map[simtime.Day]*dayBlock),
+	}
+}
+
+// Dict exposes the store's dictionary (shared with writers).
+func (s *Store) Dict() *Dict { return s.dict }
+
+// Writer batches appends into one (source, day) partition. It is not safe
+// for concurrent use; create one per goroutine and Merge them, or guard
+// externally.
+type Writer struct {
+	store  *Store
+	source string
+	day    simtime.Day
+	block  dayBlock
+}
+
+// NewWriter opens a writer for one partition.
+func (s *Store) NewWriter(source string, day simtime.Day) *Writer {
+	return &Writer{store: s, source: source, day: day}
+}
+
+// AddAddr appends an address row (IPv4 or IPv6).
+func (w *Writer) AddAddr(domain string, kind Kind, addr netip.Addr, asns []uint32) {
+	b := &w.block
+	b.domains = append(b.domains, w.store.dict.ID(domain))
+	b.kinds = append(b.kinds, kind)
+	if addr.Is4() {
+		b.addrs = append(b.addrs, addrU32(addr))
+	} else {
+		b.addrs = append(b.addrs, uint32(len(b.addrs6)))
+		b.addrs6 = append(b.addrs6, addr.As16())
+	}
+	b.strs = append(b.strs, ^uint32(0))
+	b.asnOff = append(b.asnOff, uint32(len(b.asnVals)))
+	b.asnVals = append(b.asnVals, asns...)
+}
+
+// AddStr appends a string row (CNAME target or NS host).
+func (w *Writer) AddStr(domain string, kind Kind, value string) {
+	b := &w.block
+	b.domains = append(b.domains, w.store.dict.ID(domain))
+	b.kinds = append(b.kinds, kind)
+	b.addrs = append(b.addrs, 0)
+	b.strs = append(b.strs, w.store.dict.ID(value))
+	b.asnOff = append(b.asnOff, uint32(len(b.asnVals)))
+}
+
+// Rows returns the number of buffered rows.
+func (w *Writer) Rows() int { return w.block.rows() }
+
+// Commit merges the writer's rows into the store. The writer is reset and
+// may be reused for the same partition.
+func (w *Writer) Commit() {
+	if w.block.rows() == 0 {
+		return
+	}
+	s := w.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	days := s.blocks[w.source]
+	if days == nil {
+		days = make(map[simtime.Day]*dayBlock)
+		s.blocks[w.source] = days
+	}
+	dst := days[w.day]
+	if dst == nil {
+		blk := w.block
+		days[w.day] = &blk
+		w.block = dayBlock{}
+		return
+	}
+	// Append, rebasing ASN and v6 offsets.
+	base := uint32(len(dst.asnVals))
+	base6 := uint32(len(dst.addrs6))
+	dst.domains = append(dst.domains, w.block.domains...)
+	dst.kinds = append(dst.kinds, w.block.kinds...)
+	start := len(dst.addrs)
+	dst.addrs = append(dst.addrs, w.block.addrs...)
+	for i, k := range w.block.kinds {
+		if isV6Kind(k) {
+			dst.addrs[start+i] += base6
+		}
+	}
+	dst.addrs6 = append(dst.addrs6, w.block.addrs6...)
+	dst.strs = append(dst.strs, w.block.strs...)
+	for _, off := range w.block.asnOff {
+		dst.asnOff = append(dst.asnOff, off+base)
+	}
+	dst.asnVals = append(dst.asnVals, w.block.asnVals...)
+	w.block = dayBlock{}
+}
+
+// Sources lists the sources with data, sorted.
+func (s *Store) Sources() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.blocks))
+	for src := range s.blocks {
+		out = append(out, src)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Days lists the measured days for a source, sorted.
+func (s *Store) Days(source string) []simtime.Day {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	days := s.blocks[source]
+	out := make([]simtime.Day, 0, len(days))
+	for d := range days {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachRow streams one partition's rows. The Row passed to fn shares no
+// mutable state with the store except the ASNs slice, which must not be
+// retained.
+func (s *Store) ForEachRow(source string, day simtime.Day, fn func(Row)) {
+	s.mu.RLock()
+	b := s.blocks[source][day]
+	s.mu.RUnlock()
+	if b == nil {
+		return
+	}
+	n := b.rows()
+	for i := 0; i < n; i++ {
+		r := Row{
+			Domain: s.dict.Str(b.domains[i]),
+			Kind:   b.kinds[i],
+		}
+		if b.strs[i] != ^uint32(0) {
+			r.Str = s.dict.Str(b.strs[i])
+		} else {
+			if isV6Kind(b.kinds[i]) {
+				r.Addr = netip.AddrFrom16(b.addrs6[b.addrs[i]])
+			} else {
+				r.Addr = u32Addr(b.addrs[i])
+			}
+			lo := b.asnOff[i]
+			hi := uint32(len(b.asnVals))
+			if i+1 < n {
+				hi = b.asnOff[i+1]
+			}
+			if hi > lo {
+				r.ASNs = b.asnVals[lo:hi]
+			}
+		}
+		fn(r)
+	}
+}
+
+// Stats summarises a source for Table 1.
+type Stats struct {
+	Source     string
+	Days       int
+	UniqueSLDs int
+	DataPoints int64
+	// CompressedBytes is the flate-compressed size of the columnar
+	// encoding (the Parquet-size analogue).
+	CompressedBytes int64
+}
+
+// DropDay discards one partition. The full-horizon experiment runner
+// streams: it measures a day, folds it into the analysis, accounts its
+// statistics, and drops it — the 550-day archive never lives in memory at
+// once (the paper used a Hadoop cluster for the same reason).
+func (s *Store) DropDay(source string, day simtime.Day) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if days := s.blocks[source]; days != nil {
+		delete(days, day)
+		if len(days) == 0 {
+			delete(s.blocks, source)
+		}
+	}
+}
+
+// DayStats returns one partition's row count and compressed size, plus
+// the distinct interned domain IDs seen (for streaming unique-SLD
+// accounting).
+func (s *Store) DayStats(source string, day simtime.Day) (rows int, compressed int64, domainIDs []uint32) {
+	s.mu.RLock()
+	b := s.blocks[source][day]
+	s.mu.RUnlock()
+	if b == nil {
+		return 0, 0, nil
+	}
+	rows = b.rows()
+	compressed = compressedSize(encodeBlock(b))
+	seen := make(map[uint32]bool)
+	for _, id := range b.domains {
+		if !seen[id] {
+			seen[id] = true
+			domainIDs = append(domainIDs, id)
+		}
+	}
+	return rows, compressed, domainIDs
+}
+
+// SourceStats computes Table 1 statistics for one source.
+func (s *Store) SourceStats(source string) Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Source: source}
+	days := s.blocks[source]
+	st.Days = len(days)
+	seen := make(map[uint32]bool)
+	var raw bytes.Buffer
+	for _, b := range days {
+		st.DataPoints += int64(b.rows())
+		for _, id := range b.domains {
+			seen[id] = true
+		}
+		raw.Write(encodeBlock(b))
+	}
+	st.UniqueSLDs = len(seen)
+	st.CompressedBytes = compressedSize(raw.Bytes())
+	return st
+}
+
+// encodeBlock serialises a block column-by-column (so flate sees the
+// columnar redundancy, as Parquet would).
+func encodeBlock(b *dayBlock) []byte {
+	var buf bytes.Buffer
+	var tmp [4]byte
+	writeU32s := func(vals []uint32) {
+		for _, v := range vals {
+			binary.LittleEndian.PutUint32(tmp[:], v)
+			buf.Write(tmp[:])
+		}
+	}
+	writeU32s(b.domains)
+	for _, k := range b.kinds {
+		buf.WriteByte(byte(k))
+	}
+	writeU32s(b.addrs)
+	for _, a := range b.addrs6 {
+		buf.Write(a[:])
+	}
+	writeU32s(b.strs)
+	writeU32s(b.asnOff)
+	writeU32s(b.asnVals)
+	return buf.Bytes()
+}
+
+func compressedSize(raw []byte) int64 {
+	var out countWriter
+	fw, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return 0
+	}
+	_, _ = fw.Write(raw)
+	_ = fw.Close()
+	return out.n
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// isV6Kind reports whether the row kind carries an IPv6 address.
+func isV6Kind(k Kind) bool { return k == KindApexAAAA || k == KindWWWAAAA }
+
+func addrU32(a netip.Addr) uint32 {
+	if !a.Is4() {
+		return 0
+	}
+	b := a.As4()
+	return binary.BigEndian.Uint32(b[:])
+}
+
+func u32Addr(v uint32) netip.Addr {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return netip.AddrFrom4(b)
+}

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"dpsadopt/internal/simtime"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.ID("example.com")
+	b := d.ID("other.com")
+	if a == b {
+		t.Fatal("distinct strings share ID")
+	}
+	if d.ID("example.com") != a {
+		t.Fatal("re-intern changed ID")
+	}
+	if d.Str(a) != "example.com" || d.Str(b) != "other.com" {
+		t.Fatal("Str mismatch")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestWriteAndRead(t *testing.T) {
+	s := New()
+	w := s.NewWriter("com", 5)
+	w.AddAddr("foo.com", KindApexA, addr("10.0.0.1"), []uint32{13335})
+	w.AddStr("foo.com", KindNS, "kate.ns.cloudflare.com")
+	w.AddStr("foo.com", KindWWWCNAME, "foo.cloudflare.net")
+	w.AddAddr("bar.com", KindApexA, addr("10.9.9.9"), nil)
+	w.Commit()
+
+	var rows []Row
+	s.ForEachRow("com", 5, func(r Row) {
+		r.ASNs = append([]uint32(nil), r.ASNs...)
+		rows = append(rows, r)
+	})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Domain != "foo.com" || rows[0].Addr != addr("10.0.0.1") || !reflect.DeepEqual(rows[0].ASNs, []uint32{13335}) {
+		t.Errorf("row0 = %+v", rows[0])
+	}
+	if rows[1].Str != "kate.ns.cloudflare.com" || rows[1].Kind != KindNS {
+		t.Errorf("row1 = %+v", rows[1])
+	}
+	if rows[2].Kind != KindWWWCNAME || rows[2].Str != "foo.cloudflare.net" {
+		t.Errorf("row2 = %+v", rows[2])
+	}
+	if rows[3].Domain != "bar.com" || len(rows[3].ASNs) != 0 {
+		t.Errorf("row3 = %+v", rows[3])
+	}
+}
+
+func TestCommitMergesPartitions(t *testing.T) {
+	s := New()
+	w1 := s.NewWriter("com", 1)
+	w1.AddAddr("a.com", KindApexA, addr("1.1.1.1"), []uint32{1})
+	w1.Commit()
+	w2 := s.NewWriter("com", 1)
+	w2.AddAddr("b.com", KindApexA, addr("2.2.2.2"), []uint32{2, 3})
+	w2.Commit()
+
+	var got [][]uint32
+	s.ForEachRow("com", 1, func(r Row) {
+		got = append(got, append([]uint32(nil), r.ASNs...))
+	})
+	want := [][]uint32{{1}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ASNs after merge = %v, want %v", got, want)
+	}
+}
+
+func TestWriterReusableAfterCommit(t *testing.T) {
+	s := New()
+	w := s.NewWriter("org", 9)
+	w.AddStr("x.org", KindNS, "ns1.t.example")
+	w.Commit()
+	if w.Rows() != 0 {
+		t.Error("writer not reset")
+	}
+	w.AddStr("y.org", KindNS, "ns2.t.example")
+	w.Commit()
+	n := 0
+	s.ForEachRow("org", 9, func(Row) { n++ })
+	if n != 2 {
+		t.Errorf("rows = %d", n)
+	}
+}
+
+func TestSourcesAndDays(t *testing.T) {
+	s := New()
+	for _, src := range []string{"net", "com", "alexa"} {
+		for _, d := range []simtime.Day{3, 1, 2} {
+			w := s.NewWriter(src, d)
+			w.AddStr("x."+src, KindNS, "ns.example")
+			w.Commit()
+		}
+	}
+	if got := s.Sources(); !reflect.DeepEqual(got, []string{"alexa", "com", "net"}) {
+		t.Errorf("Sources = %v", got)
+	}
+	if got := s.Days("com"); !reflect.DeepEqual(got, []simtime.Day{1, 2, 3}) {
+		t.Errorf("Days = %v", got)
+	}
+	if got := s.Days("missing"); len(got) != 0 {
+		t.Errorf("Days(missing) = %v", got)
+	}
+}
+
+func TestSourceStats(t *testing.T) {
+	s := New()
+	for day := simtime.Day(0); day < 10; day++ {
+		w := s.NewWriter("com", day)
+		for i := 0; i < 100; i++ {
+			name := "dom" + string(rune('a'+i%26)) + ".com"
+			w.AddAddr(name, KindApexA, addr("10.0.0.1"), []uint32{13335})
+			w.AddStr(name, KindNS, "ns1.hostco.net")
+		}
+		w.Commit()
+	}
+	st := s.SourceStats("com")
+	if st.Days != 10 {
+		t.Errorf("Days = %d", st.Days)
+	}
+	if st.DataPoints != 2000 {
+		t.Errorf("DataPoints = %d", st.DataPoints)
+	}
+	if st.UniqueSLDs != 26 {
+		t.Errorf("UniqueSLDs = %d", st.UniqueSLDs)
+	}
+	if st.CompressedBytes <= 0 {
+		t.Error("no compressed size")
+	}
+	// Columnar + flate should crush this highly repetitive data well
+	// below the raw encoding (~13 bytes/row plus ASN column).
+	if st.CompressedBytes > st.DataPoints*8 {
+		t.Errorf("compression ineffective: %d bytes for %d rows", st.CompressedBytes, st.DataPoints)
+	}
+}
+
+func TestEmptyPartitionIsSilent(t *testing.T) {
+	s := New()
+	called := false
+	s.ForEachRow("com", 1, func(Row) { called = true })
+	if called {
+		t.Error("callback on empty partition")
+	}
+	w := s.NewWriter("com", 1)
+	w.Commit() // empty commit is a no-op
+	if len(s.Days("com")) != 0 {
+		t.Error("empty commit created a partition")
+	}
+}
+
+func TestIPv6Rows(t *testing.T) {
+	s := New()
+	w := s.NewWriter("com", 2)
+	v6 := addr("2001:db8::1")
+	w.AddAddr("six.com", KindApexAAAA, v6, []uint32{13335})
+	w.AddAddr("four.com", KindApexA, addr("10.0.0.1"), []uint32{100})
+	w.AddAddr("six.com", KindWWWAAAA, addr("2001:db8::2"), nil)
+	w.Commit()
+	// A second writer commit exercises v6 index rebasing.
+	w2 := s.NewWriter("com", 2)
+	w2.AddAddr("more.com", KindApexAAAA, addr("2001:db8::3"), nil)
+	w2.Commit()
+
+	var got []Row
+	s.ForEachRow("com", 2, func(r Row) { got = append(got, r) })
+	if len(got) != 4 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0].Addr != v6 {
+		t.Errorf("row0 addr = %v", got[0].Addr)
+	}
+	if got[1].Addr != addr("10.0.0.1") {
+		t.Errorf("row1 addr = %v", got[1].Addr)
+	}
+	if got[2].Addr != addr("2001:db8::2") || got[3].Addr != addr("2001:db8::3") {
+		t.Errorf("v6 rows = %v, %v", got[2].Addr, got[3].Addr)
+	}
+}

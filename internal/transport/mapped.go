@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// MappedUDP carries the simulation's address space over real UDP sockets
+// on the loopback interface: every simulated listener or client binds a
+// kernel socket at 127.0.0.1:0, and a shared translation table rewrites
+// destinations on send and sources on receive. DNS messages still carry
+// simulated addresses (glue records, A answers); only the datagrams'
+// outer addressing is translated — a NAT for the simulated Internet.
+//
+// This lets the live examples and cmd/dnsserve exercise the exact same
+// server and resolver code over the kernel network stack.
+type MappedUDP struct {
+	mu sync.Mutex
+	// simToReal maps a simulated address to the real bound socket addr.
+	simToReal map[netip.AddrPort]netip.AddrPort
+	// realToSim is the reverse mapping for source translation.
+	realToSim map[netip.AddrPort]netip.AddrPort
+	// simToRealTCP is the separate translation table for stream
+	// listeners (stream.go).
+	simToRealTCP map[netip.AddrPort]netip.AddrPort
+}
+
+// NewMappedUDP creates an empty translation domain.
+func NewMappedUDP() *MappedUDP {
+	return &MappedUDP{
+		simToReal:    make(map[netip.AddrPort]netip.AddrPort),
+		realToSim:    make(map[netip.AddrPort]netip.AddrPort),
+		simToRealTCP: make(map[netip.AddrPort]netip.AddrPort),
+	}
+}
+
+// Listen implements Network: binds a real loopback socket for the
+// simulated address.
+func (m *MappedUDP) Listen(addr netip.AddrPort) (Conn, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.simToReal[addr]; ok {
+		return nil, fmt.Errorf("%w: %v", ErrAddrInUse, addr)
+	}
+	inner, err := UDP{}.Listen(netip.MustParseAddrPort("127.0.0.1:0"))
+	if err != nil {
+		return nil, err
+	}
+	real := inner.LocalAddr()
+	m.simToReal[addr] = real
+	m.realToSim[real] = addr
+	return &mappedConn{net: m, inner: inner, sim: addr}, nil
+}
+
+// Dial implements Network: binds an ephemeral socket and registers it
+// under a synthetic simulated port on the given local IP.
+func (m *MappedUDP) Dial(local netip.Addr) (Conn, error) {
+	inner, err := UDP{}.Listen(netip.MustParseAddrPort("127.0.0.1:0"))
+	if err != nil {
+		return nil, err
+	}
+	real := inner.LocalAddr()
+	// Reuse the kernel-chosen port number for the simulated endpoint: it
+	// is unique per real socket, so (local IP, port) is unique enough
+	// for a single translation domain.
+	sim := netip.AddrPortFrom(local, real.Port())
+	m.mu.Lock()
+	if _, dup := m.simToReal[sim]; dup {
+		m.mu.Unlock()
+		inner.Close()
+		return nil, fmt.Errorf("%w: %v", ErrAddrInUse, sim)
+	}
+	m.simToReal[sim] = real
+	m.realToSim[real] = sim
+	m.mu.Unlock()
+	return &mappedConn{net: m, inner: inner, sim: sim}, nil
+}
+
+func (m *MappedUDP) lookupReal(sim netip.AddrPort) (netip.AddrPort, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.simToReal[sim]
+	return r, ok
+}
+
+func (m *MappedUDP) lookupSim(real netip.AddrPort) (netip.AddrPort, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.realToSim[real]
+	return s, ok
+}
+
+func (m *MappedUDP) drop(sim, real netip.AddrPort) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.simToReal, sim)
+	delete(m.realToSim, real)
+}
+
+type mappedConn struct {
+	net   *MappedUDP
+	inner Conn
+	sim   netip.AddrPort
+}
+
+func (c *mappedConn) LocalAddr() netip.AddrPort { return c.sim }
+
+func (c *mappedConn) WriteTo(p []byte, to netip.AddrPort) error {
+	real, ok := c.net.lookupReal(to)
+	if !ok {
+		// Mirror UDP-to-nowhere: silently dropped.
+		return nil
+	}
+	return c.inner.WriteTo(p, real)
+}
+
+func (c *mappedConn) ReadFrom(buf []byte, timeout time.Duration) (int, netip.AddrPort, error) {
+	for {
+		n, from, err := c.inner.ReadFrom(buf, timeout)
+		if err != nil {
+			return 0, netip.AddrPort{}, err
+		}
+		sim, ok := c.net.lookupSim(from)
+		if !ok {
+			continue // datagram from outside the translation domain
+		}
+		return n, sim, nil
+	}
+}
+
+func (c *mappedConn) Close() error {
+	c.net.drop(c.sim, c.inner.LocalAddr())
+	return c.inner.Close()
+}

@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Stream support: DNS falls back to TCP when a UDP response is truncated
+// (RFC 1035 §4.2.2). StreamNetwork is implemented by all three transports:
+// Mem uses in-process pipes, UDP uses kernel TCP sockets, and MappedUDP
+// reuses its NAT table for TCP connections on the loopback.
+
+// StreamListener accepts incoming stream connections at a fixed address.
+type StreamListener interface {
+	// Accept blocks for the next connection.
+	Accept() (net.Conn, error)
+	// Addr returns the (simulated) bound address.
+	Addr() netip.AddrPort
+	// Close stops the listener; blocked Accepts return ErrClosed.
+	Close() error
+}
+
+// StreamNetwork creates stream endpoints alongside datagram ones.
+type StreamNetwork interface {
+	// ListenStream binds a listener at addr (a name server's TCP :53).
+	ListenStream(addr netip.AddrPort) (StreamListener, error)
+	// DialStream connects to a listener.
+	DialStream(local netip.Addr, remote netip.AddrPort) (net.Conn, error)
+}
+
+// ---- Mem streams ----
+
+// memStreams is lazily attached to a Mem network.
+type memStreams struct {
+	mu        sync.Mutex
+	listeners map[netip.AddrPort]*memListener
+}
+
+func (n *Mem) streams() *memStreams {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.streamTab == nil {
+		n.streamTab = &memStreams{listeners: make(map[netip.AddrPort]*memListener)}
+	}
+	return n.streamTab
+}
+
+// ListenStream implements StreamNetwork.
+func (n *Mem) ListenStream(addr netip.AddrPort) (StreamListener, error) {
+	st := n.streams()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: stream %v", ErrAddrInUse, addr)
+	}
+	l := &memListener{
+		addr:   addr,
+		popst:  st,
+		accept: make(chan net.Conn, 16),
+		done:   make(chan struct{}),
+	}
+	st.listeners[addr] = l
+	return l, nil
+}
+
+// DialStream implements StreamNetwork.
+func (n *Mem) DialStream(_ netip.Addr, remote netip.AddrPort) (net.Conn, error) {
+	st := n.streams()
+	st.mu.Lock()
+	l, ok := st.listeners[remote]
+	st.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: stream %v", ErrNoRoute, remote)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, ErrClosed
+	}
+}
+
+type memListener struct {
+	addr   netip.AddrPort
+	popst  *memStreams
+	accept chan net.Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Addr() netip.AddrPort { return l.addr }
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.popst.mu.Lock()
+		delete(l.popst.listeners, l.addr)
+		l.popst.mu.Unlock()
+	})
+	return nil
+}
+
+// ---- real TCP streams (UDP network) ----
+
+// ListenStream implements StreamNetwork over kernel TCP.
+func (UDP) ListenStream(addr netip.AddrPort) (StreamListener, error) {
+	tl, err := net.ListenTCP("tcp", net.TCPAddrFromAddrPort(addr))
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: tl, addr: tl.Addr().(*net.TCPAddr).AddrPort()}, nil
+}
+
+// DialStream implements StreamNetwork over kernel TCP.
+func (UDP) DialStream(_ netip.Addr, remote netip.AddrPort) (net.Conn, error) {
+	return net.DialTimeout("tcp", remote.String(), 2*time.Second)
+}
+
+type tcpListener struct {
+	l    *net.TCPListener
+	addr netip.AddrPort
+}
+
+func (t *tcpListener) Accept() (net.Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && !ne.Timeout() {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+func (t *tcpListener) Addr() netip.AddrPort { return t.addr }
+func (t *tcpListener) Close() error         { return t.l.Close() }
+
+// ---- MappedUDP streams: NAT-translated TCP on the loopback ----
+
+// ListenStream implements StreamNetwork: a kernel TCP listener on
+// loopback registered in the translation table under the simulated
+// address's TCP slot.
+func (m *MappedUDP) ListenStream(addr netip.AddrPort) (StreamListener, error) {
+	tl, err := UDP{}.ListenStream(netip.MustParseAddrPort("127.0.0.1:0"))
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if _, dup := m.simToRealTCP[addr]; dup {
+		m.mu.Unlock()
+		tl.Close()
+		return nil, fmt.Errorf("%w: stream %v", ErrAddrInUse, addr)
+	}
+	m.simToRealTCP[addr] = tl.Addr()
+	m.mu.Unlock()
+	return &mappedListener{m: m, sim: addr, inner: tl}, nil
+}
+
+// DialStream implements StreamNetwork.
+func (m *MappedUDP) DialStream(local netip.Addr, remote netip.AddrPort) (net.Conn, error) {
+	m.mu.Lock()
+	real, ok := m.simToRealTCP[remote]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: stream %v", ErrNoRoute, remote)
+	}
+	return UDP{}.DialStream(local, real)
+}
+
+type mappedListener struct {
+	m     *MappedUDP
+	sim   netip.AddrPort
+	inner StreamListener
+}
+
+func (l *mappedListener) Accept() (net.Conn, error) { return l.inner.Accept() }
+func (l *mappedListener) Addr() netip.AddrPort      { return l.sim }
+func (l *mappedListener) Close() error {
+	l.m.mu.Lock()
+	delete(l.m.simToRealTCP, l.sim)
+	l.m.mu.Unlock()
+	return l.inner.Close()
+}

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestMemStreamRoundTrip(t *testing.T) {
+	n := NewMem(51)
+	l, err := n.ListenStream(ap("10.0.0.1:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Addr() != ap("10.0.0.1:53") {
+		t.Errorf("Addr = %v", l.Addr())
+	}
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 8)
+		nr, err := conn.Read(buf)
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = conn.Write(buf[:nr])
+		done <- err
+	}()
+	c, err := n.DialStream(netip.MustParseAddr("10.9.0.1"), ap("10.0.0.1:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	nr, err := c.Read(buf)
+	if err != nil || string(buf[:nr]) != "ping" {
+		t.Fatalf("echo = %q, %v", buf[:nr], err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStreamCloseUnblocksAccept(t *testing.T) {
+	n := NewMem(52)
+	l, err := n.ListenStream(ap("10.0.0.2:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept not unblocked")
+	}
+	// Dialing a closed listener fails.
+	if _, err := n.DialStream(netip.MustParseAddr("10.9.0.1"), ap("10.0.0.2:53")); err == nil {
+		t.Error("dial to closed listener accepted")
+	}
+}
+
+func TestMemStreamAddrInUse(t *testing.T) {
+	n := NewMem(53)
+	a := ap("10.0.0.3:53")
+	l1, err := n.ListenStream(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ListenStream(a); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("dup err = %v", err)
+	}
+	// UDP and TCP address spaces are independent.
+	u, err := n.Listen(a)
+	if err != nil {
+		t.Errorf("UDP listen alongside TCP: %v", err)
+	} else {
+		u.Close()
+	}
+	l1.Close()
+}
+
+func TestTCPStreamRealSockets(t *testing.T) {
+	l, err := UDP{}.ListenStream(ap("127.0.0.1:0"))
+	if err != nil {
+		t.Skipf("cannot bind TCP: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4)
+		if nr, err := conn.Read(buf); err == nil {
+			_, _ = conn.Write(buf[:nr])
+		}
+	}()
+	c, err := UDP{}.DialStream(netip.Addr{}, l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if nr, err := c.Read(buf); err != nil || string(buf[:nr]) != "hi" {
+		t.Fatalf("echo = %q, %v", buf[:nr], err)
+	}
+}
+
+func TestMappedStreamNAT(t *testing.T) {
+	m := NewMappedUDP()
+	sim := ap("10.0.0.4:53")
+	l, err := m.ListenStream(sim)
+	if err != nil {
+		t.Skipf("cannot bind: %v", err)
+	}
+	defer l.Close()
+	if l.Addr() != sim {
+		t.Errorf("Addr = %v, want simulated %v", l.Addr(), sim)
+	}
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("ok"))
+		conn.Close()
+	}()
+	c, err := m.DialStream(netip.MustParseAddr("10.9.0.2"), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 4)
+	nr, err := c.Read(buf)
+	if err != nil || string(buf[:nr]) != "ok" {
+		t.Fatalf("read = %q, %v", buf[:nr], err)
+	}
+	// Unknown destination refused.
+	if _, err := m.DialStream(netip.MustParseAddr("10.9.0.2"), ap("10.0.9.9:53")); err == nil {
+		t.Error("dial to unmapped stream accepted")
+	}
+}

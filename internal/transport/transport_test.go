@@ -1,0 +1,363 @@
+package transport
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ap(s string) netip.AddrPort { return netip.MustParseAddrPort(s) }
+
+func TestMemRoundTrip(t *testing.T) {
+	n := NewMem(1)
+	srv, err := n.Listen(ap("10.0.0.1:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := n.Dial(netip.MustParseAddr("10.9.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := cli.WriteTo([]byte("ping"), srv.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	nr, from, err := srv.ReadFrom(buf, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:nr]) != "ping" || from != cli.LocalAddr() {
+		t.Errorf("got %q from %v", buf[:nr], from)
+	}
+	if err := srv.WriteTo([]byte("pong"), from); err != nil {
+		t.Fatal(err)
+	}
+	nr, from, err = cli.ReadFrom(buf, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:nr]) != "pong" || from != srv.LocalAddr() {
+		t.Errorf("got %q from %v", buf[:nr], from)
+	}
+	if sent, dropped := n.Stats(); sent != 2 || dropped != 0 {
+		t.Errorf("stats = %d sent, %d dropped", sent, dropped)
+	}
+}
+
+func TestMemTimeout(t *testing.T) {
+	n := NewMem(1)
+	c, err := n.Dial(netip.MustParseAddr("10.9.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, _, err = c.ReadFrom(make([]byte, 16), 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("returned before timeout")
+	}
+}
+
+func TestMemWriteToNowhere(t *testing.T) {
+	n := NewMem(1)
+	c, _ := n.Dial(netip.MustParseAddr("10.9.0.1"))
+	defer c.Close()
+	if err := c.WriteTo([]byte("x"), ap("10.0.0.99:53")); err != nil {
+		t.Errorf("write to absent listener should vanish silently, got %v", err)
+	}
+}
+
+func TestMemAddrInUse(t *testing.T) {
+	n := NewMem(1)
+	a := ap("10.0.0.1:53")
+	c1, err := n.Listen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen(a); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("second listen err = %v", err)
+	}
+	c1.Close()
+	c2, err := n.Listen(a)
+	if err != nil {
+		t.Errorf("listen after close: %v", err)
+	}
+	c2.Close()
+}
+
+func TestMemCloseUnblocksReader(t *testing.T) {
+	n := NewMem(1)
+	c, _ := n.Dial(netip.MustParseAddr("10.9.0.1"))
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := c.ReadFrom(make([]byte, 16), 0)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader not unblocked by Close")
+	}
+}
+
+func TestMemLossIsApplied(t *testing.T) {
+	n := NewMem(42)
+	n.SetLoss(0.5)
+	srv, _ := n.Listen(ap("10.0.0.1:53"))
+	defer srv.Close()
+	cli, _ := n.Dial(netip.MustParseAddr("10.9.0.1"))
+	defer cli.Close()
+	const total = 400
+	for i := 0; i < total; i++ {
+		if err := cli.WriteTo([]byte{byte(i)}, srv.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sent, dropped := n.Stats()
+	if sent+dropped != total {
+		t.Fatalf("sent+dropped = %d", sent+dropped)
+	}
+	if dropped < total/4 || dropped > 3*total/4 {
+		t.Errorf("dropped = %d of %d, expected near half", dropped, total)
+	}
+}
+
+func TestMemLossDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		n := NewMem(7)
+		n.SetLoss(0.3)
+		srv, _ := n.Listen(ap("10.0.0.1:53"))
+		defer srv.Close()
+		cli, _ := n.Dial(netip.MustParseAddr("10.9.0.1"))
+		defer cli.Close()
+		for i := 0; i < 100; i++ {
+			_ = cli.WriteTo([]byte{1}, srv.LocalAddr())
+		}
+		return n.Stats()
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1 != s2 || d1 != d2 {
+		t.Errorf("runs differ: (%d,%d) vs (%d,%d)", s1, d1, s2, d2)
+	}
+}
+
+func TestMemDelay(t *testing.T) {
+	n := NewMem(1)
+	n.SetDelay(30 * time.Millisecond)
+	srv, _ := n.Listen(ap("10.0.0.1:53"))
+	defer srv.Close()
+	cli, _ := n.Dial(netip.MustParseAddr("10.9.0.1"))
+	defer cli.Close()
+	start := time.Now()
+	_ = cli.WriteTo([]byte("x"), srv.LocalAddr())
+	_, _, err := srv.ReadFrom(make([]byte, 16), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Errorf("delivered after %v, want >= ~30ms", el)
+	}
+}
+
+func TestMemMTU(t *testing.T) {
+	n := NewMem(1)
+	cli, _ := n.Dial(netip.MustParseAddr("10.9.0.1"))
+	defer cli.Close()
+	if err := cli.WriteTo(make([]byte, MTU+1), ap("10.0.0.1:53")); !errors.Is(err, ErrPayloadSize) {
+		t.Errorf("oversize write err = %v", err)
+	}
+}
+
+func TestMemEphemeralPortsUnique(t *testing.T) {
+	n := NewMem(1)
+	local := netip.MustParseAddr("10.9.0.1")
+	seen := make(map[netip.AddrPort]bool)
+	for i := 0; i < 100; i++ {
+		c, err := n.Dial(local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if seen[c.LocalAddr()] {
+			t.Fatalf("duplicate ephemeral %v", c.LocalAddr())
+		}
+		seen[c.LocalAddr()] = true
+	}
+}
+
+func TestMemConcurrent(t *testing.T) {
+	n := NewMem(1)
+	srv, _ := n.Listen(ap("10.0.0.1:53"))
+	defer srv.Close()
+	// Echo server.
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			nr, from, err := srv.ReadFrom(buf, 0)
+			if err != nil {
+				return
+			}
+			_ = srv.WriteTo(buf[:nr], from)
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := n.Dial(netip.MustParseAddr("10.9.0.2"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			buf := make([]byte, 64)
+			for j := 0; j < 50; j++ {
+				msg := []byte{byte(i), byte(j)}
+				if err := cli.WriteTo(msg, srv.LocalAddr()); err != nil {
+					t.Error(err)
+					return
+				}
+				nr, _, err := cli.ReadFrom(buf, time.Second)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if nr != 2 || buf[0] != byte(i) || buf[1] != byte(j) {
+					t.Errorf("echo mismatch: %v", buf[:nr])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	var n UDP
+	srv, err := n.Listen(ap("127.0.0.1:0"))
+	if err != nil {
+		t.Skipf("cannot bind UDP: %v", err)
+	}
+	defer srv.Close()
+	cli, err := n.Dial(netip.MustParseAddr("127.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.WriteTo([]byte("ping"), srv.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	nr, from, err := srv.ReadFrom(buf, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:nr]) != "ping" {
+		t.Errorf("got %q", buf[:nr])
+	}
+	if err := srv.WriteTo([]byte("pong"), from); err != nil {
+		t.Fatal(err)
+	}
+	if nr, _, err = cli.ReadFrom(buf, time.Second); err != nil || string(buf[:nr]) != "pong" {
+		t.Errorf("reply: %q, %v", buf[:nr], err)
+	}
+}
+
+func TestUDPTimeout(t *testing.T) {
+	var n UDP
+	cli, err := n.Dial(netip.MustParseAddr("127.0.0.1"))
+	if err != nil {
+		t.Skipf("cannot bind UDP: %v", err)
+	}
+	defer cli.Close()
+	if _, _, err := cli.ReadFrom(make([]byte, 16), 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want timeout", err)
+	}
+}
+
+func TestMappedUDPRoundTrip(t *testing.T) {
+	m := NewMappedUDP()
+	simAddr := ap("10.0.0.1:53")
+	srv, err := m.Listen(simAddr)
+	if err != nil {
+		t.Skipf("cannot bind UDP: %v", err)
+	}
+	defer srv.Close()
+	if srv.LocalAddr() != simAddr {
+		t.Errorf("LocalAddr = %v", srv.LocalAddr())
+	}
+	cli, err := m.Dial(netip.MustParseAddr("10.9.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.WriteTo([]byte("ping"), simAddr); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, from, err := srv.ReadFrom(buf, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "ping" {
+		t.Errorf("payload = %q", buf[:n])
+	}
+	if from != cli.LocalAddr() {
+		t.Errorf("translated source = %v, want %v", from, cli.LocalAddr())
+	}
+	if err := srv.WriteTo([]byte("pong"), from); err != nil {
+		t.Fatal(err)
+	}
+	if n, from, err = cli.ReadFrom(buf, time.Second); err != nil || string(buf[:n]) != "pong" || from != simAddr {
+		t.Errorf("reply = %q from %v, %v", buf[:n], from, err)
+	}
+}
+
+func TestMappedUDPToNowhere(t *testing.T) {
+	m := NewMappedUDP()
+	cli, err := m.Dial(netip.MustParseAddr("10.9.0.1"))
+	if err != nil {
+		t.Skipf("cannot bind UDP: %v", err)
+	}
+	defer cli.Close()
+	if err := cli.WriteTo([]byte("x"), ap("10.0.0.250:53")); err != nil {
+		t.Errorf("unmapped destination should drop silently: %v", err)
+	}
+	if _, _, err := cli.ReadFrom(make([]byte, 8), 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMappedUDPReleaseOnClose(t *testing.T) {
+	m := NewMappedUDP()
+	simAddr := ap("10.0.0.2:53")
+	c1, err := m.Listen(simAddr)
+	if err != nil {
+		t.Skipf("cannot bind UDP: %v", err)
+	}
+	if _, err := m.Listen(simAddr); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("duplicate listen err = %v", err)
+	}
+	c1.Close()
+	c2, err := m.Listen(simAddr)
+	if err != nil {
+		t.Errorf("listen after close: %v", err)
+	} else {
+		c2.Close()
+	}
+}

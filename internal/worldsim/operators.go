@@ -1,0 +1,249 @@
+package worldsim
+
+import (
+	"time"
+
+	"dpsadopt/internal/simtime"
+)
+
+// OperatorKind classifies third parties that control DNS for many domains
+// at once — the "big players" of §4.4.1.
+type OperatorKind int
+
+// Operator kinds.
+const (
+	KindHoster OperatorKind = iota
+	KindRegistrar
+	KindParker
+	KindDomainer
+	KindSaaS
+)
+
+// CohortEpisode is a scheduled diversion period applied to a whole cohort
+// of an operator's domains.
+type CohortEpisode struct {
+	// Cohort selects which fraction of the operator's domains flip:
+	// domains with index-in-operator < CohortSize are affected.
+	CohortSize int // paper-scale count
+	Window     simtime.Range
+	Provider   int     // provider index
+	Profile    Profile // how the diversion manifests
+}
+
+// OperatorSpec describes one third party.
+type OperatorSpec struct {
+	Name string
+	Kind OperatorKind
+	AS   ASSpec
+	// NSSLD is the second-level domain of the operator's name servers
+	// (e.g. Namecheap's registrarservers.com); empty means the operator
+	// parks customers on generic hoster NS.
+	NSSLD string
+	// BaselineCNAMESLD, when set, makes the operator's domains normally
+	// resolve through a CNAME into this SLD (Wix → amazonaws.com).
+	BaselineCNAMESLD string
+	// BaselineAS is the origin of the operator's normal address space
+	// when it differs from the operator's own AS (Wix → AWS).
+	BaselineAS *ASSpec
+	// Domains is the number of SLDs the operator controls (paper scale).
+	Domains int
+	// AlwaysProvider, when ≥0, makes all the operator's domains always-on
+	// customers of that provider (Sedo parking behind Akamai).
+	AlwaysProvider int
+	AlwaysProfile  Profile
+	// AlwaysASIdx selects which of the provider's ASes originates the
+	// operator's space (Fabulous routed to CenturyLink's AS3561, the
+	// second CenturyLink AS).
+	AlwaysASIdx int
+	// AlwaysCohort bounds the always-on relationship to the first N
+	// cohort domains (paper scale); 0 means the whole cohort. Partial
+	// cohorts matter for reference discovery: only 716k of Sedo's parked
+	// portfolio routed to Akamai, so sedoparking.com is not an Akamai
+	// NS SLD.
+	AlwaysCohort int
+	// Episodes are the scripted §4.4.1 anomalies.
+	Episodes []CohortEpisode
+	// DNSOutages are days on which the operator's name servers fail and
+	// its domains produce no measurements (the Sedo 2015-11-22 trough).
+	DNSOutages []simtime.Day
+}
+
+// Operator indices.
+const (
+	OpWix = iota
+	OpWixF5
+	OpSiteMatrix
+	OpENOM
+	OpZOHO
+	OpNamecheap
+	OpSedo
+	OpFabulous
+	NumOperators
+)
+
+func day(y int, m time.Month, d int) simtime.Day { return simtime.FromDate(y, m, d) }
+
+// OperatorSpecs encodes §4.4.1: each anomaly the paper traces, with its
+// magnitude, date, provider, and mechanism.
+var OperatorSpecs = [NumOperators]OperatorSpec{
+	OpWix: {
+		// "Wix causes repeated swings of millions of domain names"; Wix
+		// domains normally route to Amazon AWS (AS14618) through an
+		// amazonaws.com CNAME; during diversion Wix name servers answer A
+		// records in Wix-owned prefixes announced by Incapsula.
+		Name: "Wix", Kind: KindSaaS,
+		AS:               ASSpec{58182, "WIX-AS - Wix.com Ltd."},
+		NSSLD:            "wixdns.net",
+		BaselineCNAMESLD: "amazonaws.com",
+		BaselineAS:       &ASSpec{14618, "AMAZON-AES - Amazon.com, Inc."},
+		Domains:          1_760_000,
+		AlwaysProvider:   -1,
+		Episodes: []CohortEpisode{
+			// March 2015 peak: ≈1.1M names on 2015-03-05 (Fig 2).
+			{1_100_000, simtime.Range{Start: day(2015, 3, 3), End: day(2015, 3, 8)}, Incapsula, ProfileA},
+			// May–July 2015 plateau of the same names (Fig 7: "many of
+			// the same domains were involved").
+			{1_100_000, simtime.Range{Start: day(2015, 5, 4), End: day(2015, 7, 16)}, Incapsula, ProfileA},
+			// Short repeated swings through late 2015.
+			{900_000, simtime.Range{Start: day(2015, 9, 7), End: day(2015, 9, 18)}, Incapsula, ProfileA},
+			{950_000, simtime.Range{Start: day(2015, 12, 1), End: day(2015, 12, 6)}, Incapsula, ProfileA},
+			// April 2016 peak ①: 1.76M names.
+			{1_760_000, simtime.Range{Start: day(2016, 4, 5), End: day(2016, 4, 19)}, Incapsula, ProfileA},
+			{1_000_000, simtime.Range{Start: day(2016, 6, 20), End: day(2016, 6, 25)}, Incapsula, ProfileA},
+		},
+	},
+	OpWixF5: {
+		// "two Wix-owned prefixes switch back and forth from F5
+		// Networks' AS55002 to Incapsula's AS19551" (⑥ & ⑦): this Wix
+		// segment normally routes to F5 (counting toward F5's baseline)
+		// and flips to Incapsula in March 2015, leaving an opposing
+		// trough in F5.
+		Name: "Wix-F5", Kind: KindSaaS,
+		AS:             ASSpec{58183, "WIX-AS-EU - Wix.com Ltd. (EU)"},
+		NSSLD:          "wixdns.net",
+		Domains:        350_000,
+		AlwaysProvider: F5,
+		AlwaysProfile:  ProfileBGP,
+		// The prefixes "switch back and forth" periodically; the swap
+		// cadence shapes both F5's and Incapsula's Fig 8 distributions.
+		Episodes: []CohortEpisode{
+			{350_000, simtime.Range{Start: day(2015, 3, 3), End: day(2015, 3, 8)}, Incapsula, ProfileBGP},
+			{350_000, simtime.Range{Start: day(2015, 5, 18), End: day(2015, 5, 25)}, Incapsula, ProfileBGP},
+			{350_000, simtime.Range{Start: day(2015, 7, 27), End: day(2015, 8, 3)}, Incapsula, ProfileBGP},
+			{350_000, simtime.Range{Start: day(2015, 10, 12), End: day(2015, 10, 23)}, Incapsula, ProfileBGP},
+			{350_000, simtime.Range{Start: day(2015, 12, 21), End: day(2015, 12, 28)}, Incapsula, ProfileBGP},
+			{350_000, simtime.Range{Start: day(2016, 2, 29), End: day(2016, 3, 7)}, Incapsula, ProfileBGP},
+			{350_000, simtime.Range{Start: day(2016, 5, 16), End: day(2016, 5, 20)}, Incapsula, ProfileBGP},
+			{350_000, simtime.Range{Start: day(2016, 7, 18), End: day(2016, 7, 26)}, Incapsula, ProfileBGP},
+		},
+	},
+	OpSiteMatrix: {
+		// June 2016 increase ②: ≈170k names traced to SiteMatrix, "an
+		// opportunistic private equity fund around Internet domain
+		// names" — a step up that stays.
+		Name: "SiteMatrix", Kind: KindDomainer,
+		AS:             ASSpec{64496, "SITEMATRIX - SiteMatrix Holdings"},
+		NSSLD:          "sitematrixdns.com",
+		Domains:        400_000,
+		AlwaysProvider: -1,
+		Episodes: []CohortEpisode{
+			{170_000, simtime.Range{Start: day(2016, 6, 10), End: zonesForever}, Incapsula, ProfileA},
+		},
+	},
+	OpENOM: {
+		// "Most of Verisign's larger anomalies can be traced to ENOM (a
+		// registrar) ... several ENOM-owned /24s route to Verisign
+		// (AS26415) during diversion, and to ENOM (AS21740) normally."
+		Name: "ENOM", Kind: KindRegistrar,
+		AS:             ASSpec{21740, "ENOMAS1 - eNom, Incorporated"},
+		NSSLD:          "name-services.com",
+		Domains:        700_000,
+		AlwaysProvider: -1,
+		Episodes: []CohortEpisode{
+			{700_000, simtime.Range{Start: day(2015, 4, 20), End: day(2015, 5, 2)}, Verisign, ProfileBGP},
+			{550_000, simtime.Range{Start: day(2015, 8, 17), End: day(2015, 8, 24)}, Verisign, ProfileBGP},
+			{700_000, simtime.Range{Start: day(2016, 1, 11), End: day(2016, 1, 27)}, Verisign, ProfileBGP},
+		},
+	},
+	OpZOHO: {
+		// "Similar for ZOHO, with two prefixes normally in AS2639."
+		Name: "ZOHO", Kind: KindSaaS,
+		AS:             ASSpec{2639, "ZOHO-AS - ZOHO Corporation"},
+		NSSLD:          "zoho.com",
+		Domains:        300_000,
+		AlwaysProvider: -1,
+		Episodes: []CohortEpisode{
+			{300_000, simtime.Range{Start: day(2015, 6, 8), End: day(2015, 6, 18)}, Verisign, ProfileBGP},
+			{300_000, simtime.Range{Start: day(2016, 5, 9), End: day(2016, 5, 20)}, Verisign, ProfileBGP},
+		},
+	},
+	OpNamecheap: {
+		// February 2016 anomaly ③: ≈247k Namecheap-hosted domains; "the
+		// domains share a Namecheap NS SLD (registrar-servers.com) that
+		// answers CloudFlare-announced addresses."
+		Name: "Namecheap", Kind: KindRegistrar,
+		AS:             ASSpec{22612, "NAMECHEAP-NET - Namecheap, Inc."},
+		NSSLD:          "registrar-servers.com",
+		Domains:        600_000,
+		AlwaysProvider: -1,
+		Episodes: []CohortEpisode{
+			{247_000, simtime.Range{Start: day(2016, 2, 5), End: day(2016, 2, 27)}, CloudFlare, ProfileA},
+		},
+	},
+	OpSedo: {
+		// Trough ⑤ on 2015-11-22: ≈716k Sedo-parked domains (NS SLD
+		// sedoparking.com) vanished from Akamai for one day due to a DNS
+		// issue at Sedo.
+		Name: "Sedo Domain Parking", Kind: KindParker,
+		AS:             ASSpec{47846, "SEDO-AS - Sedo GmbH"},
+		NSSLD:          "sedoparking.com",
+		Domains:        1_500_000,
+		AlwaysProvider: Akamai,
+		AlwaysProfile:  ProfileA,
+		AlwaysCohort:   716_000,
+		DNSOutages:     []simtime.Day{day(2015, 11, 22)},
+	},
+	OpFabulous: {
+		// Drop ④ in February 2016 for CenturyLink: "a Fabulous-owned
+		// name server starts giving A answers for ≈355k domains that
+		// previously routed to two prefixes announced by CenturyLink's
+		// AS3561."
+		Name: "Fabulous", Kind: KindDomainer,
+		AS:             ASSpec{24940, "FABULOUS-AS - Fabulous.com Pty Ltd"},
+		NSSLD:          "fabulous.com",
+		Domains:        800_000,
+		AlwaysProvider: CenturyLink,
+		AlwaysProfile:  ProfileBGP,
+		AlwaysASIdx:    1, // AS3561 (legacy Savvis)
+		AlwaysCohort:   355_000,
+		Episodes: []CohortEpisode{
+			// Encoded as an episode of "non-use": handled specially — the
+			// always-on relationship ends on this date.
+			{355_000, simtime.Range{Start: day(2016, 2, 10), End: zonesForever}, -1, ProfileA},
+		},
+	},
+}
+
+// zonesForever mirrors zones.Forever without importing the package here.
+const zonesForever simtime.Day = 1 << 30
+
+// GenericHoster describes background hosting companies that serve the
+// non-DPS majority of the namespace.
+type GenericHoster struct {
+	Name string
+	AS   ASSpec
+}
+
+// GenericHosters is the pool of background hosting providers.
+var GenericHosters = []GenericHoster{
+	{"HostCo Alpha", ASSpec{64601, "HOSTCO-ALPHA - HostCo Alpha LLC"}},
+	{"HostCo Beta", ASSpec{64602, "HOSTCO-BETA - HostCo Beta GmbH"}},
+	{"HostCo Gamma", ASSpec{64603, "HOSTCO-GAMMA - HostCo Gamma BV"}},
+	{"HostCo Delta", ASSpec{64604, "HOSTCO-DELTA - HostCo Delta Inc."}},
+	{"HostCo Epsilon", ASSpec{64605, "HOSTCO-EPSILON - HostCo Epsilon SARL"}},
+	{"HostCo Zeta", ASSpec{64606, "HOSTCO-ZETA - HostCo Zeta Ltd."}},
+	{"HostCo Eta", ASSpec{64607, "HOSTCO-ETA - HostCo Eta Oy"}},
+	{"HostCo Theta", ASSpec{64608, "HOSTCO-THETA - HostCo Theta Corp."}},
+	{"HostCo Iota", ASSpec{64609, "HOSTCO-IOTA - HostCo Iota AB"}},
+	{"HostCo Kappa", ASSpec{64610, "HOSTCO-KAPPA - HostCo Kappa KG"}},
+}

@@ -1,0 +1,100 @@
+package worldsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/simtime"
+)
+
+// This file produces the registry-operator view of a TLD: the daily zone
+// file the paper's Stage I downloads ("the system downloads updated zone
+// files daily from registry operators", §3.1). Registry zone files carry
+// delegations (NS records) and glue — not the delegated zones' contents —
+// so the measurement pipeline derives its domain lists from the NS owner
+// names, exactly as OpenINTEL does.
+
+// WriteZoneFile writes the TLD's registry zone file for one day.
+func (w *World) WriteZoneFile(tld string, day simtime.Day, out io.Writer) error {
+	model, ok := w.TLDs[tld]
+	if !ok {
+		return fmt.Errorf("worldsim: no TLD %q", tld)
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
+	fmt.Fprintf(bw, "$ORIGIN %s\n", tld)
+	fmt.Fprintf(bw, "%s 86400 IN SOA a.gtld-servers.net nstld.%s %d 1800 900 604800 86400\n", tld, tld, uint32(day)+1)
+	_ = model
+	var err error
+	for _, d := range w.Domains {
+		if d.TLD != tld || !d.Life.Contains(day) {
+			continue
+		}
+		st := w.StateFor(d, day)
+		if !st.Exists {
+			continue
+		}
+		hosts := st.NSHosts
+		if st.Unmeasurable {
+			// The registry still lists the delegation; only the name
+			// servers are down. Use the operator's configured hosts.
+			hosts = w.Operators[d.Operator].NSHosts
+		}
+		for _, ns := range hosts {
+			if _, werr := fmt.Fprintf(bw, "%s 86400 IN NS %s\n", d.Name, ns); werr != nil {
+				err = werr
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ZoneFileDomains parses a registry zone file and returns the unique
+// second-level domain names it delegates — Stage I's domain list.
+func ZoneFileDomains(r io.Reader) (origin string, domains []string, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	seen := make(map[string]bool)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "$ORIGIN" {
+			if len(fields) != 2 {
+				return "", nil, fmt.Errorf("worldsim: bad $ORIGIN line")
+			}
+			origin = fields[1]
+			continue
+		}
+		if len(fields) < 4 || !strings.EqualFold(fields[3], "NS") {
+			continue
+		}
+		name, cerr := dnswire.CanonicalName(fields[0])
+		if cerr != nil {
+			return "", nil, cerr
+		}
+		if name == origin || seen[name] {
+			continue
+		}
+		// Only direct children of the origin are delegations of SLDs.
+		if dnswire.Parent(name) != origin {
+			continue
+		}
+		seen[name] = true
+		domains = append(domains, name)
+	}
+	if err := sc.Err(); err != nil {
+		return "", nil, err
+	}
+	if origin == "" {
+		return "", nil, fmt.Errorf("worldsim: zone file without $ORIGIN")
+	}
+	return origin, domains, nil
+}

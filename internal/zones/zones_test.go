@@ -1,0 +1,143 @@
+package zones
+
+import (
+	"strings"
+	"testing"
+
+	"dpsadopt/internal/simtime"
+)
+
+func build(t *testing.T, cfg Config) *TLD {
+	t.Helper()
+	tld, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tld
+}
+
+func TestGrowthTargetsHit(t *testing.T) {
+	cfg := Config{
+		TLD:         "com",
+		Window:      simtime.Range{Start: 0, End: 100},
+		StartCount:  10000,
+		EndCount:    11000,
+		ChurnPerDay: 0.001,
+		Seed:        1,
+	}
+	tld := build(t, cfg)
+	if got := tld.ActiveCount(0); got != 10000 {
+		t.Errorf("day 0 count = %d", got)
+	}
+	if got := tld.ActiveCount(99); got != 11000 {
+		t.Errorf("day 99 count = %d", got)
+	}
+	// Growth should be roughly monotone day over day.
+	prev := tld.ActiveCount(0)
+	for d := simtime.Day(10); d < 100; d += 10 {
+		cur := tld.ActiveCount(d)
+		if cur < prev-20 {
+			t.Errorf("population dropped: day %d %d -> %d", d, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestChurnCreatesTurnover(t *testing.T) {
+	cfg := Config{
+		TLD:         "net",
+		Window:      simtime.Range{Start: 0, End: 200},
+		StartCount:  5000,
+		EndCount:    5000,
+		ChurnPerDay: 0.002, // 0.2%/day over 200 days ≈ 40% turnover
+		Seed:        2,
+	}
+	tld := build(t, cfg)
+	if tld.ObservedSLDs() <= 5000 {
+		t.Errorf("no turnover: observed = %d", tld.ObservedSLDs())
+	}
+	// Observed should be ~5000 + 200*10 = ~7000.
+	if tld.ObservedSLDs() < 6500 || tld.ObservedSLDs() > 7500 {
+		t.Errorf("observed = %d, want ≈7000", tld.ObservedSLDs())
+	}
+	if got := tld.ActiveCount(199); got < 4950 || got > 5050 {
+		t.Errorf("final count = %d, want ≈5000", got)
+	}
+}
+
+func TestShrinkingTLD(t *testing.T) {
+	cfg := Config{
+		TLD:        "org",
+		Window:     simtime.Range{Start: 0, End: 50},
+		StartCount: 1000,
+		EndCount:   900,
+		Seed:       3,
+	}
+	tld := build(t, cfg)
+	if got := tld.ActiveCount(49); got != 900 {
+		t.Errorf("final = %d", got)
+	}
+}
+
+func TestNamesUniqueAndValid(t *testing.T) {
+	tld := build(t, Config{
+		TLD: "com", Window: simtime.Range{Start: 0, End: 30},
+		StartCount: 2000, EndCount: 2100, ChurnPerDay: 0.01, Seed: 4,
+	})
+	seen := make(map[string]bool, len(tld.Domains))
+	for _, d := range tld.Domains {
+		if seen[d.Name] {
+			t.Fatalf("duplicate name %s", d.Name)
+		}
+		seen[d.Name] = true
+		if !strings.HasSuffix(d.Name, ".com") {
+			t.Fatalf("bad suffix: %s", d.Name)
+		}
+		if strings.Count(d.Name, ".") != 1 {
+			t.Fatalf("not an SLD: %s", d.Name)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{
+		TLD: "nl", Window: simtime.Range{Start: 366, End: 550},
+		StartCount: 590, EndCount: 600, ChurnPerDay: 0.001, Seed: 42,
+	}
+	a := build(t, cfg)
+	b := build(t, cfg)
+	if a.ObservedSLDs() != b.ObservedSLDs() {
+		t.Fatal("runs differ in size")
+	}
+	for i := range a.Domains {
+		if a.Domains[i] != b.Domains[i] {
+			t.Fatalf("domain %d differs", i)
+		}
+	}
+}
+
+func TestForEachActive(t *testing.T) {
+	tld := build(t, Config{
+		TLD: "com", Window: simtime.Range{Start: 0, End: 10},
+		StartCount: 100, EndCount: 110, Seed: 5,
+	})
+	n := 0
+	tld.ForEachActive(5, func(i int, lt Lifetime) {
+		if !lt.Active.Contains(5) {
+			t.Fatal("inactive domain visited")
+		}
+		n++
+	})
+	if n != tld.ActiveCount(5) {
+		t.Errorf("visited %d, ActiveCount %d", n, tld.ActiveCount(5))
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := Build(Config{TLD: "x", Window: simtime.Range{Start: 5, End: 5}}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := Build(Config{TLD: "x", Window: simtime.Range{Start: 0, End: 5}, StartCount: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
