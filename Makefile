@@ -1,0 +1,23 @@
+# Developer entry points. `make check` is the tier-1 verification going
+# forward: vet, build, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check vet build test test-race bench
+
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -9,13 +9,17 @@
 package dpsadopt
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"dpsadopt/internal/core"
 	"dpsadopt/internal/experiment"
 	"dpsadopt/internal/measure"
+	"dpsadopt/internal/obs"
 	"dpsadopt/internal/report"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
@@ -191,11 +195,17 @@ func BenchmarkMeasureDay(b *testing.B) {
 
 // BenchmarkMeasureDayWire benchmarks a wire-fidelity day on a small
 // world: every query is a real DNS message through the in-memory network.
+// Afterwards it snapshots the obs registry and persists the run's
+// throughput and latency quantiles to results/BENCH_obs.json, giving
+// future PRs a machine-readable perf trajectory to compare against.
 func BenchmarkMeasureDayWire(b *testing.B) {
 	w, err := worldsim.New(worldsim.DefaultConfig(400_000))
 	if err != nil {
 		b.Fatal(err)
 	}
+	reg := obs.Default()
+	before := reg.Snapshot()
+	start := time.Now()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -205,6 +215,48 @@ func BenchmarkMeasureDayWire(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	writeObsBench(b, before, reg.Snapshot(), time.Since(start))
+}
+
+// writeObsBench emits results/BENCH_obs.json from two registry snapshots
+// bracketing the benchmark loop. Counters are deltas (the registry is
+// process-cumulative); quantiles are cumulative over the process, which
+// is fine for a trajectory dominated by this benchmark's queries.
+func writeObsBench(b *testing.B, before, after obs.Snapshot, elapsed time.Duration) {
+	b.Helper()
+	queries := after.Counter("dns_client_queries_total") - before.Counter("dns_client_queries_total")
+	rows := after.Counter("store_rows_total") - before.Counter("store_rows_total")
+	lat := after.Histogram("dns_client_query_seconds")
+	doc := map[string]any{
+		"bench":           "MeasureDayWire",
+		"iterations":      b.N,
+		"elapsed_seconds": elapsed.Seconds(),
+		"queries":         queries,
+		"queries_per_sec": float64(queries) / elapsed.Seconds(),
+		"rows":            rows,
+		"query_p50_s":     lat.P50,
+		"query_p90_s":     lat.P90,
+		"query_p99_s":     lat.P99,
+		"packets_sent": after.Counter("transport_packets_sent_total") -
+			before.Counter("transport_packets_sent_total"),
+		"packets_dropped": after.Counter("transport_packets_dropped_total") -
+			before.Counter("transport_packets_dropped_total"),
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		b.Logf("BENCH_obs.json not written: %v", err)
+		return
+	}
+	if err := os.WriteFile("results/BENCH_obs.json", append(raw, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_obs.json not written: %v", err)
+		return
+	}
+	b.Logf("wrote results/BENCH_obs.json (%d queries, %.0f q/s, p99 %.3fms)",
+		queries, float64(queries)/elapsed.Seconds(), lat.P99*1000)
 }
 
 // BenchmarkDetectDay benchmarks the §3.3 detection scan over one stored

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	dnsserve [-scale 400000] [-date 2015-03-05] [-resolve www.DOMAIN]
+//	dnsserve [-scale 400000] [-date 2015-03-05] [-resolve www.DOMAIN] [-metrics-addr :9091]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 	"dpsadopt/internal/dnsclient"
 	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/obs"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/transport"
 	"dpsadopt/internal/worldsim"
@@ -27,12 +28,23 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Int("scale", 400_000, "world scale divisor (keep coarse: every domain gets a zone)")
-		date    = flag.String("date", "2015-03-05", "day to serve")
-		resolve = flag.String("resolve", "", "name to resolve as a demonstration, then keep serving")
-		axfr    = flag.String("axfr", "", "zone to transfer (AXFR over TCP) as a demonstration")
+		scale       = flag.Int("scale", 400_000, "world scale divisor (keep coarse: every domain gets a zone)")
+		date        = flag.String("date", "2015-03-05", "day to serve")
+		resolve     = flag.String("resolve", "", "name to resolve as a demonstration, then keep serving")
+		axfr        = flag.String("axfr", "", "zone to transfer (AXFR over TCP) as a demonstration")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		obs.Logger().Info("metrics listening", "addr", srv.Addr,
+			"endpoints", "/metrics /debug/vars /debug/pprof/")
+	}
 
 	day, err := simtime.Parse(*date)
 	if err != nil {

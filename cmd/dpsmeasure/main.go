@@ -4,18 +4,29 @@
 // default in-process derivation and, with -mode wire, full resolution of
 // every query through authoritative servers over the in-memory network.
 //
+// Progress is reported through the structured logger (one summary line
+// per day with row/query counts and latency quantiles); -quiet
+// suppresses it. With -metrics-addr the process serves live
+// Prometheus-text /metrics, expvar /debug/vars, and pprof profiles for
+// the duration of the run, and stays up after the run finishes until
+// interrupted so the final counters can be scraped.
+//
 // Usage:
 //
-//	dpsmeasure [-scale 100000] [-days 3] [-mode direct|wire] [-workers N] [-v]
+//	dpsmeasure [-scale 100000] [-days 3] [-mode direct|wire] [-workers N]
+//	           [-metrics-addr :9090] [-quiet] [-log-json] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
 	"time"
 
 	"dpsadopt/internal/measure"
+	"dpsadopt/internal/obs"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
 	"dpsadopt/internal/worldsim"
@@ -23,14 +34,25 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Int("scale", 100_000, "world scale divisor")
-		days    = flag.Int("days", 3, "days to measure")
-		mode    = flag.String("mode", "direct", "direct or wire")
-		workers = flag.Int("workers", 4, "measurement workers")
-		verbose = flag.Bool("v", false, "print sample rows")
-		out     = flag.String("out", "", "write the dataset to this .dpsa file")
+		scale       = flag.Int("scale", 100_000, "world scale divisor")
+		days        = flag.Int("days", 3, "days to measure")
+		mode        = flag.String("mode", "direct", "direct or wire")
+		workers     = flag.Int("workers", 4, "measurement workers")
+		verbose     = flag.Bool("v", false, "print sample rows")
+		out         = flag.String("out", "", "write the dataset to this .dpsa file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging (warnings still shown)")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON")
 	)
 	flag.Parse()
+
+	if *logJSON {
+		obs.SetLogger(obs.NewLogger(os.Stderr, slog.LevelInfo, true))
+	}
+	if *quiet {
+		obs.SetQuiet()
+	}
+	log := obs.Logger()
 
 	cfg := measure.Config{Workers: *workers}
 	switch *mode {
@@ -42,39 +64,68 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
+	reg := obs.Default()
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		log.Info("metrics listening", "addr", srv.Addr,
+			"endpoints", "/metrics /debug/vars /debug/pprof/")
+	}
+
 	w, err := worldsim.New(worldsim.DefaultConfig(*scale))
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("world: %s\n", w.Stats())
+	log.Info("world built", "stats", w.Stats())
 
 	s := store.New()
 	p := measure.New(w, s, cfg)
 	start := time.Now()
+	prev := reg.Snapshot()
 	for d := 0; d < *days; d++ {
 		day := w.Cfg.Window.Start + simtime.Day(d)
 		t0 := time.Now()
 		if err := p.RunDay(day); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("day %s measured in %s\n", day, time.Since(t0).Round(time.Millisecond))
+		snap := reg.Snapshot()
+		lat := snap.Histogram("dns_client_query_seconds")
+		log.Info("day complete",
+			"day", day.String(),
+			"domains", snap.Counter("measure_domains_total")-prev.Counter("measure_domains_total"),
+			"rows", snap.Counter("store_rows_total")-prev.Counter("store_rows_total"),
+			"queries", snap.Counter("dns_client_queries_total")-prev.Counter("dns_client_queries_total"),
+			"p50_ms", fmt.Sprintf("%.3f", lat.P50*1000),
+			"p99_ms", fmt.Sprintf("%.3f", lat.P99*1000),
+			"errors", snap.Counter("dns_client_errors_total")-prev.Counter("dns_client_errors_total"),
+			"elapsed", time.Since(t0).Round(time.Millisecond).String(),
+		)
+		prev = snap
 	}
-	fmt.Printf("total: %s, %d wire queries sent\n", time.Since(start).Round(time.Millisecond), p.QueriesSent())
+	log.Info("run complete",
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+		"wire_queries", p.QueriesSent(),
+	)
 
-	fmt.Printf("\n%-8s %6s %10s %12s %12s\n", "source", "days", "#SLDs", "#DPs", "size")
-	for _, src := range s.Sources() {
-		st := s.SourceStats(src)
-		fmt.Printf("%-8s %6d %10d %12d %11dB\n", src, st.Days, st.UniqueSLDs, st.DataPoints, st.CompressedBytes)
+	if !*quiet {
+		fmt.Printf("\n%-8s %6s %10s %12s %12s\n", "source", "days", "#SLDs", "#DPs", "size")
+		for _, src := range s.Sources() {
+			st := s.SourceStats(src)
+			fmt.Printf("%-8s %6d %10d %12d %11dB\n", src, st.Days, st.UniqueSLDs, st.DataPoints, st.CompressedBytes)
+		}
 	}
 
 	if *out != "" {
 		if err := s.Save(*out); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("dataset written to %s\n", *out)
+		log.Info("dataset written", "path", *out)
 	}
 
-	if *verbose {
+	if *verbose && !*quiet {
 		day := w.Cfg.Window.Start
 		fmt.Printf("\nsample rows (com, %s):\n", day)
 		n := 0
@@ -89,6 +140,13 @@ func main() {
 				fmt.Printf("  %-20s %-10s %-15s AS%v\n", r.Domain, r.Kind, r.Addr, r.ASNs)
 			}
 		})
+	}
+
+	if *metricsAddr != "" {
+		log.Info("run finished; still serving metrics, Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 }
 

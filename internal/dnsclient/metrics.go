@@ -1,0 +1,23 @@
+package dnsclient
+
+import "dpsadopt/internal/obs"
+
+// Process-wide resolver metrics. The pipeline creates one Resolver per
+// worker per day; registering on the default registry aggregates them
+// into stable series across the whole run.
+var (
+	mQueries = obs.Default().Counter("dns_client_queries_total",
+		"query datagrams sent (UDP and TCP)")
+	mRetries = obs.Default().Counter("dns_client_retries_total",
+		"query retransmissions after a lost or unanswered datagram")
+	mTimeouts = obs.Default().Counter("dns_client_timeouts_total",
+		"attempts that expired without a matching response")
+	mTCPFallback = obs.Default().Counter("dns_client_tcp_fallback_total",
+		"truncated UDP responses retried over TCP")
+	mErrors = obs.Default().Counter("dns_client_errors_total",
+		"resolutions that returned an error (retries exhausted, referral limit, ...)")
+	mRCodes = obs.Default().CounterVec("dns_client_rcode_total",
+		"responses by DNS RCODE", "rcode")
+	mQueryLatency = obs.Default().Histogram("dns_client_query_seconds",
+		"latency of one query exchange, send to matching response", nil)
+)

@@ -145,6 +145,7 @@ func (r *Resolver) Resolve(name string, qtype dnswire.Type) (*Result, error) {
 		seen[qname] = true
 		resp, err := r.resolveOne(qname, qtype, res, 0)
 		if err != nil {
+			mErrors.Inc()
 			return res, err
 		}
 		res.RCode = resp.Flags.RCode
@@ -284,21 +285,28 @@ func (r *Resolver) exchange(servers []netip.AddrPort, qname string, qtype dnswir
 	}
 	for attempt := 0; attempt <= r.Retries; attempt++ {
 		server := servers[attempt%len(servers)]
+		if attempt > 0 {
+			mRetries.Inc()
+		}
 		if err := r.conn.WriteTo(wire, server); err != nil {
 			return nil, err
 		}
 		r.queries++
+		mQueries.Inc()
 		if res != nil {
 			res.Queries++
 		}
-		deadline := time.Now().Add(r.Timeout)
+		sent := time.Now()
+		deadline := sent.Add(r.Timeout)
 		for {
 			remain := time.Until(deadline)
 			if remain <= 0 {
+				mTimeouts.Inc()
 				break // retry
 			}
 			n, from, err := r.conn.ReadFrom(r.buf, remain)
 			if err == transport.ErrTimeout {
+				mTimeouts.Inc()
 				break
 			}
 			if err != nil {
@@ -314,13 +322,17 @@ func (r *Resolver) exchange(servers []netip.AddrPort, qname string, qtype dnswir
 			if len(resp.Questions) != 1 || !questionMatches(resp.Questions[0], qname, qtype) {
 				continue
 			}
+			mQueryLatency.Observe(time.Since(sent).Seconds())
 			if resp.Flags.Truncated {
 				// RFC 1035 §4.2.2: retry over TCP. Keep the truncated
 				// response if the stream path is unavailable or fails.
+				mTCPFallback.Inc()
 				if full, err := r.exchangeTCP(server, wire, q.ID, qname, qtype); err == nil {
+					mRCodes.With(full.Flags.RCode.String()).Inc()
 					return full, nil
 				}
 			}
+			mRCodes.With(resp.Flags.RCode.String()).Inc()
 			return resp, nil
 		}
 	}
@@ -344,6 +356,7 @@ func (r *Resolver) exchangeTCP(server netip.AddrPort, wire []byte, id uint16, qn
 		return nil, err
 	}
 	r.queries++
+	mQueries.Inc()
 	msg, err := dnswire.ReadFramed(conn)
 	if err != nil {
 		return nil, err

@@ -100,6 +100,7 @@ func (s *Server) findZone(qname string) *dnszone.Zone {
 // or unsupported queries produce FORMERR/NOTIMP/REFUSED responses.
 func (s *Server) Handle(q *dnswire.Message) *dnswire.Message {
 	s.queries.Add(1)
+	mQueries.Inc()
 	resp := q.Reply()
 	if q.Flags.Response || len(q.Questions) != 1 {
 		resp.Flags.RCode = dnswire.RCodeFormErr
@@ -156,6 +157,7 @@ func packWithLimit(resp *dnswire.Message, limit int) ([]byte, error) {
 	if len(wire) <= limit {
 		return wire, nil
 	}
+	mTruncated.Inc()
 	trunc := *resp
 	trunc.Flags.Truncated = true
 	trunc.Answers = nil
@@ -233,8 +235,11 @@ func (s *Server) serveInline(conn transport.Conn) error {
 // answer decodes, handles, and responds to one datagram; malformed input
 // is dropped as real servers do.
 func (s *Server) answer(conn transport.Conn, data []byte, from netip.AddrPort) {
+	mInflight.Inc()
+	defer mInflight.Dec()
 	q, err := dnswire.Unpack(data)
 	if err != nil {
+		mMalformed.Inc()
 		return
 	}
 	resp := s.Handle(q)

@@ -32,8 +32,27 @@ type Config struct {
 	// KeepStore retains raw partitions instead of dropping them after
 	// aggregation (needed when callers want to re-scan; costs memory).
 	KeepStore bool
-	// OnProgress, when set, receives (day index, total days).
+	// OnProgress, when set, receives (day index, total days). It is kept
+	// for existing callers; new code should prefer OnDayProgress, which
+	// carries the full per-day observation.
 	OnProgress func(done, total int)
+	// OnDayProgress, when set, receives the obs-aware per-day progress
+	// event after each measured day (in addition to OnProgress).
+	OnDayProgress func(DayProgress)
+}
+
+// DayProgress describes one completed measurement day of a run; the same
+// numbers are exported as experiment_* gauges on the default obs
+// registry.
+type DayProgress struct {
+	// Done/Total index the day within the run window.
+	Done, Total int
+	// Day is the simulated date just measured.
+	Day simtime.Day
+	// Rows is the number of rows the day contributed across sources.
+	Rows int64
+	// Detected is the number of gTLD domains using any DPS on this day.
+	Detected int
 }
 
 // SourceStats accumulates one Table 1 row.
@@ -105,16 +124,19 @@ func (r *Runner) Run() error {
 	}
 	r.ran = true
 	total := r.window.Len()
+	mDaysTotal.Set(float64(total))
 	for i := 0; i < total; i++ {
 		day := r.window.Start + simtime.Day(i)
 		if err := r.pipeline.RunDay(day); err != nil {
 			return fmt.Errorf("experiment: day %s: %w", day, err)
 		}
+		var dayRows int64
 		for _, src := range r.Store.Sources() {
 			rows, bytes, ids := r.Store.DayStats(src, day)
 			if rows == 0 {
 				continue
 			}
+			dayRows += int64(rows)
 			st := r.stats[src]
 			if st == nil {
 				st = &SourceStats{Source: src, FirstDay: day, unique: make(map[uint32]bool)}
@@ -133,8 +155,18 @@ func (r *Runner) Run() error {
 				r.Store.DropDay(src, day)
 			}
 		}
+		detected := r.Agg.SumAny(worldsim.GTLDs(), day)
+		mDaysCompleted.Set(float64(i + 1))
+		mRowsSeen.Add(dayRows)
+		mDetected.Set(float64(detected))
 		if r.Cfg.OnProgress != nil {
 			r.Cfg.OnProgress(i+1, total)
+		}
+		if r.Cfg.OnDayProgress != nil {
+			r.Cfg.OnDayProgress(DayProgress{
+				Done: i + 1, Total: total, Day: day,
+				Rows: dayRows, Detected: detected,
+			})
 		}
 	}
 	for _, st := range r.stats {

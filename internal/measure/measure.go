@@ -151,7 +151,9 @@ func (p *Pipeline) stageOneLists(day simtime.Day) map[string][]task {
 
 // RunDay measures one day into the store.
 func (p *Pipeline) RunDay(day simtime.Day) error {
+	dayStart := time.Now()
 	lists := p.stageOneLists(day)
+	mStageSeconds.With(stageZoneAcquisition).Observe(time.Since(dayStart).Seconds())
 	if len(lists) == 0 {
 		return nil
 	}
@@ -179,13 +181,22 @@ func (p *Pipeline) RunDay(day simtime.Day) error {
 		defer wire.Close()
 	}
 
+	resStart := time.Now()
 	rows := 0
+	domains := 0
 	for source, tasks := range lists {
 		n, err := p.runSource(day, source, tasks, table, wire, network)
 		if err != nil {
 			return err
 		}
 		rows += n
+		domains += len(tasks)
+	}
+	mStageSeconds.With(stageResolution).Observe(time.Since(resStart).Seconds())
+	mDomains.Add(int64(domains))
+	mDays.Inc()
+	if elapsed := time.Since(dayStart).Seconds(); elapsed > 0 {
+		mDomainsPerSec.Set(float64(domains) / elapsed)
 	}
 	if p.Cfg.OnDay != nil {
 		p.Cfg.OnDay(day, rows)
@@ -229,6 +240,8 @@ func (p *Pipeline) runSource(day simtime.Day, source string, tasks []task, table
 		wg.Add(1)
 		go func(wi, lo, hi int) {
 			defer wg.Done()
+			mWorkersActive.Inc()
+			defer mWorkersActive.Dec()
 			writer := p.Store.NewWriter(source, day)
 			var resolver *dnsclient.Resolver
 			if p.Cfg.Mode == ModeWire {
@@ -259,7 +272,9 @@ func (p *Pipeline) runSource(day simtime.Day, source string, tasks []task, table
 					n += p.measureWire(writer, resolver, t.dom, table)
 				}
 			}
+			commitStart := time.Now()
 			writer.Commit()
+			mStageSeconds.With(stageStorage).Observe(time.Since(commitStart).Seconds())
 			mu.Lock()
 			total += n
 			if resolver != nil {

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency bucket upper bounds in seconds,
+// spanning 100µs (an in-memory exchange) to 10s (a retry storm against a
+// lossy wire network).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations in fixed buckets and supports quantile
+// estimation by linear interpolation within the located bucket. Observe
+// is wait-free; Quantile and the exposition helpers take a consistent-
+// enough snapshot by loading each bucket once (monotone counters make
+// minor skew harmless).
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// NewHistogram creates a standalone histogram (not attached to a
+// registry); nil bounds use DefBuckets.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns per-bucket (non-cumulative) counts; the final
+// element is the overflow (+Inf) bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) assuming observations
+// are uniform within each bucket. With no observations it returns 0; the
+// estimate for ranks landing in the overflow bucket is the largest finite
+// bound (the histogram cannot resolve beyond it).
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	counts := h.BucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: saturate at the largest finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}

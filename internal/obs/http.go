@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// NewMux builds the exposition handler for a registry:
+//
+//	/metrics          Prometheus text format
+//	/debug/vars       expvar JSON (runtime memstats, cmdline, and the
+//	                  registry snapshot under "obs")
+//	/debug/pprof/     the full net/http/pprof suite (profile, heap,
+//	                  goroutine, trace, ...)
+func NewMux(reg *Registry) *http.ServeMux {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// expvarOnce guards the process-global expvar namespace: expvar.Publish
+// panics on duplicate names, and tests build several muxes.
+var expvarOnce sync.Once
+
+func publishExpvar(reg *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+}
+
+// Server is a running exposition endpoint.
+type Server struct {
+	// Addr is the bound address (useful when the caller asked for :0).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the exposition server on addr ("host:port"; an empty host
+// binds all interfaces) and returns immediately; the HTTP loop runs in
+// its own goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -170,6 +170,9 @@ type Search struct {
 	v4   []searchEntry
 	walk *Walk // IPv6 fallback
 	n    int
+	// maxSize is the address-span of the coarsest IPv4 prefix present
+	// (1 << (32 - minBits)); it bounds the backward scan.
+	maxSize uint64
 }
 
 type searchEntry struct {
@@ -200,6 +203,13 @@ func NewSearch(entries []Entry) *Search {
 		}
 		return s.v4[i].bits < s.v4[j].bits
 	})
+	minBits := 32
+	for _, e := range s.v4 {
+		if e.bits < minBits {
+			minBits = e.bits
+		}
+	}
+	s.maxSize = uint64(1) << (32 - minBits)
 	s.walk = NewWalk(v6)
 	return s
 }
@@ -219,13 +229,12 @@ func (s *Search) Lookup(addr netip.Addr) (Origins, bool) {
 		e := s.v4[j]
 		size := uint64(1) << (32 - e.bits)
 		if uint64(e.start)+size <= uint64(v) {
-			// This entry ends before v. Any earlier entry with the same
-			// or longer length also ends before v, but a shorter (less
-			// specific) earlier prefix may still cover v. We can stop
-			// once even a /0 starting here could not reach v — which
-			// only happens at start 0 — so instead bound the scan by
-			// checking whether a covering prefix is still possible.
-			if e.start == 0 {
+			// This entry ends before v, but a coarser prefix further
+			// left may still cover it. Earlier entries start at or
+			// before e.start, so once even the coarsest prefix length
+			// present in the table could not stretch from here to v,
+			// nothing earlier can cover v either.
+			if uint64(e.start)+s.maxSize <= uint64(v) {
 				break
 			}
 			continue

@@ -1,0 +1,38 @@
+package pfx2as
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+// TestSearchSharedZeroStart is a regression test for a Search.Lookup
+// termination bug: with several prefixes sharing network address 0, the
+// backward scan used to stop at the first non-covering start-0 entry
+// (e.g. 0.0.0.0/24) without examining the coarser covering 0.0.0.0/8
+// sorted before it. Found by TestImplementationsAgree under a random
+// seed (-437688259875120756).
+func TestSearchSharedZeroStart(t *testing.T) {
+	entries := []Entry{
+		{Prefix: netip.MustParsePrefix("0.0.0.0/8"), Origins: Origins{987}},
+		{Prefix: netip.MustParsePrefix("0.0.0.0/24"), Origins: Origins{1}},
+		{Prefix: netip.MustParsePrefix("0.200.0.0/16"), Origins: Origins{2}},
+	}
+	s := NewSearch(entries)
+	for _, c := range []struct {
+		addr string
+		want Origins
+	}{
+		{"0.241.125.126", Origins{987}}, // covered only by the /8
+		{"0.0.0.5", Origins{1}},         // most specific: the /24
+		{"0.200.9.9", Origins{2}},       // the /16
+	} {
+		got, ok := s.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Search.Lookup(%s) = %v, %v; want %v, true", c.addr, got, ok, c.want)
+		}
+	}
+	if _, ok := s.Lookup(netip.MustParseAddr("1.0.0.1")); ok {
+		t.Error("uncovered address reported covered")
+	}
+}

@@ -1,0 +1,17 @@
+package store
+
+import "dpsadopt/internal/obs"
+
+// Stage III storage metrics. Rows are counted at Commit (the append
+// path), partitions and resident rows track the streaming runner's
+// measure-fold-drop cycle.
+var (
+	mRows = obs.Default().Counter("store_rows_total",
+		"rows committed across all stores; rate() gives the append rate")
+	mCommits = obs.Default().Counter("store_commits_total",
+		"writer batches merged into a store")
+	mPartitions = obs.Default().Gauge("store_partitions",
+		"(source, day) partitions currently resident in memory")
+	mResidentRows = obs.Default().Gauge("store_resident_rows",
+		"rows currently resident across partitions (falls when days are dropped)")
+)

@@ -245,6 +245,8 @@ func decode(r io.Reader) (*Store, error) {
 			s.blocks[source] = days
 		}
 		days[simtime.Day(day)] = b
+		mPartitions.Inc()
+		mResidentRows.Add(float64(b.rows()))
 	}
 	return s, nil
 }

@@ -189,6 +189,9 @@ func (w *Writer) Commit() {
 	if w.block.rows() == 0 {
 		return
 	}
+	mRows.Add(int64(w.block.rows()))
+	mResidentRows.Add(float64(w.block.rows()))
+	mCommits.Inc()
 	s := w.store
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -199,6 +202,7 @@ func (w *Writer) Commit() {
 	}
 	dst := days[w.day]
 	if dst == nil {
+		mPartitions.Inc()
 		blk := w.block
 		days[w.day] = &blk
 		w.block = dayBlock{}
@@ -306,6 +310,10 @@ func (s *Store) DropDay(source string, day simtime.Day) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if days := s.blocks[source]; days != nil {
+		if b := days[day]; b != nil {
+			mPartitions.Dec()
+			mResidentRows.Add(-float64(b.rows()))
+		}
 		delete(days, day)
 		if len(days) == 0 {
 			delete(s.blocks, source)

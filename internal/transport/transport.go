@@ -185,6 +185,9 @@ func (c *memConn) WriteTo(p []byte, to netip.AddrPort) error {
 		n.sent++
 	}
 	n.mu.Unlock()
+	if drop {
+		mPacketsDropped.Inc()
+	}
 	if !ok {
 		// Mirror UDP: a datagram to nowhere vanishes silently; the
 		// caller discovers it via timeout. Return nil.
@@ -197,6 +200,8 @@ func (c *memConn) WriteTo(p []byte, to netip.AddrPort) error {
 	deliver := func() {
 		select {
 		case dst.queue <- d:
+			mPacketsSent.Inc()
+			mBytesSent.Add(int64(len(d.payload)))
 		case <-dst.done:
 		default:
 			// Queue overflow: drop, like a kernel socket buffer.
@@ -204,6 +209,7 @@ func (c *memConn) WriteTo(p []byte, to netip.AddrPort) error {
 			n.dropped++
 			n.sent--
 			n.mu.Unlock()
+			mPacketsDropped.Inc()
 		}
 	}
 	if delay > 0 {
@@ -275,7 +281,13 @@ func (u *udpConn) LocalAddr() netip.AddrPort {
 
 func (u *udpConn) WriteTo(p []byte, to netip.AddrPort) error {
 	_, err := u.c.WriteToUDPAddrPort(p, to)
-	return err
+	if err != nil {
+		mPacketsDropped.Inc()
+		return err
+	}
+	mPacketsSent.Inc()
+	mBytesSent.Add(int64(len(p)))
+	return nil
 }
 
 func (u *udpConn) ReadFrom(buf []byte, timeout time.Duration) (int, netip.AddrPort, error) {
