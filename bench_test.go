@@ -9,6 +9,7 @@
 package dpsadopt
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"dpsadopt/internal/report"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
+	"dpsadopt/internal/trace"
 	"dpsadopt/internal/worldsim"
 )
 
@@ -39,7 +41,7 @@ func runner(b *testing.B) *experiment.Runner {
 	benchOnce.Do(func() {
 		benchShared, benchErr = experiment.New(experiment.Config{Scale: 50_000, Workers: 4})
 		if benchErr == nil {
-			benchErr = benchShared.Run()
+			benchErr = benchShared.Run(context.Background())
 		}
 	})
 	if benchErr != nil {
@@ -187,7 +189,7 @@ func BenchmarkMeasureDay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tmp := store.New()
 		p := measure.New(r.World, tmp, measure.Config{Mode: measure.ModeDirect, Workers: 4})
-		if err := p.RunDay(quietDay); err != nil {
+		if err := p.RunDay(context.Background(), quietDay); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,7 +213,7 @@ func BenchmarkMeasureDayWire(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tmp := store.New()
 		p := measure.New(w, tmp, measure.Config{Mode: measure.ModeWire, Workers: 8, Timeout: 500, Retries: 3})
-		if err := p.RunDay(quietDay); err != nil {
+		if err := p.RunDay(context.Background(), quietDay); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -257,6 +259,81 @@ func writeObsBench(b *testing.B, before, after obs.Snapshot, elapsed time.Durati
 	}
 	b.Logf("wrote results/BENCH_obs.json (%d queries, %.0f q/s, p99 %.3fms)",
 		queries, float64(queries)/elapsed.Seconds(), lat.P99*1000)
+}
+
+// BenchmarkTraceOverhead quantifies what request-scoped tracing costs on
+// the wire-fidelity day of BenchmarkMeasureDayWire, at three sampling
+// rates: tracing disabled, the default 1% per-domain rate, and 100%.
+// The sub-benchmark results are persisted to results/BENCH_trace.json
+// with the overhead of each rate relative to off; the 1% rate is the
+// one dpsmeasure defaults to and should stay within a few percent.
+func BenchmarkTraceOverhead(b *testing.B) {
+	w, err := worldsim.New(worldsim.DefaultConfig(400_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	secPerOp := map[string]float64{}
+	runTraced := func(b *testing.B, tr *trace.Tracer, key string) {
+		trace.SetDefault(tr)
+		defer trace.SetDefault(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tmp := store.New()
+			p := measure.New(w, tmp, measure.Config{Mode: measure.ModeWire, Workers: 8, Timeout: 500, Retries: 3})
+			ctx, sp := tr.StartRoot(context.Background(), "experiment.day", trace.Str("day", quietDay.String()))
+			if err := p.RunDay(ctx, quietDay); err != nil {
+				b.Fatal(err)
+			}
+			sp.End()
+		}
+		b.StopTimer()
+		secPerOp[key] = b.Elapsed().Seconds() / float64(b.N)
+	}
+	b.Run("off", func(b *testing.B) { runTraced(b, nil, "off") })
+	b.Run("sample1pct", func(b *testing.B) {
+		runTraced(b, trace.New(trace.Config{Sample: 0.01, Exporters: []trace.Exporter{trace.NewJSONL(io.Discard)}}), "sample1pct")
+	})
+	b.Run("sample100pct", func(b *testing.B) {
+		runTraced(b, trace.New(trace.Config{Sample: 1, Exporters: []trace.Exporter{trace.NewJSONL(io.Discard)}}), "sample100pct")
+	})
+	writeTraceBench(b, secPerOp)
+}
+
+// writeTraceBench persists the tracing-overhead comparison, mirroring
+// writeObsBench's role as a machine-readable perf trajectory.
+func writeTraceBench(b *testing.B, secPerOp map[string]float64) {
+	b.Helper()
+	off, ok := secPerOp["off"]
+	if !ok || off == 0 {
+		b.Log("BENCH_trace.json not written: baseline missing")
+		return
+	}
+	overhead := func(key string) float64 {
+		return (secPerOp[key] - off) / off * 100
+	}
+	doc := map[string]any{
+		"bench":                     "TraceOverhead",
+		"day_seconds_off":           off,
+		"day_seconds_sample1pct":    secPerOp["sample1pct"],
+		"day_seconds_sample100pct":  secPerOp["sample100pct"],
+		"overhead_pct_sample1pct":   overhead("sample1pct"),
+		"overhead_pct_sample100pct": overhead("sample100pct"),
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		b.Logf("BENCH_trace.json not written: %v", err)
+		return
+	}
+	if err := os.WriteFile("results/BENCH_trace.json", append(raw, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_trace.json not written: %v", err)
+		return
+	}
+	b.Logf("wrote results/BENCH_trace.json (1%% sampling overhead %.1f%%, 100%% overhead %.1f%%)",
+		overhead("sample1pct"), overhead("sample100pct"))
 }
 
 // BenchmarkDetectDay benchmarks the §3.3 detection scan over one stored

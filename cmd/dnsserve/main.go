@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
@@ -71,7 +72,7 @@ func main() {
 		}
 		defer r.Close()
 		for _, qt := range []dnswire.Type{dnswire.TypeA, dnswire.TypeNS} {
-			res, err := r.Resolve(strings.ToLower(*resolve), qt)
+			res, err := r.Resolve(context.Background(), strings.ToLower(*resolve), qt)
 			if err != nil {
 				fmt.Printf("resolve %s %s: %v\n", *resolve, qt, err)
 				continue
@@ -90,11 +91,11 @@ func main() {
 		}
 		defer r.Close()
 		// Find the TLD server: resolve the zone's NS, then its address.
-		res, err := r.Resolve(strings.ToLower(*axfr), dnswire.TypeNS)
+		res, err := r.Resolve(context.Background(), strings.ToLower(*axfr), dnswire.TypeNS)
 		if err != nil || len(res.Records) == 0 {
 			fmt.Printf("axfr: cannot find NS for %s: %v\n", *axfr, err)
 		} else if ns, ok := res.Records[0].Data.(dnswire.NS); ok {
-			addrRes, err := r.Resolve(ns.Host, dnswire.TypeA)
+			addrRes, err := r.Resolve(context.Background(), ns.Host, dnswire.TypeA)
 			if err != nil || len(addrRes.Addrs()) == 0 {
 				fmt.Printf("axfr: cannot resolve %s: %v\n", ns.Host, err)
 			} else {

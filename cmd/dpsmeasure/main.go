@@ -7,28 +7,45 @@
 // Progress is reported through the structured logger (one summary line
 // per day with row/query counts and latency quantiles); -quiet
 // suppresses it. With -metrics-addr the process serves live
-// Prometheus-text /metrics, expvar /debug/vars, and pprof profiles for
-// the duration of the run, and stays up after the run finishes until
-// interrupted so the final counters can be scraped.
+// Prometheus-text /metrics, expvar /debug/vars, pprof profiles and — when
+// tracing is on — /debug/traces for the duration of the run, and stays up
+// after the run finishes until interrupted so the final counters can be
+// scraped.
+//
+// Tracing: -trace-out enables request-scoped tracing and names the output
+// base; the run writes <base>.json (Chrome trace_event, loadable in
+// about:tracing and Perfetto) and <base>.jsonl (one span per line).
+// -trace-sample sets the per-domain sampling rate; -trace-slow logs every
+// span at or above the given duration with its full path.
+//
+// SIGINT/SIGTERM cancel the run gracefully: the in-flight day stops
+// between domains, partial traces and committed store partitions are
+// flushed, the usual summary is printed, and the process exits 130.
 //
 // Usage:
 //
 //	dpsmeasure [-scale 100000] [-days 3] [-mode direct|wire] [-workers N]
 //	           [-metrics-addr :9090] [-quiet] [-log-json] [-v]
+//	           [-trace-out traces] [-trace-sample 0.01] [-trace-slow 250ms]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"dpsadopt/internal/measure"
 	"dpsadopt/internal/obs"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
+	"dpsadopt/internal/trace"
 	"dpsadopt/internal/worldsim"
 )
 
@@ -40,9 +57,12 @@ func main() {
 		workers     = flag.Int("workers", 4, "measurement workers")
 		verbose     = flag.Bool("v", false, "print sample rows")
 		out         = flag.String("out", "", "write the dataset to this .dpsa file")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/traces on this address")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging (warnings still shown)")
 		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON")
+		traceOut    = flag.String("trace-out", "", "enable tracing; write <base>.json (Chrome trace_event) and <base>.jsonl")
+		traceSample = flag.Float64("trace-sample", 0.01, "per-domain trace sampling rate in [0,1]")
+		traceSlow   = flag.Duration("trace-slow", 0, "log spans at or above this duration with their full path (0 = off)")
 	)
 	flag.Parse()
 
@@ -64,6 +84,17 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
+	tracer, err := buildTracer(*traceOut, *traceSample, *traceSlow)
+	if err != nil {
+		fatal(err)
+	}
+	if tracer != nil {
+		trace.SetDefault(tracer)
+		obs.Handle("/debug/traces", trace.Handler(tracer))
+		log.Info("tracing enabled",
+			"sample", *traceSample, "slow", traceSlow.String(), "out", *traceOut)
+	}
+
 	reg := obs.Default()
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, reg)
@@ -72,8 +103,13 @@ func main() {
 		}
 		defer srv.Close()
 		log.Info("metrics listening", "addr", srv.Addr,
-			"endpoints", "/metrics /debug/vars /debug/pprof/")
+			"endpoints", "/metrics /debug/vars /debug/pprof/ /debug/traces")
 	}
+
+	// SIGINT/SIGTERM cancel the run: the in-flight day stops between
+	// domains, traces flush, and the summary below still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	w, err := worldsim.New(worldsim.DefaultConfig(*scale))
 	if err != nil {
@@ -85,10 +121,21 @@ func main() {
 	p := measure.New(w, s, cfg)
 	start := time.Now()
 	prev := reg.Snapshot()
+	interrupted := false
 	for d := 0; d < *days; d++ {
 		day := w.Cfg.Window.Start + simtime.Day(d)
 		t0 := time.Now()
-		if err := p.RunDay(day); err != nil {
+		dctx, sp := tracer.StartRoot(ctx, "experiment.day",
+			trace.Str("day", day.String()),
+			trace.Int("index", int64(d+1)), trace.Int("total", int64(*days)))
+		err := p.RunDay(dctx, day)
+		sp.End()
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				log.Warn("run interrupted; flushing partial results", "day", day.String())
+				break
+			}
 			fatal(err)
 		}
 		snap := reg.Snapshot()
@@ -104,10 +151,20 @@ func main() {
 			"elapsed", time.Since(t0).Round(time.Millisecond).String(),
 		)
 		prev = snap
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+	}
+	if err := tracer.Close(); err != nil {
+		log.Warn("trace flush failed", "err", err)
+	} else if tracer != nil {
+		log.Info("traces written", "out", *traceOut, "recent", tracer.Ring().Len())
 	}
 	log.Info("run complete",
 		"elapsed", time.Since(start).Round(time.Millisecond).String(),
 		"wire_queries", p.QueriesSent(),
+		"interrupted", interrupted,
 	)
 
 	if !*quiet {
@@ -142,12 +199,38 @@ func main() {
 		})
 	}
 
+	if interrupted {
+		os.Exit(130) // 128 + SIGINT, the conventional interrupted exit
+	}
+
 	if *metricsAddr != "" {
 		log.Info("run finished; still serving metrics, Ctrl-C to exit")
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
+		<-ctx.Done()
 	}
+}
+
+// buildTracer assembles the run's tracer from the -trace-* flags.
+// Tracing is enabled by -trace-out (exports + ring) or by -trace-slow
+// alone (slow-span logging and /debug/traces, no files).
+func buildTracer(outBase string, sample float64, slow time.Duration) (*trace.Tracer, error) {
+	if outBase == "" && slow == 0 {
+		return nil, nil
+	}
+	cfg := trace.Config{Sample: sample, Slow: slow, RingSize: 128}
+	if outBase != "" {
+		base := strings.TrimSuffix(outBase, ".json")
+		chrome, err := trace.NewChromeFile(base + ".json")
+		if err != nil {
+			return nil, err
+		}
+		jf, err := os.Create(base + ".jsonl")
+		if err != nil {
+			chrome.Close()
+			return nil, err
+		}
+		cfg.Exporters = []trace.Exporter{chrome, trace.NewJSONL(jf)}
+	}
+	return trace.New(cfg), nil
 }
 
 func fatal(err error) {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,7 +54,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "world: %s\n", r.World.Stats())
 	start := time.Now()
-	if err := r.Run(); err != nil {
+	if err := r.Run(context.Background()); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "measurement+analysis pass: %s\n", time.Since(start).Round(time.Millisecond))

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -33,7 +34,7 @@ func main() {
 	day := simtime.FromDate(2015, 7, 25)
 	st := store.New()
 	pipeline := measure.New(world, st, measure.Config{Mode: measure.ModeDirect, Workers: 8})
-	if err := pipeline.RunDay(day); err != nil {
+	if err := pipeline.RunDay(context.Background(), day); err != nil {
 		log.Fatal(err)
 	}
 
@@ -67,7 +68,7 @@ func main() {
 	// Show the counter-factual: the SLDs most frequent among
 	// Incapsula-routed domains on a peak day would include Wix's.
 	peak := simtime.FromDate(2015, 3, 5)
-	if err := pipeline.RunDay(peak); err != nil {
+	if err := pipeline.RunDay(context.Background(), peak); err != nil {
 		log.Fatal(err)
 	}
 	peakTable := tableFor(world, peak)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,7 +25,7 @@ func main() {
 	}
 	fmt.Println("world:", r.World.Stats())
 	fmt.Println("measuring 550 days; this takes a moment...")
-	if err := r.Run(); err != nil {
+	if err := r.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 

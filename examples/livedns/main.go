@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -57,7 +58,7 @@ func main() {
 	defer resolver.Close()
 
 	name := "www." + target.Name
-	res, err := resolver.Resolve(name, dnswire.TypeA)
+	res, err := resolver.Resolve(context.Background(), name, dnswire.TypeA)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func main() {
 		fmt.Println("  ", rr)
 	}
 
-	nsRes, err := resolver.Resolve(target.Name, dnswire.TypeNS)
+	nsRes, err := resolver.Resolve(context.Background(), target.Name, dnswire.TypeNS)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -48,7 +49,7 @@ func main() {
 	st := store.New()
 	pipeline := measure.New(world, st, measure.Config{Mode: measure.ModeDirect, Workers: 4})
 	window := simtime.Range{Start: world.Cfg.Window.Start, End: world.Cfg.Window.Start + 180}
-	if err := pipeline.RunRange(window); err != nil {
+	if err := pipeline.RunRange(context.Background(), window); err != nil {
 		log.Fatal(err)
 	}
 

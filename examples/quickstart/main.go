@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	st := store.New()
 	pipeline := measure.New(world, st, measure.Config{Mode: measure.ModeDirect, Workers: 4})
 	day := world.Cfg.Window.Start
-	if err := pipeline.RunDay(day); err != nil {
+	if err := pipeline.RunDay(context.Background(), day); err != nil {
 		log.Fatal(err)
 	}
 	for _, src := range st.Sources() {

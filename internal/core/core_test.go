@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/netip"
 
 	"dpsadopt/internal/bgp"
@@ -111,7 +112,7 @@ func measuredWorld(t testing.TB) (*worldsim.World, *store.Store) {
 	s := store.New()
 	p := measure.New(w, s, measure.Config{Mode: measure.ModeDirect, Workers: 4})
 	for _, d := range testDays {
-		if err := p.RunDay(d); err != nil {
+		if err := p.RunDay(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -38,7 +38,7 @@ func (r *Resolver) AXFR(server netip.AddrPort, zone string) ([]dnswire.RR, error
 	if err := dnswire.WriteFramed(conn, wire); err != nil {
 		return nil, err
 	}
-	r.queries++
+	r.queries.Add(1)
 
 	var records []dnswire.RR
 	soaSeen := 0

@@ -1,6 +1,7 @@
 package dnsclient
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 
@@ -16,13 +17,13 @@ func BenchmarkResolveCached(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer r.Close()
-	if _, err := r.Resolve("examp.le", dnswire.TypeA); err != nil {
+	if _, err := r.Resolve(context.Background(), "examp.le", dnswire.TypeA); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := r.Resolve("examp.le", dnswire.TypeA)
+		res, err := r.Resolve(context.Background(), "examp.le", dnswire.TypeA)
 		if err != nil || len(res.Addrs()) != 1 {
 			b.Fatalf("res=%v err=%v", res, err)
 		}
@@ -43,7 +44,7 @@ func BenchmarkResolveColdChain(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.FlushCache()
-		res, err := r.Resolve("www.examp.le", dnswire.TypeA)
+		res, err := r.Resolve(context.Background(), "www.examp.le", dnswire.TypeA)
 		if err != nil || len(res.Addrs()) != 1 {
 			b.Fatalf("res=%v err=%v", res, err)
 		}

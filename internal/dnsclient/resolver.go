@@ -8,13 +8,16 @@
 package dnsclient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/trace"
 	"dpsadopt/internal/transport"
 )
 
@@ -91,7 +94,10 @@ type Resolver struct {
 	// tractable: the TLD referral is taken once, not per domain.
 	cache map[string][]netip.AddrPort
 
-	queries int64 // total datagrams sent, for stats
+	// queries counts datagrams sent, for stats. Atomic so a stats
+	// scraper (or a future shared-resolver caller) can read it while
+	// the resolver is mid-resolution without racing.
+	queries atomic.Int64
 }
 
 // NewResolver creates a resolver bound to an ephemeral port on local,
@@ -121,8 +127,9 @@ func NewResolver(network transport.Network, local netip.Addr, roots []netip.Addr
 // Close releases the resolver's socket.
 func (r *Resolver) Close() error { return r.conn.Close() }
 
-// QueriesSent returns the total number of query datagrams sent.
-func (r *Resolver) QueriesSent() int64 { return r.queries }
+// QueriesSent returns the total number of query datagrams sent. Safe to
+// call concurrently with an in-flight resolution.
+func (r *Resolver) QueriesSent() int64 { return r.queries.Load() }
 
 // FlushCache drops learned referrals; the daily measurement loop calls it
 // between days so delegation changes are observed.
@@ -131,11 +138,18 @@ func (r *Resolver) FlushCache() {
 }
 
 // Resolve iteratively resolves name/qtype, chasing CNAMEs across zones.
-func (r *Resolver) Resolve(name string, qtype dnswire.Type) (*Result, error) {
+// The context carries cancellation (checked between datagram exchanges)
+// and the active trace span: when the caller's context holds a sampled
+// span, the resolution is recorded as a `dnsclient.resolve` span with
+// `transport.send` children per datagram exchange.
+func (r *Resolver) Resolve(ctx context.Context, name string, qtype dnswire.Type) (*Result, error) {
 	qname, err := dnswire.CanonicalName(name)
 	if err != nil {
 		return nil, err
 	}
+	ctx, sp := trace.StartSpan(ctx, "dnsclient.resolve",
+		trace.Str("name", qname), trace.Str("qtype", qtype.String()))
+	defer sp.End()
 	res := &Result{RCode: dnswire.RCodeNoError}
 	seen := map[string]bool{}
 	for hop := 0; hop <= maxCNAMEHops; hop++ {
@@ -143,9 +157,10 @@ func (r *Resolver) Resolve(name string, qtype dnswire.Type) (*Result, error) {
 			break // CNAME loop across zones
 		}
 		seen[qname] = true
-		resp, err := r.resolveOne(qname, qtype, res, 0)
+		resp, err := r.resolveOne(ctx, qname, qtype, res, 0)
 		if err != nil {
 			mErrors.Inc()
+			sp.SetAttr(trace.Str("error", err.Error()))
 			return res, err
 		}
 		res.RCode = resp.Flags.RCode
@@ -154,10 +169,15 @@ func (r *Resolver) Resolve(name string, qtype dnswire.Type) (*Result, error) {
 		// else, restart at the target.
 		next := chainTail(resp.Answers, qtype)
 		if next == "" {
+			sp.SetAttr(trace.Str("rcode", res.RCode.String()),
+				trace.Int("queries", int64(res.Queries)),
+				trace.Int("records", int64(len(res.Records))))
 			return res, nil
 		}
 		qname = next
 	}
+	sp.SetAttr(trace.Str("rcode", res.RCode.String()),
+		trace.Int("queries", int64(res.Queries)))
 	return res, nil
 }
 
@@ -176,13 +196,13 @@ func chainTail(answers []dnswire.RR, qtype dnswire.Type) string {
 
 // resolveOne walks referrals from the closest cached cut (or the roots)
 // until it gets an authoritative answer for qname.
-func (r *Resolver) resolveOne(qname string, qtype dnswire.Type, res *Result, glueDepth int) (*dnswire.Message, error) {
+func (r *Resolver) resolveOne(ctx context.Context, qname string, qtype dnswire.Type, res *Result, glueDepth int) (*dnswire.Message, error) {
 	servers, _ := r.bestServers(qname)
 	for step := 0; step < r.MaxSteps; step++ {
 		if len(servers) == 0 {
 			return nil, ErrNoServers
 		}
-		resp, err := r.exchange(servers, qname, qtype, res)
+		resp, err := r.exchange(ctx, servers, qname, qtype, res)
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +215,7 @@ func (r *Resolver) resolveOne(qname string, qtype dnswire.Type, res *Result, glu
 			return resp, nil
 		default:
 			// Referral: learn the cut and descend.
-			next, origin := r.referralServers(resp, res, glueDepth)
+			next, origin := r.referralServers(ctx, resp, res, glueDepth)
 			if len(next) == 0 {
 				return resp, nil // dead end; surface what we have
 			}
@@ -223,7 +243,7 @@ func (r *Resolver) bestServers(qname string) ([]netip.AddrPort, string) {
 
 // referralServers extracts the delegation from a referral response,
 // resolving glueless NS hosts if needed.
-func (r *Resolver) referralServers(resp *dnswire.Message, res *Result, glueDepth int) ([]netip.AddrPort, string) {
+func (r *Resolver) referralServers(ctx context.Context, resp *dnswire.Message, res *Result, glueDepth int) ([]netip.AddrPort, string) {
 	glue := map[string][]netip.Addr{}
 	for _, rr := range resp.Extra {
 		switch d := rr.Data.(type) {
@@ -253,7 +273,7 @@ func (r *Resolver) referralServers(resp *dnswire.Message, res *Result, glueDepth
 	// Resolve glueless NS hosts only if no glued server is available.
 	if len(out) == 0 && glueDepth < maxGlueDepth {
 		for _, host := range glueless {
-			sub, err := r.resolveOne(host, dnswire.TypeA, res, glueDepth+1)
+			sub, err := r.resolveOne(ctx, host, dnswire.TypeA, res, glueDepth+1)
 			if err != nil {
 				continue
 			}
@@ -268,8 +288,11 @@ func (r *Resolver) referralServers(resp *dnswire.Message, res *Result, glueDepth
 }
 
 // exchange sends the query to the servers in order, retrying on timeout,
-// and returns the first matching response.
-func (r *Resolver) exchange(servers []netip.AddrPort, qname string, qtype dnswire.Type, res *Result) (*dnswire.Message, error) {
+// and returns the first matching response. Each attempt is traced as a
+// `transport.send` span when the context carries a sampled span; the
+// query-latency histogram records the trace ID of the slowest query per
+// bucket as an exemplar. Cancelling the context aborts between attempts.
+func (r *Resolver) exchange(ctx context.Context, servers []netip.AddrPort, qname string, qtype dnswire.Type, res *Result) (*dnswire.Message, error) {
 	q := dnswire.NewQuery(uint16(r.rng.Uint32()), qname, qtype)
 	// Advertise an EDNS0 payload size so TLD referrals with glue fit.
 	size := r.UDPSize
@@ -283,15 +306,27 @@ func (r *Resolver) exchange(servers []netip.AddrPort, qname string, qtype dnswir
 	if err != nil {
 		return nil, err
 	}
+	var traceID string
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		traceID = sp.TraceID().String()
+	}
 	for attempt := 0; attempt <= r.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		server := servers[attempt%len(servers)]
 		if attempt > 0 {
 			mRetries.Inc()
 		}
+		_, ssp := trace.StartSpan(ctx, "transport.send",
+			trace.Str("server", server.String()), trace.Int("attempt", int64(attempt)),
+			trace.Int("bytes", int64(len(wire))))
 		if err := r.conn.WriteTo(wire, server); err != nil {
+			ssp.SetAttr(trace.Str("error", err.Error()))
+			ssp.End()
 			return nil, err
 		}
-		r.queries++
+		r.queries.Add(1)
 		mQueries.Inc()
 		if res != nil {
 			res.Queries++
@@ -302,14 +337,20 @@ func (r *Resolver) exchange(servers []netip.AddrPort, qname string, qtype dnswir
 			remain := time.Until(deadline)
 			if remain <= 0 {
 				mTimeouts.Inc()
+				ssp.SetAttr(trace.Str("outcome", "timeout"))
+				ssp.End()
 				break // retry
 			}
 			n, from, err := r.conn.ReadFrom(r.buf, remain)
 			if err == transport.ErrTimeout {
 				mTimeouts.Inc()
+				ssp.SetAttr(trace.Str("outcome", "timeout"))
+				ssp.End()
 				break
 			}
 			if err != nil {
+				ssp.SetAttr(trace.Str("error", err.Error()))
+				ssp.End()
 				return nil, err
 			}
 			if from != server {
@@ -322,16 +363,22 @@ func (r *Resolver) exchange(servers []netip.AddrPort, qname string, qtype dnswir
 			if len(resp.Questions) != 1 || !questionMatches(resp.Questions[0], qname, qtype) {
 				continue
 			}
-			mQueryLatency.Observe(time.Since(sent).Seconds())
+			mQueryLatency.ObserveExemplar(time.Since(sent).Seconds(), traceID)
 			if resp.Flags.Truncated {
 				// RFC 1035 §4.2.2: retry over TCP. Keep the truncated
 				// response if the stream path is unavailable or fails.
 				mTCPFallback.Inc()
-				if full, err := r.exchangeTCP(server, wire, q.ID, qname, qtype); err == nil {
+				ssp.SetAttr(trace.Str("outcome", "truncated"))
+				ssp.End()
+				if full, err := r.exchangeTCP(ctx, server, wire, q.ID, qname, qtype); err == nil {
 					mRCodes.With(full.Flags.RCode.String()).Inc()
 					return full, nil
 				}
+				mRCodes.With(resp.Flags.RCode.String()).Inc()
+				return resp, nil
 			}
+			ssp.SetAttr(trace.Str("outcome", "response"), trace.Int("resp_bytes", int64(n)))
+			ssp.End()
 			mRCodes.With(resp.Flags.RCode.String()).Inc()
 			return resp, nil
 		}
@@ -340,22 +387,29 @@ func (r *Resolver) exchange(servers []netip.AddrPort, qname string, qtype dnswir
 }
 
 // exchangeTCP repeats one query over a stream connection.
-func (r *Resolver) exchangeTCP(server netip.AddrPort, wire []byte, id uint16, qname string, qtype dnswire.Type) (*dnswire.Message, error) {
+func (r *Resolver) exchangeTCP(ctx context.Context, server netip.AddrPort, wire []byte, id uint16, qname string, qtype dnswire.Type) (*dnswire.Message, error) {
 	sn, ok := r.net.(transport.StreamNetwork)
 	if !ok {
 		return nil, fmt.Errorf("dnsclient: transport has no stream support")
 	}
+	_, ssp := trace.StartSpan(ctx, "transport.tcp",
+		trace.Str("server", server.String()))
+	defer ssp.End()
 	conn, err := sn.DialStream(r.conn.LocalAddr().Addr(), server)
 	if err != nil {
+		ssp.SetAttr(trace.Str("error", err.Error()))
 		return nil, err
 	}
 	defer conn.Close()
 	deadline := time.Now().Add(r.Timeout * 4)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	_ = conn.SetDeadline(deadline)
 	if err := dnswire.WriteFramed(conn, wire); err != nil {
 		return nil, err
 	}
-	r.queries++
+	r.queries.Add(1)
 	mQueries.Inc()
 	msg, err := dnswire.ReadFramed(conn)
 	if err != nil {

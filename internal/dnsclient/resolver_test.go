@@ -1,6 +1,7 @@
 package dnsclient
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 
@@ -106,7 +107,7 @@ func (w *testWorld) resolver(t testing.TB) *Resolver {
 func TestResolveApexA(t *testing.T) {
 	w := newTestWorld(t)
 	r := w.resolver(t)
-	res, err := r.Resolve("examp.le", dnswire.TypeA)
+	res, err := r.Resolve(context.Background(), "examp.le", dnswire.TypeA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestResolveApexA(t *testing.T) {
 func TestResolveCNAMEAcrossZones(t *testing.T) {
 	w := newTestWorld(t)
 	r := w.resolver(t)
-	res, err := r.Resolve("www.examp.le", dnswire.TypeA)
+	res, err := r.Resolve(context.Background(), "www.examp.le", dnswire.TypeA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestResolveGluelessNS(t *testing.T) {
 	// resolver must resolve it through the "ar" TLD first.
 	w := newTestWorld(t)
 	r := w.resolver(t)
-	res, err := r.Resolve("examp.le", dnswire.TypeA)
+	res, err := r.Resolve(context.Background(), "examp.le", dnswire.TypeA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestResolveGluelessNS(t *testing.T) {
 func TestResolveNXDomain(t *testing.T) {
 	w := newTestWorld(t)
 	r := w.resolver(t)
-	res, err := r.Resolve("missing.examp.le", dnswire.TypeA)
+	res, err := r.Resolve(context.Background(), "missing.examp.le", dnswire.TypeA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestResolveNXDomain(t *testing.T) {
 func TestResolveNoData(t *testing.T) {
 	w := newTestWorld(t)
 	r := w.resolver(t)
-	res, err := r.Resolve("examp.le", dnswire.TypeAAAA)
+	res, err := r.Resolve(context.Background(), "examp.le", dnswire.TypeAAAA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestResolveNoData(t *testing.T) {
 func TestResolveNSRecords(t *testing.T) {
 	w := newTestWorld(t)
 	r := w.resolver(t)
-	res, err := r.Resolve("examp.le", dnswire.TypeNS)
+	res, err := r.Resolve(context.Background(), "examp.le", dnswire.TypeNS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +197,11 @@ func TestResolveNSRecords(t *testing.T) {
 func TestReferralCacheReused(t *testing.T) {
 	w := newTestWorld(t)
 	r := w.resolver(t)
-	if _, err := r.Resolve("examp.le", dnswire.TypeA); err != nil {
+	if _, err := r.Resolve(context.Background(), "examp.le", dnswire.TypeA); err != nil {
 		t.Fatal(err)
 	}
 	first := r.QueriesSent()
-	if _, err := r.Resolve("examp.le", dnswire.TypeNS); err != nil {
+	if _, err := r.Resolve(context.Background(), "examp.le", dnswire.TypeNS); err != nil {
 		t.Fatal(err)
 	}
 	second := r.QueriesSent() - first
@@ -208,7 +209,7 @@ func TestReferralCacheReused(t *testing.T) {
 		t.Errorf("second resolution used %d queries, want 1 (cache)", second)
 	}
 	r.FlushCache()
-	if _, err := r.Resolve("examp.le", dnswire.TypeA); err != nil {
+	if _, err := r.Resolve(context.Background(), "examp.le", dnswire.TypeA); err != nil {
 		t.Fatal(err)
 	}
 	third := r.QueriesSent() - first - second
@@ -226,7 +227,7 @@ func TestResolveSurvivesLoss(t *testing.T) {
 	ok := 0
 	for i := 0; i < 10; i++ {
 		r.FlushCache()
-		res, err := r.Resolve("www.examp.le", dnswire.TypeA)
+		res, err := r.Resolve(context.Background(), "www.examp.le", dnswire.TypeA)
 		if err == nil && len(res.Addrs()) == 1 {
 			ok++
 		}
@@ -245,7 +246,7 @@ func TestResolveDeadServer(t *testing.T) {
 	defer r.Close()
 	r.Timeout = 20e6 // 20ms
 	r.Retries = 1
-	if _, err := r.Resolve("anything.test", dnswire.TypeA); err == nil {
+	if _, err := r.Resolve(context.Background(), "anything.test", dnswire.TypeA); err == nil {
 		t.Error("expected error from dead root")
 	}
 }
@@ -281,7 +282,7 @@ func TestCNAMELoopAcrossZonesBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer res.Close()
-	out, err := res.Resolve("a.test", dnswire.TypeA)
+	out, err := res.Resolve(context.Background(), "a.test", dnswire.TypeA)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dnsclient
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 	"time"
@@ -62,7 +63,7 @@ func TestTCPFallbackOnTruncation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	res, err := r.Resolve("many.big.test", dnswire.TypeA)
+	res, err := r.Resolve(context.Background(), "many.big.test", dnswire.TypeA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestTCPFallbackSmallEDNS(t *testing.T) {
 	}
 	defer r.Close()
 	r.UDPSize = 512
-	res, err := r.Resolve("many.big.test", dnswire.TypeA)
+	res, err := r.Resolve(context.Background(), "many.big.test", dnswire.TypeA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestTCPFallbackSmallEDNS(t *testing.T) {
 	// Small answers still travel UDP-only: resolve the NS set and check
 	// no extra TCP queries were needed (queries counter sanity).
 	before := r.QueriesSent()
-	if _, err := r.Resolve("big.test", dnswire.TypeNS); err != nil {
+	if _, err := r.Resolve(context.Background(), "big.test", dnswire.TypeNS); err != nil {
 		t.Fatal(err)
 	}
 	if r.QueriesSent()-before != 1 {
@@ -109,7 +110,7 @@ func TestTCPFallbackOverKernelSockets(t *testing.T) {
 	}
 	defer r.Close()
 	r.Timeout = time.Second
-	res, err := r.Resolve("many.big.test", dnswire.TypeA)
+	res, err := r.Resolve(context.Background(), "many.big.test", dnswire.TypeA)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package dnsserver
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sync"
@@ -19,6 +20,7 @@ import (
 
 	"dpsadopt/internal/dnswire"
 	"dpsadopt/internal/dnszone"
+	"dpsadopt/internal/trace"
 	"dpsadopt/internal/transport"
 )
 
@@ -233,7 +235,10 @@ func (s *Server) serveInline(conn transport.Conn) error {
 }
 
 // answer decodes, handles, and responds to one datagram; malformed input
-// is dropped as real servers do.
+// is dropped as real servers do. When a process tracer is installed
+// (trace.SetDefault) the query is recorded as a `dnsserver.handle` root
+// span, sampled by qname with the same deterministic hash the client
+// side uses, so server-side traces exist for the same sampled names.
 func (s *Server) answer(conn transport.Conn, data []byte, from netip.AddrPort) {
 	mInflight.Inc()
 	defer mInflight.Dec()
@@ -242,12 +247,24 @@ func (s *Server) answer(conn transport.Conn, data []byte, from netip.AddrPort) {
 		mMalformed.Inc()
 		return
 	}
+	var sp *trace.Span
+	if tr := trace.Default(); tr != nil && len(q.Questions) == 1 {
+		if qn, err := dnswire.CanonicalName(q.Questions[0].Name); err == nil && tr.SampleName(qn) {
+			_, sp = tr.StartRoot(context.Background(), "dnsserver.handle",
+				trace.Str("qname", qn),
+				trace.Str("qtype", q.Questions[0].Type.String()),
+				trace.Str("client", from.String()))
+		}
+	}
 	resp := s.Handle(q)
+	sp.SetAttr(trace.Str("rcode", resp.Flags.RCode.String()))
 	wire, err := packWithLimit(resp, maxPayload(q))
 	if err != nil {
+		sp.End()
 		return
 	}
 	_ = conn.WriteTo(wire, from)
+	sp.End()
 }
 
 // Running wraps a Server bound to an address with lifecycle management.

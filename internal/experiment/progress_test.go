@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+
+	"dpsadopt/internal/obs"
+)
+
+// TestOnDayProgress verifies the per-day progress callback: it fires
+// exactly once per measured day, in order, and its numbers agree with
+// the experiment_* metrics on the default registry.
+func TestOnDayProgress(t *testing.T) {
+	const days = 5
+	var events []DayProgress
+	r, err := New(Config{Scale: 20000, Workers: 4, Days: days,
+		OnDayProgress: func(p DayProgress) { events = append(events, p) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Default().Snapshot()
+	if err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default().Snapshot()
+
+	if len(events) != days {
+		t.Fatalf("callback fired %d times, want %d", len(events), days)
+	}
+	var rows int64
+	for i, e := range events {
+		if e.Done != i+1 {
+			t.Errorf("event %d Done = %d, want %d (monotone, once per day)", i, e.Done, i+1)
+		}
+		if e.Total != days {
+			t.Errorf("event %d Total = %d, want %d", i, e.Total, days)
+		}
+		if i > 0 && e.Day != events[i-1].Day+1 {
+			t.Errorf("event %d Day = %v, want %v", i, e.Day, events[i-1].Day+1)
+		}
+		if e.Rows <= 0 {
+			t.Errorf("event %d Rows = %d, want > 0", i, e.Rows)
+		}
+		rows += e.Rows
+	}
+
+	// The same per-day numbers are exported as experiment_* metrics.
+	if got := after.Counter("experiment_rows_total") - before.Counter("experiment_rows_total"); got != rows {
+		t.Errorf("experiment_rows_total grew by %d, callbacks reported %d", got, rows)
+	}
+	if got := after.Gauges["experiment_days_completed"]; got != float64(days) {
+		t.Errorf("experiment_days_completed = %v, want %d", got, days)
+	}
+	if got := after.Gauges["experiment_detected_domains"]; got != float64(events[days-1].Detected) {
+		t.Errorf("experiment_detected_domains = %v, last callback saw %d", got, events[days-1].Detected)
+	}
+	if got := after.Gauges["experiment_days_total"]; got != float64(days) {
+		t.Errorf("experiment_days_total = %v, want %d", got, days)
+	}
+}
+
+// TestRunCancelled verifies a cancelled context stops a run before any
+// day is measured.
+func TestRunCancelled(t *testing.T) {
+	r, err := New(Config{Scale: 20000, Workers: 2, Days: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fired := 0
+	r.Cfg.OnDayProgress = func(DayProgress) { fired++ }
+	if err := r.Run(ctx); err == nil {
+		t.Fatal("Run on cancelled ctx returned nil")
+	}
+	if fired != 0 {
+		t.Errorf("progress fired %d times on a cancelled run", fired)
+	}
+}

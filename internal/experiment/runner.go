@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"dpsadopt/internal/pfx2as"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
+	"dpsadopt/internal/trace"
 	"dpsadopt/internal/worldsim"
 )
 
@@ -117,8 +119,11 @@ func New(cfg Config) (*Runner, error) {
 // Window returns the days actually run.
 func (r *Runner) Window() simtime.Range { return r.window }
 
-// Run executes the streaming measurement + analysis pass.
-func (r *Runner) Run() error {
+// Run executes the streaming measurement + analysis pass. The context
+// cancels the run between (and, in wire mode, inside) days; each day is
+// traced as an `experiment.day` root span on the process tracer when one
+// is installed (trace.SetDefault).
+func (r *Runner) Run(ctx context.Context) error {
 	if r.ran {
 		return fmt.Errorf("experiment: Run called twice")
 	}
@@ -126,8 +131,16 @@ func (r *Runner) Run() error {
 	total := r.window.Len()
 	mDaysTotal.Set(float64(total))
 	for i := 0; i < total; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		day := r.window.Start + simtime.Day(i)
-		if err := r.pipeline.RunDay(day); err != nil {
+		dctx, sp := trace.Default().StartRoot(ctx, "experiment.day",
+			trace.Str("day", day.String()),
+			trace.Int("index", int64(i+1)), trace.Int("total", int64(total)))
+		if err := r.pipeline.RunDay(dctx, day); err != nil {
+			sp.SetAttr(trace.Str("error", err.Error()))
+			sp.End()
 			return fmt.Errorf("experiment: day %s: %w", day, err)
 		}
 		var dayRows int64
@@ -156,6 +169,8 @@ func (r *Runner) Run() error {
 			}
 		}
 		detected := r.Agg.SumAny(worldsim.GTLDs(), day)
+		sp.SetAttr(trace.Int("rows", dayRows), trace.Int("detected", int64(detected)))
+		sp.End()
 		mDaysCompleted.Set(float64(i + 1))
 		mRowsSeen.Add(dayRows)
 		mDetected.Set(float64(detected))
@@ -180,7 +195,7 @@ func (r *Runner) Run() error {
 func (r *Runner) MaterializeDay(day simtime.Day) (*store.Store, error) {
 	tmp := store.New()
 	p := measure.New(r.World, tmp, measure.Config{Mode: measure.ModeDirect, Workers: r.Cfg.Workers})
-	if err := p.RunDay(day); err != nil {
+	if err := p.RunDay(context.Background(), day); err != nil {
 		return nil, err
 	}
 	return tmp, nil
@@ -424,10 +439,10 @@ func (r *Runner) Anomalies(perProvider int) ([]AnomalyReport, error) {
 			}
 			tmp := store.New()
 			pipe := measure.New(r.World, tmp, measure.Config{Mode: measure.ModeDirect, Workers: r.Cfg.Workers})
-			if err := pipe.RunDay(prev); err != nil {
+			if err := pipe.RunDay(context.Background(), prev); err != nil {
 				return nil, err
 			}
-			if err := pipe.RunDay(sw.Day); err != nil {
+			if err := pipe.RunDay(context.Background(), sw.Day); err != nil {
 				return nil, err
 			}
 			tmpAgg := analysis.NewAggregator(r.Refs, tmp, nil)

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"dpsadopt/internal/measure"
@@ -20,7 +21,7 @@ func shortRun(t testing.TB) *Runner {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Run(); err != nil {
+	if err := r.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	cachedRunner = r
@@ -223,7 +224,7 @@ func TestRunnerTable2Discovery(t *testing.T) {
 
 func TestRunnerRejectsDoubleRun(t *testing.T) {
 	r := shortRun(t)
-	if err := r.Run(); err == nil {
+	if err := r.Run(context.Background()); err == nil {
 		t.Error("second Run accepted")
 	}
 }
@@ -233,7 +234,7 @@ func TestRunnerKeepStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Run(); err != nil {
+	if err := r.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(r.Store.Days("com")) != 3 {
@@ -244,7 +245,7 @@ func TestRunnerKeepStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r2.Run(); err != nil {
+	if err := r2.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(r2.Store.Days("com")) != 0 {
@@ -283,7 +284,7 @@ func TestRunnerFullWindowTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Run(); err != nil {
+	if err := r.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	rows := r.Table1()

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"testing"
 
 	"dpsadopt/internal/store"
@@ -33,7 +34,7 @@ func BenchmarkAblationTransportDirect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := store.New()
 		p := New(w, s, Config{Mode: ModeDirect, Workers: 4})
-		if err := p.RunDay(100); err != nil {
+		if err := p.RunDay(context.Background(), 100); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -45,7 +46,7 @@ func BenchmarkAblationTransportWire(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := store.New()
 		p := New(w, s, Config{Mode: ModeWire, Workers: 8, Timeout: 500, Retries: 3})
-		if err := p.RunDay(100); err != nil {
+		if err := p.RunDay(context.Background(), 100); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,6 +15,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -26,6 +27,7 @@ import (
 	"dpsadopt/internal/pfx2as"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
+	"dpsadopt/internal/trace"
 	"dpsadopt/internal/transport"
 	"dpsadopt/internal/worldsim"
 )
@@ -149,10 +151,20 @@ func (p *Pipeline) stageOneLists(day simtime.Day) map[string][]task {
 	return lists
 }
 
-// RunDay measures one day into the store.
-func (p *Pipeline) RunDay(day simtime.Day) error {
+// RunDay measures one day into the store. The context carries
+// cancellation (a cancelled day stops between domains and returns the
+// context's error; committed partitions are kept) and the active trace
+// span: stage spans (`measure.stage1/2/3`) nest under whatever day-level
+// span the caller opened.
+func (p *Pipeline) RunDay(ctx context.Context, day simtime.Day) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	dayStart := time.Now()
+	_, sp1 := trace.StartSpan(ctx, "measure.stage1", trace.Str("day", day.String()))
 	lists := p.stageOneLists(day)
+	sp1.SetAttr(trace.Int("sources", int64(len(lists))))
+	sp1.End()
 	mStageSeconds.With(stageZoneAcquisition).Observe(time.Since(dayStart).Seconds())
 	if len(lists) == 0 {
 		return nil
@@ -174,7 +186,9 @@ func (p *Pipeline) RunDay(day simtime.Day) error {
 		} else {
 			network = transport.NewMem(int64(day) ^ 0x3f3f)
 		}
+		_, spw := trace.StartSpan(ctx, "measure.wirebuild")
 		wire, err = p.World.BuildWire(day, network)
+		spw.End()
 		if err != nil {
 			return fmt.Errorf("measure: wire build: %w", err)
 		}
@@ -185,12 +199,19 @@ func (p *Pipeline) RunDay(day simtime.Day) error {
 	rows := 0
 	domains := 0
 	for source, tasks := range lists {
-		n, err := p.runSource(day, source, tasks, table, wire, network)
+		sctx, sp2 := trace.StartSpan(ctx, "measure.stage2",
+			trace.Str("source", source), trace.Int("domains", int64(len(tasks))))
+		n, err := p.runSource(sctx, day, source, tasks, table, wire, network)
+		sp2.SetAttr(trace.Int("rows", int64(n)))
+		sp2.End()
 		if err != nil {
 			return err
 		}
 		rows += n
 		domains += len(tasks)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	mStageSeconds.With(stageResolution).Observe(time.Since(resStart).Seconds())
 	mDomains.Add(int64(domains))
@@ -205,9 +226,9 @@ func (p *Pipeline) RunDay(day simtime.Day) error {
 }
 
 // RunRange measures every day in [r.Start, r.End).
-func (p *Pipeline) RunRange(r simtime.Range) error {
+func (p *Pipeline) RunRange(ctx context.Context, r simtime.Range) error {
 	for day := r.Start; day < r.End; day++ {
-		if err := p.RunDay(day); err != nil {
+		if err := p.RunDay(ctx, day); err != nil {
 			return fmt.Errorf("measure: day %s: %w", day, err)
 		}
 	}
@@ -215,7 +236,7 @@ func (p *Pipeline) RunRange(r simtime.Range) error {
 }
 
 // runSource measures one source's task list with the worker cloud.
-func (p *Pipeline) runSource(day simtime.Day, source string, tasks []task, table pfx2as.Table, wire *worldsim.Wire, network transport.Network) (int, error) {
+func (p *Pipeline) runSource(ctx context.Context, day simtime.Day, source string, tasks []task, table pfx2as.Table, wire *worldsim.Wire, network transport.Network) (int, error) {
 	workers := p.Cfg.Workers
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -266,14 +287,22 @@ func (p *Pipeline) runSource(day simtime.Day, source string, tasks []task, table
 			}
 			n := 0
 			for _, t := range tasks[lo:hi] {
+				if ctx.Err() != nil {
+					break // cancelled: commit what this worker has
+				}
 				if p.Cfg.Mode == ModeDirect {
 					n += p.measureDirect(writer, t.dom, day, table)
 				} else {
-					n += p.measureWire(writer, resolver, t.dom, table)
+					// Per-domain sampling: only sampled domains carry
+					// the active span into the resolver.
+					n += p.measureWire(trace.ForDomain(ctx, t.dom.Name), writer, resolver, t.dom, table)
 				}
 			}
 			commitStart := time.Now()
+			_, sp3 := trace.StartSpan(ctx, "measure.stage3",
+				trace.Str("source", source), trace.Int("rows", int64(n)))
 			writer.Commit()
+			sp3.End()
 			mStageSeconds.With(stageStorage).Observe(time.Since(commitStart).Seconds())
 			mu.Lock()
 			total += n
@@ -284,6 +313,9 @@ func (p *Pipeline) runSource(day simtime.Day, source string, tasks []task, table
 		}(wi, lo, hi)
 	}
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return total, firstErr
 }
 
@@ -317,31 +349,31 @@ func (p *Pipeline) measureDirect(w *store.Writer, d *worldsim.Domain, day simtim
 
 // measureWire resolves the domain's records over the network and emits
 // the same row shapes as measureDirect.
-func (p *Pipeline) measureWire(w *store.Writer, r *dnsclient.Resolver, d *worldsim.Domain, table pfx2as.Table) int {
+func (p *Pipeline) measureWire(ctx context.Context, w *store.Writer, r *dnsclient.Resolver, d *worldsim.Domain, table pfx2as.Table) int {
 	before := w.Rows()
 	name := d.Name
-	if res, err := r.Resolve(name, dnswire.TypeA); err == nil {
+	if res, err := r.Resolve(ctx, name, dnswire.TypeA); err == nil {
 		for _, rr := range res.Records {
 			if a, ok := rr.Data.(dnswire.A); ok {
 				w.AddAddr(name, store.KindApexA, a.Addr, lookupASNs(table, a.Addr))
 			}
 		}
 	}
-	if res, err := r.Resolve(name, dnswire.TypeAAAA); err == nil {
+	if res, err := r.Resolve(ctx, name, dnswire.TypeAAAA); err == nil {
 		for _, rr := range res.Records {
 			if a, ok := rr.Data.(dnswire.AAAA); ok {
 				w.AddAddr(name, store.KindApexAAAA, a.Addr, lookupASNs(table, a.Addr))
 			}
 		}
 	}
-	if res, err := r.Resolve(name, dnswire.TypeNS); err == nil {
+	if res, err := r.Resolve(ctx, name, dnswire.TypeNS); err == nil {
 		for _, rr := range res.Records {
 			if ns, ok := rr.Data.(dnswire.NS); ok {
 				w.AddStr(name, store.KindNS, ns.Host)
 			}
 		}
 	}
-	if res, err := r.Resolve("www."+name, dnswire.TypeA); err == nil {
+	if res, err := r.Resolve(ctx, "www."+name, dnswire.TypeA); err == nil {
 		for _, rr := range res.Records {
 			switch data := rr.Data.(type) {
 			case dnswire.CNAME:
@@ -351,7 +383,7 @@ func (p *Pipeline) measureWire(w *store.Writer, r *dnsclient.Resolver, d *worlds
 			}
 		}
 	}
-	if res, err := r.Resolve("www."+name, dnswire.TypeAAAA); err == nil {
+	if res, err := r.Resolve(ctx, "www."+name, dnswire.TypeAAAA); err == nil {
 		for _, rr := range res.Records {
 			if a, ok := rr.Data.(dnswire.AAAA); ok {
 				w.AddAddr(name, store.KindWWWAAAA, a.Addr, lookupASNs(table, a.Addr))

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -38,7 +39,7 @@ func TestDirectRunDay(t *testing.T) {
 	w := midWorld(t)
 	s := store.New()
 	p := New(w, s, Config{Mode: ModeDirect, Workers: 4})
-	if err := p.RunDay(0); err != nil {
+	if err := p.RunDay(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	srcs := s.Sources()
@@ -66,7 +67,7 @@ func TestDirectAlexaAndNLWindows(t *testing.T) {
 	s := store.New()
 	p := New(w, s, Config{Mode: ModeDirect, Workers: 2})
 	day := w.Cfg.NLWindow.Start
-	if err := p.RunDay(day); err != nil {
+	if err := p.RunDay(context.Background(), day); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.Days(SourceAlexa)) != 1 {
@@ -81,7 +82,7 @@ func TestASNSupplementation(t *testing.T) {
 	w := midWorld(t)
 	s := store.New()
 	p := New(w, s, Config{Mode: ModeDirect, Workers: 2})
-	if err := p.RunDay(100); err != nil {
+	if err := p.RunDay(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	addrRows, withASN := 0, 0
@@ -126,12 +127,12 @@ func TestModesEquivalent(t *testing.T) {
 
 	direct := store.New()
 	pd := New(w, direct, Config{Mode: ModeDirect, Workers: 2})
-	if err := pd.RunDay(day); err != nil {
+	if err := pd.RunDay(context.Background(), day); err != nil {
 		t.Fatal(err)
 	}
 	wireStore := store.New()
 	pw := New(w, wireStore, Config{Mode: ModeWire, Workers: 4, Timeout: 250, Retries: 3})
-	if err := pw.RunDay(day); err != nil {
+	if err := pw.RunDay(context.Background(), day); err != nil {
 		t.Fatal(err)
 	}
 	if pw.QueriesSent() == 0 {
@@ -185,10 +186,10 @@ func TestSedoOutageDropsRows(t *testing.T) {
 	s := store.New()
 	p := New(w, s, Config{Mode: ModeDirect, Workers: 2})
 	outage := simtime.FromDate(2015, 11, 22)
-	if err := p.RunDay(outage); err != nil {
+	if err := p.RunDay(context.Background(), outage); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RunDay(outage + 1); err != nil {
+	if err := p.RunDay(context.Background(), outage+1); err != nil {
 		t.Fatal(err)
 	}
 	sedoRows := func(day simtime.Day) int {
@@ -220,7 +221,7 @@ func TestRunRange(t *testing.T) {
 		}
 		days = append(days, d)
 	}})
-	if err := p.RunRange(simtime.Range{Start: 0, End: 3}); err != nil {
+	if err := p.RunRange(context.Background(), simtime.Range{Start: 0, End: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if len(days) != 3 {
@@ -239,11 +240,11 @@ func TestModesEquivalentOnOutageDay(t *testing.T) {
 	outage := simtime.FromDate(2015, 11, 22)
 
 	direct := store.New()
-	if err := New(w, direct, Config{Mode: ModeDirect, Workers: 2}).RunDay(outage); err != nil {
+	if err := New(w, direct, Config{Mode: ModeDirect, Workers: 2}).RunDay(context.Background(), outage); err != nil {
 		t.Fatal(err)
 	}
 	wireStore := store.New()
-	if err := New(w, wireStore, Config{Mode: ModeWire, Workers: 8, Timeout: 60, Retries: 1}).RunDay(outage); err != nil {
+	if err := New(w, wireStore, Config{Mode: ModeWire, Workers: 8, Timeout: 60, Retries: 1}).RunDay(context.Background(), outage); err != nil {
 		t.Fatal(err)
 	}
 	for _, src := range direct.Sources() {
@@ -274,13 +275,13 @@ func TestWireOverMappedUDP(t *testing.T) {
 	day := simtime.Day(10)
 
 	direct := store.New()
-	if err := New(w, direct, Config{Mode: ModeDirect, Workers: 2}).RunDay(day); err != nil {
+	if err := New(w, direct, Config{Mode: ModeDirect, Workers: 2}).RunDay(context.Background(), day); err != nil {
 		t.Fatal(err)
 	}
 	udp := store.New()
 	cfg := Config{Mode: ModeWire, Workers: 8, Timeout: 400, Retries: 3,
 		WireNetwork: func() transport.Network { return transport.NewMappedUDP() }}
-	if err := New(w, udp, cfg).RunDay(day); err != nil {
+	if err := New(w, udp, cfg).RunDay(context.Background(), day); err != nil {
 		t.Skipf("cannot run over UDP: %v", err)
 	}
 	for _, src := range direct.Sources() {
@@ -295,7 +296,7 @@ func TestWireOverMappedUDP(t *testing.T) {
 func TestAAAAMeasured(t *testing.T) {
 	w := midWorld(t)
 	s := store.New()
-	if err := New(w, s, Config{Mode: ModeDirect, Workers: 2}).RunDay(0); err != nil {
+	if err := New(w, s, Config{Mode: ModeDirect, Workers: 2}).RunDay(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	v6 := 0
@@ -324,11 +325,11 @@ func TestStageIZoneFilesEquivalent(t *testing.T) {
 	day := simtime.Day(20)
 
 	plain := store.New()
-	if err := New(w, plain, Config{Mode: ModeDirect, Workers: 2}).RunDay(day); err != nil {
+	if err := New(w, plain, Config{Mode: ModeDirect, Workers: 2}).RunDay(context.Background(), day); err != nil {
 		t.Fatal(err)
 	}
 	viaZone := store.New()
-	if err := New(w, viaZone, Config{Mode: ModeDirect, Workers: 2, StageIZoneFiles: true}).RunDay(day); err != nil {
+	if err := New(w, viaZone, Config{Mode: ModeDirect, Workers: 2, StageIZoneFiles: true}).RunDay(context.Background(), day); err != nil {
 		t.Fatal(err)
 	}
 	for _, src := range plain.Sources() {
@@ -354,7 +355,7 @@ func TestWireSurvivesPacketLoss(t *testing.T) {
 	day := simtime.Day(50)
 
 	direct := store.New()
-	if err := New(w, direct, Config{Mode: ModeDirect, Workers: 2}).RunDay(day); err != nil {
+	if err := New(w, direct, Config{Mode: ModeDirect, Workers: 2}).RunDay(context.Background(), day); err != nil {
 		t.Fatal(err)
 	}
 	lossy := store.New()
@@ -364,7 +365,7 @@ func TestWireSurvivesPacketLoss(t *testing.T) {
 			n.SetLoss(0.10)
 			return n
 		}}
-	if err := New(w, lossy, cfg).RunDay(day); err != nil {
+	if err := New(w, lossy, cfg).RunDay(context.Background(), day); err != nil {
 		t.Fatal(err)
 	}
 	for _, src := range direct.Sources() {

@@ -1,0 +1,126 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+	"dpsadopt/internal/trace"
+)
+
+// TestWireModeTraceNesting is the end-to-end tracing check: a wire-mode
+// day run under a sampling tracer must produce the full span chain
+// experiment.day → measure.stage2 → dnsclient.resolve → transport.send
+// for at least one domain, with correct parent links, plus the stage 1
+// and stage 3 spans.
+func TestWireModeTraceNesting(t *testing.T) {
+	w := tinyWorld(t)
+	tr := trace.New(trace.Config{Sample: 1})
+
+	s := store.New()
+	p := New(w, s, Config{Mode: ModeWire, Workers: 4, Timeout: 250, Retries: 3})
+	ctx, root := tr.StartRoot(context.Background(), "experiment.day", trace.Str("day", "100"))
+	if err := p.RunDay(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	traces := tr.Ring().Recent(1)
+	if len(traces) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(traces))
+	}
+	spans := traces[0].Spans
+	byID := make(map[trace.SpanID]trace.SpanRecord, len(spans))
+	count := map[string]int{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		count[sp.Name]++
+	}
+	for _, name := range []string{"measure.stage1", "measure.wirebuild", "measure.stage2", "measure.stage3", "dnsclient.resolve", "transport.send"} {
+		if count[name] == 0 {
+			t.Errorf("no %s span recorded (have %v)", name, count)
+		}
+	}
+
+	// Walk one transport.send leaf up to the root and verify the chain.
+	verified := false
+	for _, sp := range spans {
+		if sp.Name != "transport.send" {
+			continue
+		}
+		path := []string{sp.Name}
+		cur := sp
+		for cur.Parent != 0 {
+			parent, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %s has unknown parent %v", cur.Name, cur.Parent)
+			}
+			path = append(path, parent.Name)
+			cur = parent
+		}
+		want := []string{"transport.send", "dnsclient.resolve", "measure.stage2", "experiment.day"}
+		if len(path) == len(want) {
+			ok := true
+			for i := range want {
+				if path[i] != want[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				verified = true
+				break
+			}
+		}
+	}
+	if !verified {
+		t.Error("no transport.send span chains up through dnsclient.resolve and measure.stage2 to experiment.day")
+	}
+}
+
+// TestForDomainSampling verifies a zero sampling rate records the
+// day-level spans but no per-domain subtree.
+func TestForDomainSampling(t *testing.T) {
+	w := tinyWorld(t)
+	tr := trace.New(trace.Config{Sample: 0})
+	s := store.New()
+	p := New(w, s, Config{Mode: ModeWire, Workers: 4, Timeout: 250, Retries: 3})
+	ctx, root := tr.StartRoot(context.Background(), "experiment.day")
+	if err := p.RunDay(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	traces := tr.Ring().Recent(1)
+	if len(traces) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(traces))
+	}
+	for _, sp := range traces[0].Spans {
+		if sp.Name == "dnsclient.resolve" || sp.Name == "transport.send" {
+			t.Fatalf("unsampled run recorded per-domain span %s", sp.Name)
+		}
+		if sp.Name == "measure.stage2" {
+			continue
+		}
+	}
+}
+
+// TestRunDayCancelled verifies cancellation surfaces as
+// context.Canceled and leaves previously committed days intact.
+func TestRunDayCancelled(t *testing.T) {
+	w := midWorld(t)
+	s := store.New()
+	p := New(w, s, Config{Mode: ModeDirect, Workers: 2})
+	if err := p.RunDay(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.RunDay(ctx, 101); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunDay on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if got := s.Days("com"); len(got) != 1 || got[0] != simtime.Day(100) {
+		t.Errorf("committed days disturbed by cancelled run: %v", got)
+	}
+}

@@ -52,16 +52,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // writeHistogram emits the _bucket/_sum/_count series for one histogram;
 // labelPrefix is either empty or `label="value",` for vec children.
+// Buckets with an exemplar carry it as an OpenMetrics exemplar suffix
+// (`# {trace_id="..."} value`), linking the bucket to the trace of its
+// slowest observation.
 func writeHistogram(b *strings.Builder, name, labelPrefix string, h *Histogram) {
 	counts := h.BucketCounts()
+	exemplars := h.Exemplars()
 	bounds := h.bounds
 	var cum uint64
 	for i, bound := range bounds {
 		cum += counts[i]
-		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, labelPrefix, formatFloat(bound), cum)
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d%s\n", name, labelPrefix, formatFloat(bound), cum, exemplarSuffix(exemplars[i]))
 	}
 	cum += counts[len(bounds)]
-	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix, cum)
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d%s\n", name, labelPrefix, cum, exemplarSuffix(exemplars[len(bounds)]))
 	if labelPrefix == "" {
 		fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(h.Sum()))
 		fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
@@ -70,6 +74,13 @@ func writeHistogram(b *strings.Builder, name, labelPrefix string, h *Histogram) 
 		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, lp, formatFloat(h.Sum()))
 		fmt.Fprintf(b, "%s_count{%s} %d\n", name, lp, h.Count())
 	}
+}
+
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", e.TraceID, formatFloat(e.Value))
 }
 
 func formatFloat(v float64) string {

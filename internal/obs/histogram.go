@@ -18,11 +18,22 @@ var DefBuckets = []float64{
 // is wait-free; Quantile and the exposition helpers take a consistent-
 // enough snapshot by loading each bucket once (monotone counters make
 // minor skew harmless).
+//
+// Each bucket can additionally carry an exemplar: the trace ID of the
+// slowest observation that landed in it (see ObserveExemplar), linking
+// the aggregate latency distribution back to request-scoped traces.
 type Histogram struct {
-	bounds  []float64       // ascending upper bounds; +Inf is implicit
-	counts  []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
-	count   atomic.Uint64
-	sumBits atomic.Uint64 // float64 bits of the running sum
+	bounds    []float64       // ascending upper bounds; +Inf is implicit
+	counts    []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	count     atomic.Uint64
+	sumBits   atomic.Uint64 // float64 bits of the running sum
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the trace it came from.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -35,7 +46,11 @@ func newHistogram(bounds []float64) *Histogram {
 			panic("obs: histogram bounds must be strictly ascending")
 		}
 	}
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // NewHistogram creates a standalone histogram (not attached to a
@@ -57,6 +72,42 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// keeps it as the bucket's exemplar if it is the slowest observation the
+// bucket has seen — so every bucket points at the trace of its worst
+// case. Lock-free: a racing slower observation wins the CAS retry.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	nw := &Exemplar{Value: v, TraceID: traceID}
+	for {
+		old := h.exemplars[i].Load()
+		if old != nil && old.Value >= v {
+			return
+		}
+		if h.exemplars[i].CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Exemplars returns the per-bucket exemplars, index-aligned with
+// BucketCounts (the final element is the overflow bucket); buckets with
+// no exemplar are nil.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the total number of observations.

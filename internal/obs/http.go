@@ -17,9 +17,17 @@ import (
 //	                  registry snapshot under "obs")
 //	/debug/pprof/     the full net/http/pprof suite (profile, heap,
 //	                  goroutine, trace, ...)
+//
+// Handlers registered with Handle (e.g. the tracer's /debug/traces) are
+// mounted as well.
 func NewMux(reg *Registry) *http.ServeMux {
 	publishExpvar(reg)
 	mux := http.NewServeMux()
+	extraMu.RLock()
+	for pattern, h := range extraHandlers {
+		mux.Handle(pattern, h)
+	}
+	extraMu.RUnlock()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -31,6 +39,24 @@ func NewMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// extraHandlers holds debug handlers contributed by other subsystems
+// (the tracer's /debug/traces); NewMux mounts them alongside the
+// built-in endpoints. Registering the same pattern again replaces the
+// handler, so tests and restarts are safe.
+var (
+	extraMu       sync.RWMutex
+	extraHandlers = map[string]http.Handler{}
+)
+
+// Handle registers an extra handler to be mounted on every mux built by
+// NewMux. It must be called before Serve/NewMux to take effect on that
+// mux.
+func Handle(pattern string, h http.Handler) {
+	extraMu.Lock()
+	extraHandlers[pattern] = h
+	extraMu.Unlock()
 }
 
 // expvarOnce guards the process-global expvar namespace: expvar.Publish

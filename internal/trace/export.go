@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Exporter receives completed traces. Export is called with the
+// tracer's lock held, so implementations need no extra synchronisation
+// against other Export/Close calls from the same tracer.
+type Exporter interface {
+	Export(t *Trace)
+	Close() error
+}
+
+// ---- JSONL ----
+
+// jsonlSpan is the on-disk shape of one span: one JSON object per line,
+// grep- and jq-friendly, streamed as traces complete.
+type jsonlSpan struct {
+	Trace   string  `json:"trace"`
+	Span    string  `json:"span"`
+	Parent  string  `json:"parent,omitempty"`
+	Name    string  `json:"name"`
+	StartUS int64   `json:"start_us"` // µs since the Unix epoch
+	DurUS   float64 `json:"dur_us"`
+	Attrs   []Attr  `json:"attrs,omitempty"`
+}
+
+// JSONL streams one JSON object per span to w as traces complete.
+type JSONL struct {
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+}
+
+// NewJSONL creates a JSONL exporter over w. If w is an io.Closer it is
+// closed by Close.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	e := &JSONL{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		e.c = c
+	}
+	return e
+}
+
+// Export implements Exporter.
+func (e *JSONL) Export(t *Trace) {
+	for _, sp := range t.Spans {
+		rec := jsonlSpan{
+			Trace:   sp.Trace.String(),
+			Span:    sp.ID.String(),
+			Name:    sp.Name,
+			StartUS: sp.Start.UnixMicro(),
+			DurUS:   float64(sp.Duration) / float64(time.Microsecond),
+			Attrs:   sp.Attrs,
+		}
+		if sp.Parent != 0 {
+			rec.Parent = sp.Parent.String()
+		}
+		_ = e.enc.Encode(rec)
+	}
+}
+
+// Close flushes buffered lines and closes the underlying file.
+func (e *JSONL) Close() error {
+	err := e.w.Flush()
+	if e.c != nil {
+		if cerr := e.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ---- Chrome trace_event ----
+
+// chromeEvent is one complete ("X") event of the Chrome trace_event
+// format, the JSON-object flavour with a traceEvents array, loadable in
+// about:tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // µs since the first event
+	Dur  float64           `json:"dur"` // µs
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Chrome accumulates spans and writes one trace_event JSON document on
+// Close. Spans are laid out on synthetic threads (tid) by interval
+// nesting, so concurrent worker subtrees render side by side instead of
+// overlapping on one row.
+type Chrome struct {
+	w      io.WriteCloser
+	events []chromeEvent
+	lanes  []laneState
+	base   time.Time
+}
+
+// laneState is the open-interval stack of one synthetic thread.
+type laneState struct {
+	open []time.Time // end times of currently open enclosing spans
+}
+
+// NewChrome creates a Chrome trace_event exporter writing to w on Close.
+func NewChrome(w io.WriteCloser) *Chrome { return &Chrome{w: w} }
+
+// NewChromeFile creates a Chrome exporter writing to the named file.
+func NewChromeFile(path string) (*Chrome, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewChrome(f), nil
+}
+
+// Export implements Exporter.
+func (c *Chrome) Export(t *Trace) {
+	spans := append([]SpanRecord(nil), t.Spans...)
+	// Lay out by start time; longer spans first at equal starts so a
+	// parent precedes its children in lane assignment.
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].Duration > spans[j].Duration
+	})
+	if c.base.IsZero() && len(spans) > 0 {
+		c.base = spans[0].Start
+	}
+	for _, sp := range spans {
+		tid := c.assignLane(sp.Start, sp.Start.Add(sp.Duration))
+		args := map[string]string{
+			"trace": sp.Trace.String(),
+			"span":  sp.ID.String(),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = sp.Parent.String()
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		c.events = append(c.events, chromeEvent{
+			Name: sp.Name,
+			Cat:  "dps",
+			Ph:   "X",
+			TS:   float64(sp.Start.Sub(c.base)) / float64(time.Microsecond),
+			Dur:  float64(sp.Duration) / float64(time.Microsecond),
+			PID:  1,
+			TID:  tid,
+			Args: args,
+		})
+	}
+}
+
+// assignLane finds the lowest synthetic thread on which [start,end)
+// either nests inside the innermost open interval or starts after every
+// open interval has closed — the invariant the trace viewer's stacking
+// algorithm expects of events sharing a tid.
+func (c *Chrome) assignLane(start, end time.Time) int {
+	for i := range c.lanes {
+		l := &c.lanes[i]
+		// Close intervals that ended at or before this span starts.
+		for len(l.open) > 0 && !l.open[len(l.open)-1].After(start) {
+			l.open = l.open[:len(l.open)-1]
+		}
+		if len(l.open) == 0 || !end.After(l.open[len(l.open)-1]) {
+			l.open = append(l.open, end)
+			return i
+		}
+	}
+	c.lanes = append(c.lanes, laneState{open: []time.Time{end}})
+	return len(c.lanes) - 1
+}
+
+// Close writes the accumulated trace_event document and closes the file.
+func (c *Chrome) Close() error {
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: c.events, DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	enc := json.NewEncoder(c.w)
+	err := enc.Encode(doc)
+	if cerr := c.w.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

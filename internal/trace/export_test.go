@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// nopCloser adapts a bytes.Buffer to io.WriteCloser for the Chrome exporter.
+type nopCloser struct{ *bytes.Buffer }
+
+func (nopCloser) Close() error { return nil }
+
+// buildTrace runs one three-level trace through a tracer wired to the
+// given exporters and returns the root's trace ID.
+func buildTrace(t *testing.T, exps ...Exporter) TraceID {
+	t.Helper()
+	tr := New(Config{Sample: 1, Exporters: exps})
+	ctx, root := tr.StartRoot(context.Background(), "experiment.day", Str("day", "100"))
+	ctx2, stage := StartSpan(ctx, "measure.stage2", Str("source", "com"))
+	_, leaf := StartSpan(ctx2, "transport.send", Int("attempt", 1))
+	time.Sleep(time.Millisecond)
+	leaf.End()
+	stage.End()
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return root.TraceID()
+}
+
+func TestJSONLExport(t *testing.T) {
+	var buf bytes.Buffer
+	id := buildTrace(t, NewJSONL(&buf))
+
+	var lines []jsonlSpan
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var sp jsonlSpan
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("line %q not valid JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, sp)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3", len(lines))
+	}
+	byName := map[string]jsonlSpan{}
+	for _, l := range lines {
+		if l.Trace != id.String() {
+			t.Errorf("span %s trace %q, want %q", l.Name, l.Trace, id)
+		}
+		byName[l.Name] = l
+	}
+	if byName["experiment.day"].Parent != "" {
+		t.Error("root span has a parent in JSONL")
+	}
+	if byName["measure.stage2"].Parent != byName["experiment.day"].Span {
+		t.Error("stage parent does not link to root span id")
+	}
+	if byName["transport.send"].Parent != byName["measure.stage2"].Span {
+		t.Error("leaf parent does not link to stage span id")
+	}
+	if byName["transport.send"].DurUS < 900 {
+		t.Errorf("leaf duration %.0fµs, slept 1ms", byName["transport.send"].DurUS)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	var buf bytes.Buffer
+	id := buildTrace(t, NewChrome(nopCloser{&buf}))
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome output not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+		if ev.Ph != "X" {
+			t.Errorf("event %s ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Args["trace"] != id.String() {
+			t.Errorf("event %s trace arg = %q, want %q", ev.Name, ev.Args["trace"], id)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %s has negative ts/dur", ev.Name)
+		}
+	}
+	for _, want := range []string{"experiment.day", "measure.stage2", "transport.send"} {
+		if !names[want] {
+			t.Errorf("missing event %s", want)
+		}
+	}
+	// All three nest, so they share one synthetic thread.
+	for _, ev := range doc.TraceEvents {
+		if ev.TID != doc.TraceEvents[0].TID {
+			t.Errorf("nested spans split across tids: %+v", doc.TraceEvents)
+		}
+	}
+}
+
+func TestChromeLaneAssignment(t *testing.T) {
+	c := &Chrome{}
+	t0 := time.Unix(0, 0)
+	// A parent covering [0,100), a child inside it, then an overlapping
+	// span that neither nests nor is disjoint — it must move to lane 1.
+	if got := c.assignLane(t0, t0.Add(100*time.Millisecond)); got != 0 {
+		t.Fatalf("parent lane = %d", got)
+	}
+	if got := c.assignLane(t0.Add(10*time.Millisecond), t0.Add(40*time.Millisecond)); got != 0 {
+		t.Fatalf("nested child lane = %d, want 0", got)
+	}
+	if got := c.assignLane(t0.Add(50*time.Millisecond), t0.Add(150*time.Millisecond)); got != 1 {
+		t.Fatalf("overlapping span lane = %d, want 1", got)
+	}
+	// A span after everything closed reuses lane 0.
+	if got := c.assignLane(t0.Add(200*time.Millisecond), t0.Add(210*time.Millisecond)); got != 0 {
+		t.Fatalf("disjoint span lane = %d, want 0", got)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	tr := New(Config{Sample: 1})
+	ctx, root := tr.StartRoot(context.Background(), "experiment.day", Str("day", "7"))
+	_, child := StartSpan(ctx, "measure.stage2")
+	child.End()
+	root.End()
+	h := Handler(tr)
+
+	// List view.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list status %d", rec.Code)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list not JSON: %v", err)
+	}
+	if len(list) != 1 || list[0]["root"] != "experiment.day" || list[0]["spans"] != float64(2) {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Detail view.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id="+root.TraceID().String(), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detail status %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "measure.stage2") {
+		t.Errorf("detail view missing child span: %s", rec.Body)
+	}
+
+	// Errors.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id=zzz", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad id status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id=00000000000000ff", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown id status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("nil tracer status %d", rec.Code)
+	}
+}

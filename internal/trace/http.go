@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// traceSummary is the list view of one trace on /debug/traces.
+type traceSummary struct {
+	ID       string    `json:"id"`
+	Root     string    `json:"root"`
+	Start    time.Time `json:"start"`
+	Duration string    `json:"duration"`
+	Spans    int       `json:"spans"`
+}
+
+// spanView is the detail view of one span.
+type spanView struct {
+	Span     string `json:"span"`
+	Parent   string `json:"parent,omitempty"`
+	Name     string `json:"name"`
+	Start    string `json:"start"`
+	Duration string `json:"duration"`
+	Attrs    []Attr `json:"attrs,omitempty"`
+}
+
+// Handler serves the tracer's ring of recent traces as JSON:
+//
+//	GET /debug/traces           summaries, newest first (?n= limits)
+//	GET /debug/traces?id=<hex>  every span of one trace, start order
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if t == nil {
+			http.Error(w, `{"error":"tracing disabled"}`, http.StatusNotFound)
+			return
+		}
+		if id := r.URL.Query().Get("id"); id != "" {
+			serveTrace(w, enc, t, id)
+			return
+		}
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		recent := t.Ring().Recent(n)
+		out := make([]traceSummary, 0, len(recent))
+		for _, tr := range recent {
+			root := tr.Root()
+			out = append(out, traceSummary{
+				ID:       tr.ID.String(),
+				Root:     root.Name,
+				Start:    root.Start,
+				Duration: root.Duration.Round(time.Microsecond).String(),
+				Spans:    len(tr.Spans),
+			})
+		}
+		_ = enc.Encode(out)
+	})
+}
+
+func serveTrace(w http.ResponseWriter, enc *json.Encoder, t *Tracer, id string) {
+	want, err := strconv.ParseUint(id, 16, 64)
+	if err != nil {
+		http.Error(w, `{"error":"bad trace id"}`, http.StatusBadRequest)
+		return
+	}
+	for _, tr := range t.Ring().Recent(0) {
+		if tr.ID != TraceID(want) {
+			continue
+		}
+		spans := append([]SpanRecord(nil), tr.Spans...)
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+		out := make([]spanView, 0, len(spans))
+		for _, sp := range spans {
+			v := spanView{
+				Span:     sp.ID.String(),
+				Name:     sp.Name,
+				Start:    sp.Start.Format(time.RFC3339Nano),
+				Duration: sp.Duration.Round(time.Microsecond).String(),
+				Attrs:    sp.Attrs,
+			}
+			if sp.Parent != 0 {
+				v.Parent = sp.Parent.String()
+			}
+			out = append(out, v)
+		}
+		_ = enc.Encode(struct {
+			ID    string     `json:"id"`
+			Spans []spanView `json:"spans"`
+		}{ID: tr.ID.String(), Spans: out})
+		return
+	}
+	http.Error(w, `{"error":"trace not in ring"}`, http.StatusNotFound)
+}
