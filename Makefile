@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench
+.PHONY: check vet build test test-race bench chaos
 
 check: vet build test-race
 
@@ -21,3 +21,11 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Fault-injection suite under the race detector: the chaos package's
+# determinism proofs, server fault/drain tests, resolver hardening under
+# loss, and the end-to-end degraded-day accounting + Fig 5 recovery
+# integration tests. Seeds are fixed in the tests, so failures reproduce.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Degraded|Loss|Trunc|Rotation|Health|Breaker|Budget|Scenario|Interpolate|SmoothMasked|StopDrains' \
+		./internal/chaos/ ./internal/dnsserver/ ./internal/dnsclient/ ./internal/analysis/ ./internal/experiment/

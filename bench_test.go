@@ -12,12 +12,16 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net/netip"
 	"os"
 	"sync"
 	"testing"
 	"time"
 
+	"dpsadopt/internal/chaos"
 	"dpsadopt/internal/core"
+	"dpsadopt/internal/dnsclient"
+	"dpsadopt/internal/dnswire"
 	"dpsadopt/internal/experiment"
 	"dpsadopt/internal/measure"
 	"dpsadopt/internal/obs"
@@ -25,6 +29,7 @@ import (
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
 	"dpsadopt/internal/trace"
+	"dpsadopt/internal/transport"
 	"dpsadopt/internal/worldsim"
 )
 
@@ -334,6 +339,115 @@ func writeTraceBench(b *testing.B, secPerOp map[string]float64) {
 	}
 	b.Logf("wrote results/BENCH_trace.json (1%% sampling overhead %.1f%%, 100%% overhead %.1f%%)",
 		overhead("sample1pct"), overhead("sample100pct"))
+}
+
+// BenchmarkResolveUnderLoss measures what the hardened resolver pays as
+// the network degrades: full iterative resolutions through a wire world
+// at 0%, 1% and 10% injected packet loss (fixed chaos seed, backoff and
+// retry budget at their defaults, timeout lowered so a lost datagram
+// costs milliseconds). Per-rate cost and retransmission counts are
+// persisted to results/BENCH_chaos.json as the robustness perf baseline.
+func BenchmarkResolveUnderLoss(b *testing.B) {
+	w, err := worldsim.New(worldsim.DefaultConfig(400_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, 0, len(w.Domains))
+	for _, d := range w.Domains {
+		names = append(names, d.Name)
+	}
+	stats := map[string]lossStat{}
+	cases := []struct {
+		key  string
+		loss float64
+	}{
+		{"loss_0pct", 0},
+		{"loss_1pct", 0.01},
+		{"loss_10pct", 0.10},
+	}
+	for _, c := range cases {
+		b.Run(c.key, func(b *testing.B) {
+			var network transport.Network = transport.NewMem(1)
+			if c.loss > 0 {
+				network = chaos.Wrap(network, chaos.Config{Loss: c.loss}, 7)
+			}
+			wire, err := w.BuildWire(quietDay, network)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer wire.Close()
+			if cn, ok := network.(*chaos.Network); ok {
+				for _, root := range wire.Roots {
+					cn.Protect(root.Addr())
+				}
+			}
+			r, err := dnsclient.NewResolver(network, netip.MustParseAddr("10.99.0.1"), wire.Roots, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			r.Timeout = 20 * time.Millisecond
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Give-ups are counted, not fatal: at 10% loss a resolution
+				// can legitimately exhaust its retry budget.
+				_, _ = r.Resolve(context.Background(), names[i%len(names)], dnswire.TypeA)
+			}
+			b.StopTimer()
+			stats[c.key] = lossStat{
+				SecPerResolve: b.Elapsed().Seconds() / float64(b.N),
+				Queries:       r.QueriesSent(),
+				Timeouts:      r.TimeoutsSeen(),
+				GiveUps:       r.GiveUps(),
+			}
+		})
+	}
+	writeChaosBench(b, stats)
+}
+
+// lossStat is one BenchmarkResolveUnderLoss sub-benchmark's outcome.
+type lossStat struct {
+	SecPerResolve float64 `json:"sec_per_resolve"`
+	Queries       int64   `json:"queries"`
+	Timeouts      int64   `json:"timeouts"`
+	GiveUps       int64   `json:"give_ups"`
+}
+
+// writeChaosBench persists the loss-rate comparison, mirroring
+// writeObsBench's role as a machine-readable perf trajectory.
+func writeChaosBench(b *testing.B, stats map[string]lossStat) {
+	b.Helper()
+	clean, ok := stats["loss_0pct"]
+	if !ok || clean.SecPerResolve == 0 {
+		b.Log("BENCH_chaos.json not written: clean baseline missing")
+		return
+	}
+	slowdown := func(key string) float64 {
+		return stats[key].SecPerResolve / clean.SecPerResolve
+	}
+	doc := map[string]any{
+		"bench":               "ResolveUnderLoss",
+		"rates":               stats,
+		"slowdown_x_1pct":     slowdown("loss_1pct"),
+		"slowdown_x_10pct":    slowdown("loss_10pct"),
+		"resolver_timeout_ms": 20,
+		"fault_seed":          7,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		b.Logf("BENCH_chaos.json not written: %v", err)
+		return
+	}
+	if err := os.WriteFile("results/BENCH_chaos.json", append(raw, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_chaos.json not written: %v", err)
+		return
+	}
+	b.Logf("wrote results/BENCH_chaos.json (1%% loss %.2fx, 10%% loss %.2fx vs clean)",
+		slowdown("loss_1pct"), slowdown("loss_10pct"))
 }
 
 // BenchmarkDetectDay benchmarks the §3.3 detection scan over one stored

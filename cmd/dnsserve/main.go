@@ -5,9 +5,17 @@
 // internal/dnsclient — at the printed root to browse the simulated
 // namespace; with -resolve it performs a demonstration lookup itself.
 //
+// Fault injection: -fault-scenario degrades the served namespace with a
+// named chaos scenario — response loss, duplication and delay on the
+// network path, plus SERVFAIL bursts, slow responses and truncation on
+// the authoritative servers themselves — so resolver hardening can be
+// exercised against live kernel-socket traffic. -fault-seed pins the
+// pattern; root servers are never blackholed.
+//
 // Usage:
 //
-//	dnsserve [-scale 400000] [-date 2015-03-05] [-resolve www.DOMAIN] [-metrics-addr :9091]
+//	dnsserve [-scale 400000] [-date 2015-03-05] [-resolve www.DOMAIN]
+//	         [-fault-scenario dead-ns] [-fault-seed 7] [-metrics-addr :9091]
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"dpsadopt/internal/chaos"
 	"dpsadopt/internal/dnsclient"
 	"dpsadopt/internal/dnswire"
 	"dpsadopt/internal/obs"
@@ -34,6 +43,10 @@ func main() {
 		resolve     = flag.String("resolve", "", "name to resolve as a demonstration, then keep serving")
 		axfr        = flag.String("axfr", "", "zone to transfer (AXFR over TCP) as a demonstration")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+
+		faultScenario = flag.String("fault-scenario", "",
+			"chaos scenario degrading the served namespace ("+strings.Join(chaos.ScenarioNames(), ", ")+"); empty = fault-free")
+		faultSeed = flag.Int64("fault-seed", 0, "seed pinning the fault pattern")
 	)
 	flag.Parse()
 
@@ -57,12 +70,35 @@ func main() {
 	}
 	fmt.Printf("world: %s\n", w.Stats())
 
-	network := transport.NewMappedUDP()
+	var network transport.Network = transport.NewMappedUDP()
+	var faultCfg chaos.Config
+	if *faultScenario != "" {
+		faultCfg, err = chaos.Scenario(*faultScenario)
+		if err != nil {
+			fatal(err)
+		}
+		if faultCfg.Active() {
+			network = chaos.Wrap(network, faultCfg, *faultSeed)
+		}
+	}
 	wire, err := w.BuildWire(day, network)
 	if err != nil {
 		fatal(err)
 	}
 	defer wire.Close()
+	if *faultScenario != "" {
+		if cn, ok := network.(*chaos.Network); ok {
+			// Keep the namespace reachable at its first hop: a blackholed
+			// root would make every lookup fail identically.
+			for _, root := range wire.Roots {
+				cn.Protect(root.Addr())
+			}
+		}
+		if faultCfg.ServerActive() {
+			wire.SetFaults(chaos.NewServerFaults(faultCfg, *faultSeed))
+		}
+		fmt.Printf("fault injection armed: scenario %s, seed %d\n", *faultScenario, *faultSeed)
+	}
 	fmt.Printf("serving %s; simulated root at %v (NAT over loopback UDP)\n", day, wire.Roots[0])
 
 	if *resolve != "" {

@@ -22,9 +22,18 @@
 // between domains, partial traces and committed store partitions are
 // flushed, the usual summary is printed, and the process exits 130.
 //
+// Fault injection: with -mode wire, -fault-scenario names a chaos
+// scenario (see -help for the list) injected into every measured day,
+// and -fault-seed pins the exact fault pattern — the same scenario and
+// seed reproduce the same losses, byte for byte. Each day's network
+// accounting (queries sent, lost, resolutions given up) is logged, and
+// days whose failure rate exceeds the threshold are committed as
+// degraded; the run ends with a per-day degraded ledger.
+//
 // Usage:
 //
 //	dpsmeasure [-scale 100000] [-days 3] [-mode direct|wire] [-workers N]
+//	           [-fault-scenario flaky-1pct] [-fault-seed 7] [-wire-timeout 100]
 //	           [-metrics-addr :9090] [-quiet] [-log-json] [-v]
 //	           [-trace-out traces] [-trace-sample 0.01] [-trace-slow 250ms]
 package main
@@ -41,11 +50,14 @@ import (
 	"syscall"
 	"time"
 
+	"dpsadopt/internal/chaos"
+	"dpsadopt/internal/experiment"
 	"dpsadopt/internal/measure"
 	"dpsadopt/internal/obs"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
 	"dpsadopt/internal/trace"
+	"dpsadopt/internal/transport"
 	"dpsadopt/internal/worldsim"
 )
 
@@ -63,6 +75,11 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "enable tracing; write <base>.json (Chrome trace_event) and <base>.jsonl")
 		traceSample = flag.Float64("trace-sample", 0.01, "per-domain trace sampling rate in [0,1]")
 		traceSlow   = flag.Duration("trace-slow", 0, "log spans at or above this duration with their full path (0 = off)")
+
+		faultScenario = flag.String("fault-scenario", "",
+			"chaos scenario injected into wire days ("+strings.Join(chaos.ScenarioNames(), ", ")+"); empty = fault-free")
+		faultSeed   = flag.Int64("fault-seed", 0, "seed pinning the fault pattern; same scenario+seed = same faults")
+		wireTimeout = flag.Int("wire-timeout", 0, "wire-mode resolver timeout in ms (0 = dnsclient default; lower it under chaos so losses cost ms, not s)")
 	)
 	flag.Parse()
 
@@ -74,7 +91,7 @@ func main() {
 	}
 	log := obs.Logger()
 
-	cfg := measure.Config{Workers: *workers}
+	cfg := measure.Config{Workers: *workers, Timeout: *wireTimeout}
 	switch *mode {
 	case "direct":
 		cfg.Mode = measure.ModeDirect
@@ -82,6 +99,42 @@ func main() {
 		cfg.Mode = measure.ModeWire
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	var faultCfg chaos.Config
+	if *faultScenario != "" {
+		if cfg.Mode != measure.ModeWire {
+			fatal(fmt.Errorf("-fault-scenario requires -mode wire: only wire days have datagrams to lose"))
+		}
+		fc, err := chaos.Scenario(*faultScenario)
+		if err != nil {
+			fatal(err)
+		}
+		faultCfg = fc
+		// Mirror experiment.Runner's chaos wiring: a fresh day-seeded
+		// network wrapped with the fault injector, roots protected so the
+		// namespace stays reachable at its first hop, and the server-side
+		// injector installed on every authoritative. Per-day seeds keep
+		// the whole run a pure function of (scenario, -fault-seed).
+		daySeed := func(day simtime.Day) int64 { return *faultSeed + int64(day)*1_000_003 }
+		cfg.WireNetwork = func(day simtime.Day) transport.Network {
+			var n transport.Network = transport.NewMem(int64(day) ^ 0x3f3f)
+			if faultCfg.Active() {
+				n = chaos.Wrap(n, faultCfg, daySeed(day))
+			}
+			return n
+		}
+		cfg.OnWire = func(day simtime.Day, wire *worldsim.Wire, network transport.Network) {
+			if cn, ok := network.(*chaos.Network); ok {
+				for _, root := range wire.Roots {
+					cn.Protect(root.Addr())
+				}
+			}
+			if faultCfg.ServerActive() {
+				wire.SetFaults(chaos.NewServerFaults(faultCfg, daySeed(day)))
+			}
+		}
+		log.Info("fault injection armed", "scenario", *faultScenario, "seed", *faultSeed)
 	}
 
 	tracer, err := buildTracer(*traceOut, *traceSample, *traceSlow)
@@ -122,6 +175,7 @@ func main() {
 	start := time.Now()
 	prev := reg.Snapshot()
 	interrupted := false
+	var ledger []experiment.DayAccounting
 	for d := 0; d < *days; d++ {
 		day := w.Cfg.Window.Start + simtime.Day(d)
 		t0 := time.Now()
@@ -140,16 +194,32 @@ func main() {
 		}
 		snap := reg.Snapshot()
 		lat := snap.Histogram("dns_client_query_seconds")
-		log.Info("day complete",
+		attrs := []any{
 			"day", day.String(),
-			"domains", snap.Counter("measure_domains_total")-prev.Counter("measure_domains_total"),
-			"rows", snap.Counter("store_rows_total")-prev.Counter("store_rows_total"),
-			"queries", snap.Counter("dns_client_queries_total")-prev.Counter("dns_client_queries_total"),
+			"domains", snap.Counter("measure_domains_total") - prev.Counter("measure_domains_total"),
+			"rows", snap.Counter("store_rows_total") - prev.Counter("store_rows_total"),
+			"queries", snap.Counter("dns_client_queries_total") - prev.Counter("dns_client_queries_total"),
 			"p50_ms", fmt.Sprintf("%.3f", lat.P50*1000),
 			"p99_ms", fmt.Sprintf("%.3f", lat.P99*1000),
-			"errors", snap.Counter("dns_client_errors_total")-prev.Counter("dns_client_errors_total"),
+			"errors", snap.Counter("dns_client_errors_total") - prev.Counter("dns_client_errors_total"),
 			"elapsed", time.Since(t0).Round(time.Millisecond).String(),
-		)
+		}
+		if cfg.Mode == measure.ModeWire {
+			net := p.LastNetStats()
+			degraded := *faultScenario != "" && net.FailureRate() > experiment.DefaultFailureThreshold
+			ledger = append(ledger, experiment.DayAccounting{
+				Day: day, Queries: net.Queries, Lost: net.Lost,
+				Resolutions: net.Resolutions, GaveUp: net.GaveUp,
+				FailureRate: net.FailureRate(), Degraded: degraded,
+			})
+			attrs = append(attrs,
+				"lost", net.Lost,
+				"gave_up", net.GaveUp,
+				"failure_rate", fmt.Sprintf("%.4f", net.FailureRate()),
+				"degraded", degraded,
+			)
+		}
+		log.Info("day complete", attrs...)
 		prev = snap
 		if ctx.Err() != nil {
 			interrupted = true
@@ -166,6 +236,18 @@ func main() {
 		"wire_queries", p.QueriesSent(),
 		"interrupted", interrupted,
 	)
+
+	if *faultScenario != "" && !*quiet {
+		fmt.Printf("\ndegraded-day ledger (scenario %s, seed %d):\n", *faultScenario, *faultSeed)
+		fmt.Printf("%-12s %10s %8s %8s %8s %8s\n", "day", "queries", "lost", "gaveup", "rate", "status")
+		for _, a := range ledger {
+			status := "ok"
+			if a.Degraded {
+				status = "DEGRADED"
+			}
+			fmt.Printf("%-12s %10d %8d %8d %8.4f %8s\n", a.Day, a.Queries, a.Lost, a.GaveUp, a.FailureRate, status)
+		}
+	}
 
 	if !*quiet {
 		fmt.Printf("\n%-8s %6s %10s %12s %12s\n", "source", "days", "#SLDs", "#DPs", "size")

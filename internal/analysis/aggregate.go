@@ -54,6 +54,9 @@ type Aggregator struct {
 	// trackSources marks sources that feed interval tracking.
 	trackSources map[string]bool
 	lastDay      map[string]simtime.Day
+	// degraded marks days committed with excess measurement failures;
+	// the growth pipeline interpolates across them (see degraded.go).
+	degraded map[simtime.Day]bool
 }
 
 // NewAggregator creates an aggregator; trackSources name the partitions

@@ -154,8 +154,9 @@ func (a *Aggregator) Growth(sources []string) GrowthResult {
 		use[i] = float64(a.SumAny(sources, d))
 		measured[i] = float64(a.SumMeasured(sources, d))
 	}
-	g.Adoption = Relative(Smooth(use))
-	g.Expansion = Relative(Smooth(measured))
+	mask := a.degradedMask(days)
+	g.Adoption = Relative(SmoothMasked(use, mask))
+	g.Expansion = Relative(SmoothMasked(measured, mask))
 	return g
 }
 
@@ -172,6 +173,6 @@ func (a *Aggregator) ProviderGrowth(sources []string, p int) GrowthResult {
 	for i, d := range days {
 		use[i] = float64(a.SumProvider(sources, p, d))
 	}
-	g.Adoption = Relative(Smooth(use))
+	g.Adoption = Relative(SmoothMasked(use, a.degradedMask(days)))
 	return g
 }

@@ -1,0 +1,200 @@
+// Package chaos is the deterministic fault-injection layer of the
+// measurement system. The paper's 1.5-year crawl ran inside a misbehaving
+// Internet — lost datagrams, dead nameservers, slow and truncating
+// authoritatives, partial measurement days — and its pipeline had to
+// detect and smooth the resulting anomalies (§4.2, Fig 5). This package
+// lets the reproduction manufacture those conditions on demand: a
+// transport.Network wrapper (Wrap) injects seeded, reproducible packet
+// loss, duplication, reordering, latency and per-destination blackholes
+// in front of any transport (Mem, UDP, MappedUDP), and ServerFaults gives
+// authoritative servers SERVFAIL bursts, slow responses and forced
+// truncation via the dnsserver.FaultInjector hook.
+//
+// Every fault decision is a pure function of (seed, flow, per-flow
+// sequence number), never of wall-clock time or goroutine interleaving,
+// so a run under chaos is reproducible: the same scenario and seed
+// produce the same injected faults — and, for timing-independent faults
+// (loss, blackholes, duplication, SERVFAIL, truncation), byte-identical
+// failure accounting across runs regardless of worker scheduling.
+//
+// Scenarios bundle fault parameters under stable names (flaky-1pct,
+// dead-ns, latency-spike, ...) so binaries can expose them as a single
+// -fault-scenario flag.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Config describes one fault scenario: the datagram-level faults applied
+// by the network wrapper and the query-level faults applied by
+// authoritative servers. The zero value injects nothing.
+type Config struct {
+	// Name is the scenario name, for metrics and logs.
+	Name string
+
+	// --- network faults (applied by Wrap) ---
+
+	// Loss is the independent per-datagram drop probability in [0,1).
+	Loss float64
+	// Duplicate is the probability a datagram is delivered twice.
+	Duplicate float64
+	// Reorder is the probability a datagram is held back and delivered
+	// ReorderDelay later, letting a successor overtake it.
+	Reorder float64
+	// ReorderDelay is the hold-back applied to reordered datagrams
+	// (default 2ms when Reorder > 0).
+	ReorderDelay time.Duration
+	// Latency is a fixed added one-way delivery delay.
+	Latency time.Duration
+	// Jitter is the maximum additional random delay on top of Latency.
+	Jitter time.Duration
+	// SpikeProb is the probability a datagram suffers SpikeDelay instead
+	// of the normal Latency/Jitter — a tail-latency spike that can exceed
+	// the resolver timeout and look like loss.
+	SpikeProb float64
+	// SpikeDelay is the delivery delay of spiked datagrams.
+	SpikeDelay time.Duration
+	// DeadFraction blackholes that fraction of destination IPs for the
+	// whole run: every datagram to a dead address vanishes, simulating a
+	// dead nameserver. Which addresses die is a deterministic function of
+	// the seed.
+	DeadFraction float64
+
+	// --- server faults (applied by ServerFaults) ---
+
+	// Servfail is the probability an authoritative answers SERVFAIL.
+	// Decisions are made per burst window (serverBurst queries share one
+	// decision), so failures arrive in bursts as real incidents do.
+	Servfail float64
+	// Slow is the probability a query is answered only after SlowDelay.
+	Slow float64
+	// SlowDelay is how long slow answers are delayed (default 100ms when
+	// Slow > 0).
+	SlowDelay time.Duration
+	// Truncate is the probability a UDP answer is forcibly truncated
+	// (TC set, sections cleared), pushing the client to TCP.
+	Truncate float64
+	// ServerDrop is the probability an authoritative silently ignores a
+	// query (reads it, answers nothing).
+	ServerDrop float64
+}
+
+// Active reports whether the config injects any network-level fault.
+func (c Config) Active() bool {
+	return c.Loss > 0 || c.Duplicate > 0 || c.Reorder > 0 || c.Latency > 0 ||
+		c.Jitter > 0 || c.SpikeProb > 0 || c.DeadFraction > 0
+}
+
+// ServerActive reports whether the config injects any server-level fault.
+func (c Config) ServerActive() bool {
+	return c.Servfail > 0 || c.Slow > 0 || c.Truncate > 0 || c.ServerDrop > 0
+}
+
+// scenarios is the named-scenario registry. Keep parameters modest: a
+// scenario models a bad day on the real Internet, not a severed cable —
+// except dead-day, which models exactly that.
+var scenarios = map[string]Config{
+	"flaky-1pct": {
+		Loss: 0.01,
+	},
+	"flaky-10pct": {
+		Loss: 0.10,
+	},
+	"dead-ns": {
+		// A quarter of the server population is unreachable: queries to
+		// dead addresses always vanish, so resolution must route around
+		// them via retries, rotation, and the client's circuit breaker.
+		DeadFraction: 0.25,
+	},
+	"latency-spike": {
+		Latency:    2 * time.Millisecond,
+		Jitter:     3 * time.Millisecond,
+		SpikeProb:  0.05,
+		SpikeDelay: 600 * time.Millisecond, // beyond the default timeout
+	},
+	"dup-reorder": {
+		Duplicate:    0.05,
+		Reorder:      0.10,
+		ReorderDelay: 2 * time.Millisecond,
+	},
+	"servfail-burst": {
+		Servfail: 0.20,
+	},
+	"slow-server": {
+		Slow:      0.15,
+		SlowDelay: 100 * time.Millisecond,
+	},
+	"trunc-storm": {
+		// Every UDP answer is truncated: resolution only completes if the
+		// RFC 1035 §4.2.2 TCP retry path works, even with datagram loss
+		// on top.
+		Truncate: 1.0,
+		Loss:     0.05,
+	},
+	"dead-day": {
+		// A measurement day bad enough that it must be committed as
+		// degraded: heavy loss plus server drops defeats the retry
+		// budget for a visible share of resolutions.
+		Loss:       0.45,
+		ServerDrop: 0.20,
+	},
+}
+
+// Scenario returns the named fault configuration.
+func Scenario(name string) (Config, error) {
+	c, ok := scenarios[name]
+	if !ok {
+		return Config{}, fmt.Errorf("chaos: unknown scenario %q (known: %v)", name, ScenarioNames())
+	}
+	c.Name = name
+	if c.Reorder > 0 && c.ReorderDelay == 0 {
+		c.ReorderDelay = 2 * time.Millisecond
+	}
+	if c.Slow > 0 && c.SlowDelay == 0 {
+		c.SlowDelay = 100 * time.Millisecond
+	}
+	return c, nil
+}
+
+// ScenarioNames lists the known scenarios, sorted.
+func ScenarioNames() []string {
+	out := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- deterministic decision hashing ----
+
+// mix is splitmix64: a strong 64-bit finalizer used to derive independent
+// decision streams from (seed, flow, sequence) tuples. Decisions must
+// not consume from a shared PRNG — that would make them depend on
+// goroutine interleaving — so every decision hashes its own coordinates.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix2 folds two words.
+func mix2(a, b uint64) uint64 { return mix(mix(a) ^ b) }
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// hashString folds a string (an address, a qname) into a word.
+func hashString(s string) uint64 {
+	// FNV-1a, inlined to keep the package dependency-free.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,290 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dpsadopt/internal/dnsserver"
+	"dpsadopt/internal/transport"
+)
+
+func TestScenarioRegistry(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	for _, name := range names {
+		cfg, err := Scenario(name)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", name, err)
+		}
+		if cfg.Name != name {
+			t.Errorf("Scenario(%q).Name = %q", name, cfg.Name)
+		}
+		if !cfg.Active() && !cfg.ServerActive() {
+			t.Errorf("scenario %q injects nothing", name)
+		}
+		if cfg.Reorder > 0 && cfg.ReorderDelay == 0 {
+			t.Errorf("scenario %q: Reorder without ReorderDelay default", name)
+		}
+		if cfg.Slow > 0 && cfg.SlowDelay == 0 {
+			t.Errorf("scenario %q: Slow without SlowDelay default", name)
+		}
+	}
+	if _, err := Scenario("no-such-scenario"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// collectSurvivors sends n sequence-stamped datagrams from a client to a
+// port-53 listener through a chaos wrap and returns which sequence numbers
+// arrived.
+func collectSurvivors(t *testing.T, cfg Config, seed int64, memSeed int64, n int) map[uint32]int {
+	t.Helper()
+	net := Wrap(transport.NewMem(memSeed), cfg, seed)
+	srvAddr := netip.MustParseAddrPort("10.0.0.1:53")
+	srv, err := net.Listen(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := net.Dial(netip.MustParseAddr("10.9.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < n; i++ {
+		var p [4]byte
+		binary.BigEndian.PutUint32(p[:], uint32(i))
+		if err := cli.WriteTo(p[:], srvAddr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[uint32]int{}
+	buf := make([]byte, 16)
+	for {
+		m, _, err := srv.ReadFrom(buf, 50*time.Millisecond)
+		if errors.Is(err, transport.ErrTimeout) {
+			return got
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[binary.BigEndian.Uint32(buf[:m])]++
+	}
+}
+
+func TestLossDeterministicAcrossRuns(t *testing.T) {
+	cfg, err := Scenario("flaky-10pct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	a := collectSurvivors(t, cfg, 7, 1, n)
+	b := collectSurvivors(t, cfg, 7, 2, n) // different inner transport seed
+	if len(a) == n {
+		t.Fatalf("no datagrams lost out of %d at 10%% loss", n)
+	}
+	if len(a) < n/2 {
+		t.Fatalf("only %d/%d survived 10%% loss", len(a), n)
+	}
+	for i := uint32(0); i < n; i++ {
+		if (a[i] > 0) != (b[i] > 0) {
+			t.Fatalf("seq %d: fate differs between identically-seeded runs", i)
+		}
+	}
+	c := collectSurvivors(t, cfg, 8, 1, n)
+	same := true
+	for i := uint32(0); i < n; i++ {
+		if (a[i] > 0) != (c[i] > 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed 7 and seed 8 injected identical loss patterns")
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	got := collectSurvivors(t, Config{Name: "dup", Duplicate: 1}, 3, 1, 50)
+	for i := uint32(0); i < 50; i++ {
+		if got[i] != 2 {
+			t.Fatalf("seq %d delivered %d times, want 2", i, got[i])
+		}
+	}
+}
+
+func TestDelayedDeliveryArrives(t *testing.T) {
+	cfg := Config{Name: "slowpath", Latency: 5 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	got := collectSurvivors(t, cfg, 3, 1, 50)
+	for i := uint32(0); i < 50; i++ {
+		if got[i] != 1 {
+			t.Fatalf("seq %d delivered %d times, want 1", i, got[i])
+		}
+	}
+}
+
+func TestBlackholeOnlyKillsServers(t *testing.T) {
+	net := Wrap(transport.NewMem(1), Config{Name: "dead", DeadFraction: 1}, 9)
+	srvAddr := netip.MustParseAddrPort("10.0.0.1:53")
+	srv, err := net.Listen(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := net.Dial(netip.MustParseAddr("10.9.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Client → server (port 53) vanishes silently.
+	if err := cli.WriteTo([]byte("q"), srvAddr); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, _, err := srv.ReadFrom(buf, 20*time.Millisecond); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("blackholed datagram was delivered (err=%v)", err)
+	}
+	// Server → client (ephemeral port) always routes.
+	if err := srv.WriteTo([]byte("r"), cli.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.ReadFrom(buf, 100*time.Millisecond); err != nil {
+		t.Fatalf("response to client port was dropped: %v", err)
+	}
+	// TCP to a dead server fails with ErrNoRoute.
+	if _, err := net.DialStream(netip.MustParseAddr("10.9.0.1"), srvAddr); !errors.Is(err, transport.ErrNoRoute) {
+		t.Fatalf("DialStream to dead server: err = %v, want ErrNoRoute", err)
+	}
+	// Protect exempts the address on both protocols.
+	net.Protect(srvAddr.Addr())
+	if err := cli.WriteTo([]byte("q2"), srvAddr); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.ReadFrom(buf, 100*time.Millisecond); err != nil {
+		t.Fatalf("datagram to protected server was dropped: %v", err)
+	}
+}
+
+func TestPerFlowDecisionsIndependentOfInterleaving(t *testing.T) {
+	// Two destination flows written in different interleavings must see
+	// identical per-flow fault patterns: decisions hash the per-flow
+	// sequence number, not a shared PRNG.
+	run := func(interleave bool) (map[uint32]int, map[uint32]int) {
+		net := Wrap(transport.NewMem(1), Config{Name: "flaky", Loss: 0.3}, 11)
+		aAddr := netip.MustParseAddrPort("10.0.0.1:53")
+		bAddr := netip.MustParseAddrPort("10.0.0.2:53")
+		sa, err := net.Listen(aAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sa.Close()
+		sb, err := net.Listen(bAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sb.Close()
+		cli, err := net.Dial(netip.MustParseAddr("10.9.0.1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		const n = 200
+		write := func(i int, to netip.AddrPort) {
+			var p [4]byte
+			binary.BigEndian.PutUint32(p[:], uint32(i))
+			if err := cli.WriteTo(p[:], to); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if interleave {
+			for i := 0; i < n; i++ {
+				write(i, aAddr)
+				write(i, bAddr)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				write(i, bAddr)
+			}
+			for i := 0; i < n; i++ {
+				write(i, aAddr)
+			}
+		}
+		drain := func(c transport.Conn) map[uint32]int {
+			got := map[uint32]int{}
+			buf := make([]byte, 16)
+			for {
+				m, _, err := c.ReadFrom(buf, 50*time.Millisecond)
+				if errors.Is(err, transport.ErrTimeout) {
+					return got
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[binary.BigEndian.Uint32(buf[:m])]++
+			}
+		}
+		return drain(sa), drain(sb)
+	}
+	a1, b1 := run(true)
+	a2, b2 := run(false)
+	for i := uint32(0); i < 200; i++ {
+		if (a1[i] > 0) != (a2[i] > 0) || (b1[i] > 0) != (b2[i] > 0) {
+			t.Fatalf("seq %d: fault decision changed with write interleaving", i)
+		}
+	}
+}
+
+func TestServerFaults(t *testing.T) {
+	// A network-only scenario yields a nil injector, and the nil injector
+	// is a safe no-op.
+	if f := NewServerFaults(Config{Loss: 0.5}, 1); f != nil {
+		t.Error("network-only config produced a server injector")
+	}
+	var nilF *ServerFaults
+	if fa, _ := nilF.QueryFault("example.com"); fa != dnsserver.FaultNone {
+		t.Errorf("nil injector fault = %v", fa)
+	}
+	// trunc-storm truncates every query.
+	cfg, err := Scenario("trunc-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewServerFaults(cfg, 5)
+	for i := 0; i < 20; i++ {
+		if fa, _ := f.QueryFault("example.com"); fa != dnsserver.FaultTruncate {
+			t.Fatalf("query %d: fault = %v, want truncate", i, fa)
+		}
+	}
+	// Same seed → identical fault sequence; different seed → different.
+	seq := func(seed int64) []dnsserver.Fault {
+		sf := NewServerFaults(Config{Name: "sf", Servfail: 0.3, Slow: 0.2, SlowDelay: time.Millisecond}, seed)
+		out := make([]dnsserver.Fault, 100)
+		for i := range out {
+			out[i], _ = sf.QueryFault("www.example.com")
+		}
+		return out
+	}
+	a, b, c := seq(5), seq(5), seq(6)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d: fault differs between identically-seeded injectors", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 5 and 6 produced identical fault sequences")
+	}
+	// Slow faults carry the configured delay.
+	sf := NewServerFaults(Config{Name: "slow", Slow: 1, SlowDelay: 7 * time.Millisecond}, 1)
+	if fa, d := sf.QueryFault("x.test"); fa != dnsserver.FaultSlow || d != 7*time.Millisecond {
+		t.Errorf("slow fault = %v/%v", fa, d)
+	}
+}

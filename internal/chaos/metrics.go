@@ -1,0 +1,12 @@
+package chaos
+
+import "dpsadopt/internal/obs"
+
+// Injected faults, labeled by kind, on the process-wide registry: a chaos
+// run must be able to show on /metrics exactly how much havoc it caused,
+// so degraded measurement days can be correlated with injected faults.
+var (
+	mInjected = obs.Default().CounterVec("chaos_injected_total",
+		"faults injected, by kind (loss, duplicate, reorder, delay, spike, blackhole, servfail, slow, truncate, server_drop)",
+		"kind")
+)

@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dpsadopt/internal/transport"
+)
+
+// Network wraps a transport.Network and injects the configured datagram
+// faults on every send. It composes with all three transports (Mem, UDP,
+// MappedUDP) and passes stream (TCP) traffic through unmodified — TCP is
+// reliable; only dialing a blackholed server fails.
+//
+// Fault decisions are deterministic: each datagram's fate is a hash of
+// (seed, sender, destination, per-flow sequence number). Two runs with
+// the same seed and the same per-flow send sequences inject exactly the
+// same faults, independent of goroutine scheduling across flows.
+type Network struct {
+	inner transport.Network
+	cfg   Config
+	seed  uint64
+
+	mu        sync.Mutex
+	protected map[netip.Addr]bool
+}
+
+// Wrap layers the scenario's network faults over inner. The seed defines
+// the run's fault pattern; the same (cfg, seed) always injects the same
+// faults.
+func Wrap(inner transport.Network, cfg Config, seed int64) *Network {
+	return &Network{
+		inner:     inner,
+		cfg:       cfg,
+		seed:      uint64(seed),
+		protected: make(map[netip.Addr]bool),
+	}
+}
+
+// Protect exempts addresses from DeadFraction blackholing — typically the
+// root servers, so a dead-ns scenario degrades resolution instead of
+// severing the namespace at its first hop.
+func (n *Network) Protect(addrs ...netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range addrs {
+		n.protected[a] = true
+	}
+}
+
+// Config returns the active scenario configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// dead reports whether dst is blackholed. Only name-server addresses
+// (port 53) die: responses to ephemeral client ports always route.
+func (n *Network) dead(dst netip.AddrPort) bool {
+	if n.cfg.DeadFraction <= 0 || dst.Port() != transport.DNSPort {
+		return false
+	}
+	n.mu.Lock()
+	prot := n.protected[dst.Addr()]
+	n.mu.Unlock()
+	if prot {
+		return false
+	}
+	return unit(mix2(mix2(n.seed, 0xdeadd00d), hashString(dst.Addr().String()))) < n.cfg.DeadFraction
+}
+
+// Listen implements transport.Network.
+func (n *Network) Listen(addr netip.AddrPort) (transport.Conn, error) {
+	c, err := n.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return newFaultConn(n, c), nil
+}
+
+// Dial implements transport.Network.
+func (n *Network) Dial(local netip.Addr) (transport.Conn, error) {
+	c, err := n.inner.Dial(local)
+	if err != nil {
+		return nil, err
+	}
+	return newFaultConn(n, c), nil
+}
+
+// ListenStream implements transport.StreamNetwork when the inner network
+// does.
+func (n *Network) ListenStream(addr netip.AddrPort) (transport.StreamListener, error) {
+	sn, ok := n.inner.(transport.StreamNetwork)
+	if !ok {
+		return nil, fmt.Errorf("chaos: inner transport has no stream support")
+	}
+	return sn.ListenStream(addr)
+}
+
+// DialStream implements transport.StreamNetwork. Dialing a blackholed
+// server fails — a dead host is dead on every protocol.
+func (n *Network) DialStream(local netip.Addr, remote netip.AddrPort) (net.Conn, error) {
+	sn, ok := n.inner.(transport.StreamNetwork)
+	if !ok {
+		return nil, fmt.Errorf("chaos: inner transport has no stream support")
+	}
+	if n.dead(remote) {
+		mInjected.With("blackhole").Inc()
+		return nil, fmt.Errorf("%w: %v (chaos: dead server)", transport.ErrNoRoute, remote)
+	}
+	return sn.DialStream(local, remote)
+}
+
+// faultConn applies the scenario to every outgoing datagram.
+type faultConn struct {
+	net   *Network
+	inner transport.Conn
+	local uint64 // hashed local address, fixed per conn
+
+	mu   sync.Mutex
+	seqs map[netip.AddrPort]uint64 // per-destination flow sequence
+}
+
+func newFaultConn(n *Network, inner transport.Conn) *faultConn {
+	return &faultConn{
+		net:   n,
+		inner: inner,
+		local: hashString(inner.LocalAddr().String()),
+		seqs:  make(map[netip.AddrPort]uint64),
+	}
+}
+
+func (c *faultConn) LocalAddr() netip.AddrPort { return c.inner.LocalAddr() }
+
+func (c *faultConn) ReadFrom(buf []byte, timeout time.Duration) (int, netip.AddrPort, error) {
+	return c.inner.ReadFrom(buf, timeout)
+}
+
+func (c *faultConn) Close() error { return c.inner.Close() }
+
+// Per-fault decision streams, mixed into the flow hash so each fault
+// draws independently.
+const (
+	streamLoss = iota + 1
+	streamDup
+	streamReorder
+	streamJitter
+	streamSpike
+)
+
+func (c *faultConn) WriteTo(p []byte, to netip.AddrPort) error {
+	cfg := c.net.cfg
+	if !cfg.Active() {
+		return c.inner.WriteTo(p, to)
+	}
+	if c.net.dead(to) {
+		mInjected.With("blackhole").Inc()
+		return nil // vanishes, like UDP to a dead host
+	}
+	c.mu.Lock()
+	seq := c.seqs[to]
+	c.seqs[to] = seq + 1
+	c.mu.Unlock()
+	base := mix2(mix2(c.net.seed, c.local), mix2(hashString(to.String()), seq))
+	if cfg.Loss > 0 && unit(mix2(base, streamLoss)) < cfg.Loss {
+		mInjected.With("loss").Inc()
+		return nil
+	}
+	dup := cfg.Duplicate > 0 && unit(mix2(base, streamDup)) < cfg.Duplicate
+	delay := time.Duration(0)
+	if cfg.SpikeProb > 0 && unit(mix2(base, streamSpike)) < cfg.SpikeProb {
+		delay = cfg.SpikeDelay
+		mInjected.With("spike").Inc()
+	} else {
+		if cfg.Latency > 0 {
+			delay = cfg.Latency
+		}
+		if cfg.Jitter > 0 {
+			delay += time.Duration(unit(mix2(base, streamJitter)) * float64(cfg.Jitter))
+		}
+		if cfg.Reorder > 0 && unit(mix2(base, streamReorder)) < cfg.Reorder {
+			delay += cfg.ReorderDelay
+			mInjected.With("reorder").Inc()
+		}
+	}
+	send := func() error { return c.inner.WriteTo(p, to) }
+	if dup {
+		mInjected.With("duplicate").Inc()
+	}
+	if delay > 0 {
+		// Deliver later; the payload must outlive the caller's buffer.
+		held := append([]byte(nil), p...)
+		time.AfterFunc(delay, func() { _ = c.inner.WriteTo(held, to) })
+		if dup {
+			time.AfterFunc(delay, func() { _ = c.inner.WriteTo(held, to) })
+		}
+		mInjected.With("delay").Inc()
+		return nil
+	}
+	if err := send(); err != nil {
+		return err
+	}
+	if dup {
+		return send()
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package dnsclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dpsadopt/internal/chaos"
+	"dpsadopt/internal/dnsserver"
+	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/dnszone"
+	"dpsadopt/internal/transport"
+)
+
+// nsWorld builds a root delegating "f.test" to nsCount name servers (with
+// glue), each its own Server instance so tests can count per-server query
+// load. Servers whose index is in dead are not started: datagrams to them
+// vanish, like a dead host. The zone holds names x0.f.test .. x29.f.test.
+func nsWorld(t *testing.T, network transport.Network, nsCount int, dead map[int]bool) (roots []netip.AddrPort, nsAddrs []netip.AddrPort, srvs []*dnsserver.Server) {
+	t.Helper()
+	z := dnszone.MustNew("f.test")
+	z.MustAdd(dnswire.RR{Name: "f.test", Type: dnswire.TypeSOA, TTL: 1, Data: dnswire.SOA{MName: "ns0.f.test", RName: "h.f.test", Serial: 1}})
+	root := dnszone.MustNew(".")
+	for i := 0; i < nsCount; i++ {
+		host := fmt.Sprintf("ns%d.f.test", i)
+		addr := netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+		z.MustAdd(dnswire.RR{Name: "f.test", Type: dnswire.TypeNS, TTL: 1, Data: dnswire.NS{Host: host}})
+		root.MustAdd(dnswire.RR{Name: "f.test", Type: dnswire.TypeNS, TTL: 1, Data: dnswire.NS{Host: host}})
+		root.MustAdd(dnswire.RR{Name: host, Type: dnswire.TypeA, TTL: 1, Data: dnswire.A{Addr: addr}})
+		nsAddrs = append(nsAddrs, netip.AddrPortFrom(addr, transport.DNSPort))
+	}
+	for i := 0; i < 30; i++ {
+		z.MustAdd(dnswire.RR{Name: fmt.Sprintf("x%d.f.test", i), Type: dnswire.TypeA, TTL: 1,
+			Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{10, 1, 0, byte(i)})}})
+	}
+	rootSrv := dnsserver.New()
+	rootSrv.AddZone(root)
+	run, err := dnsserver.Start(rootSrv, network, "10.0.0.100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { run.Stop() })
+	srvs = append(srvs, rootSrv)
+	for i := 0; i < nsCount; i++ {
+		srv := dnsserver.New()
+		srv.AddZone(z)
+		srvs = append(srvs, srv)
+		if dead[i] {
+			continue
+		}
+		run, err := dnsserver.Start(srv, network, nsAddrs[i].Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { run.Stop() })
+	}
+	return []netip.AddrPort{netip.MustParseAddrPort("10.0.0.100:53")}, nsAddrs, srvs
+}
+
+// TestTCPFallbackUnderTruncStorm proves the RFC 1035 §4.2.2 retry path
+// survives chaos: every UDP answer is forcibly truncated and 5% of
+// datagrams are lost, so resolution only completes if the TCP fallback
+// works end to end.
+func TestTCPFallbackUnderTruncStorm(t *testing.T) {
+	cfg, err := chaos.Scenario("trunc-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := chaos.Wrap(transport.NewMem(41), cfg, 7)
+	roots, records := bigWorld(t, network)
+	// Server-side forced truncation on the authoritative servers: the
+	// network wrapper supplies the datagram loss.
+	// (bigWorld's servers are reached via the stream listeners it starts.)
+	r, err := NewResolver(network, netip.MustParseAddr("10.9.0.10"), roots, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Backoff = time.Millisecond // keep retransmission sleeps test-fast
+	res, err := r.Resolve(context.Background(), "many.big.test", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Addrs()); got != records {
+		t.Errorf("addresses = %d, want %d (TCP fallback should deliver all)", got, records)
+	}
+}
+
+// TestTCPFallbackUnderServerTruncation drives truncation from the server
+// side (FaultTruncate via the injector) rather than by answer size, with
+// loss on top, against the multi-NS world.
+func TestTCPFallbackUnderServerTruncation(t *testing.T) {
+	cfg := chaos.Config{Name: "trunc", Loss: 0.05, Truncate: 1}
+	network := chaos.Wrap(transport.NewMem(42), cfg, 9)
+	roots, nsAddrs, srvs := nsWorld(t, network, 2, nil)
+	inj := chaos.NewServerFaults(cfg, 9)
+	for _, srv := range srvs {
+		srv.SetFaults(inj)
+	}
+	// Streams for the TCP retry: the injector only affects UDP.
+	for i, srv := range srvs {
+		addr := "10.0.0.100"
+		if i > 0 {
+			addr = nsAddrs[i-1].Addr().String()
+		}
+		stream, err := dnsserver.StartStream(srv, network, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stream != nil {
+			t.Cleanup(func() { stream.Stop() })
+		}
+	}
+	r, err := NewResolver(network, netip.MustParseAddr("10.9.0.11"), roots, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Backoff = time.Millisecond
+	res, err := r.Resolve(context.Background(), "x3.f.test", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Addrs()) != 1 {
+		t.Errorf("addrs = %v, want one", res.Addrs())
+	}
+}
+
+// TestRotationSpreadsLoad checks retry fairness: with three healthy name
+// servers, successive resolutions must not all land on the first NS —
+// the starting server rotates per resolution.
+func TestRotationSpreadsLoad(t *testing.T) {
+	network := transport.NewMem(43)
+	roots, _, srvs := nsWorld(t, network, 3, nil)
+	r, err := NewResolver(network, netip.MustParseAddr("10.9.0.12"), roots, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := r.Resolve(context.Background(), fmt.Sprintf("x%d.f.test", i), dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for i, srv := range srvs[1:] {
+		q := srv.Queries()
+		total += q
+		if q == 0 {
+			t.Errorf("ns%d answered no queries: rotation is not spreading load", i)
+		}
+	}
+	if total < n {
+		t.Errorf("zone servers answered %d queries, want >= %d", total, n)
+	}
+}
+
+// TestHealthDeprioritizesDeadServer: with one of two name servers dead,
+// the resolver must stop burning a timeout on it once its health score
+// drops, so steady-state resolutions cost one query.
+func TestHealthDeprioritizesDeadServer(t *testing.T) {
+	network := transport.NewMem(44)
+	roots, nsAddrs, _ := nsWorld(t, network, 2, map[int]bool{1: true})
+	r, err := NewResolver(network, netip.MustParseAddr("10.9.0.13"), roots, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Timeout = 20 * time.Millisecond
+	r.Backoff = 0 // immediate retries: this test measures ordering, not pacing
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := r.Resolve(context.Background(), fmt.Sprintf("x%d.f.test", i), dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+		if i == n-5 {
+			r.queries.Store(0) // count only the steady-state tail
+		}
+	}
+	if got := r.QueriesSent(); got != 4 {
+		t.Errorf("steady-state resolutions sent %d queries, want 4 (1 each): dead server still being tried first", got)
+	}
+	if dead, live := r.ServerScore(nsAddrs[1]), r.ServerScore(nsAddrs[0]); dead >= unhealthyScore || live < 0.9 {
+		t.Errorf("scores: dead=%v live=%v", dead, live)
+	}
+	if r.TimeoutsSeen() == 0 {
+		t.Error("no timeouts recorded against the dead server")
+	}
+}
+
+// TestRetryBudgetFailsFast: under total loss a resolution must stop after
+// the per-resolution retry budget, not after Retries × referral steps.
+func TestRetryBudgetFailsFast(t *testing.T) {
+	network := chaos.Wrap(transport.NewMem(45), chaos.Config{Name: "void", Loss: 1}, 7)
+	roots, _, _ := nsWorld(t, network, 2, nil)
+	r, err := NewResolver(network, netip.MustParseAddr("10.9.0.14"), roots, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Timeout = 5 * time.Millisecond
+	r.Backoff = time.Millisecond
+	r.MaxBackoff = 2 * time.Millisecond
+	r.Retries = 100 // the budget, not the per-exchange cap, must bound work
+	r.RetryBudget = 3
+	res, err := r.Resolve(context.Background(), "x0.f.test", dnswire.TypeA)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res.Queries != r.RetryBudget+1 {
+		t.Errorf("queries = %d, want %d (initial + budget)", res.Queries, r.RetryBudget+1)
+	}
+	if res.Timeouts != res.Queries {
+		t.Errorf("timeouts = %d, want %d", res.Timeouts, res.Queries)
+	}
+	if r.GiveUps() != 1 || r.Resolutions() != 1 {
+		t.Errorf("giveups = %d, resolutions = %d", r.GiveUps(), r.Resolutions())
+	}
+}
+
+// TestResolveUnderFlakyLoss: the flaky-1pct scenario must be fully
+// absorbed by retransmission — every resolution still succeeds.
+func TestResolveUnderFlakyLoss(t *testing.T) {
+	cfg, err := chaos.Scenario("flaky-1pct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := chaos.Wrap(transport.NewMem(46), cfg, 7)
+	roots, _, _ := nsWorld(t, network, 3, nil)
+	r, err := NewResolver(network, netip.MustParseAddr("10.9.0.15"), roots, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Timeout = 50 * time.Millisecond
+	r.Backoff = time.Millisecond
+	for i := 0; i < 30; i++ {
+		res, err := r.Resolve(context.Background(), fmt.Sprintf("x%d.f.test", i), dnswire.TypeA)
+		if err != nil {
+			t.Fatalf("x%d: %v", i, err)
+		}
+		if len(res.Addrs()) != 1 {
+			t.Fatalf("x%d: addrs = %v", i, res.Addrs())
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package dnsclient
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestHealthScoring(t *testing.T) {
+	h := newHealthTable()
+	s := netip.MustParseAddrPort("10.0.0.1:53")
+	if h.Score(s) != 1 {
+		t.Errorf("unknown server score = %v, want 1", h.Score(s))
+	}
+	h.fail(s)
+	h.fail(s)
+	if got := h.Score(s); got >= unhealthyScore {
+		t.Errorf("score after 2 timeouts = %v, want < %v", got, unhealthyScore)
+	}
+	if h.penalty(s) != 1 {
+		t.Errorf("penalty = %d, want 1 (low score, breaker closed)", h.penalty(s))
+	}
+	h.ok(s)
+	if h.get(s).consecFails != 0 {
+		t.Error("success did not reset consecutive-failure count")
+	}
+}
+
+func TestBreakerTripAndRecovery(t *testing.T) {
+	h := newHealthTable()
+	s := netip.MustParseAddrPort("10.0.0.2:53")
+	for i := 0; i < breakerTrip; i++ {
+		h.fail(s)
+	}
+	if h.penalty(s) != 2 {
+		t.Fatalf("penalty after %d consecutive timeouts = %d, want 2 (open)", breakerTrip, h.penalty(s))
+	}
+	// The breaker stays open for breakerCooldown logical exchanges...
+	h.tick += breakerCooldown - 1
+	if h.penalty(s) != 2 {
+		t.Error("breaker closed before cooldown elapsed")
+	}
+	// ...then allows a half-open probe.
+	h.tick++
+	if h.penalty(s) == 2 {
+		t.Error("breaker still open after cooldown")
+	}
+	// A success closes it fully.
+	h.ok(s)
+	if h.get(s).openUntil != 0 {
+		t.Error("success did not close the breaker")
+	}
+}
+
+func TestOrderRotatesAndSortsHealthyFirst(t *testing.T) {
+	h := newHealthTable()
+	a := netip.MustParseAddrPort("10.0.0.1:53")
+	b := netip.MustParseAddrPort("10.0.0.2:53")
+	c := netip.MustParseAddrPort("10.0.0.3:53")
+	servers := []netip.AddrPort{a, b, c}
+	// With uniform health, rot purely rotates the start.
+	if got := h.order(servers, 1); got[0] != b || got[1] != c || got[2] != a {
+		t.Errorf("order(rot=1) = %v", got)
+	}
+	// A breaker-open server sinks to the back regardless of rotation.
+	for i := 0; i < breakerTrip; i++ {
+		h.fail(b)
+	}
+	for rot := uint64(0); rot < 6; rot++ {
+		got := h.order(servers, rot)
+		if got[len(got)-1] != b {
+			t.Errorf("order(rot=%d) = %v: open-breaker server not last", rot, got)
+		}
+	}
+	// All-open degrades to plain rotation, not failure.
+	for _, s := range servers {
+		for i := 0; i < breakerTrip; i++ {
+			h.fail(s)
+		}
+	}
+	if got := h.order(servers, 2); got[0] != c {
+		t.Errorf("all-open order(rot=2) = %v, want rotation preserved", got)
+	}
+}

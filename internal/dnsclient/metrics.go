@@ -20,4 +20,10 @@ var (
 		"responses by DNS RCODE", "rcode")
 	mQueryLatency = obs.Default().Histogram("dns_client_query_seconds",
 		"latency of one query exchange, send to matching response", nil)
+	mBreakerOpen = obs.Default().Counter("dns_client_breaker_open_total",
+		"per-server circuit breakers tripped by consecutive timeouts")
+	mBreakerClose = obs.Default().Counter("dns_client_breaker_close_total",
+		"per-server circuit breakers closed again by a successful exchange")
+	mBudgetExhausted = obs.Default().Counter("dns_client_budget_exhausted_total",
+		"resolutions abandoned because the per-resolution retry budget ran out")
 )

@@ -28,6 +28,17 @@ const (
 	defaultMaxSteps = 24 // referral hops across one resolution
 	maxCNAMEHops    = 8  // cross-zone CNAME restarts
 	maxGlueDepth    = 3  // recursion when resolving glueless NS hosts
+
+	// DefaultBackoff is the base delay before the first retransmission;
+	// each further retry doubles it (capped at DefaultMaxBackoff), with
+	// deterministic jitter drawn from the resolver's seeded PRNG.
+	DefaultBackoff    = 10 * time.Millisecond
+	DefaultMaxBackoff = 200 * time.Millisecond
+	// DefaultRetryBudget caps retransmissions across one whole resolution
+	// (all referral steps and glue chases included), so a resolution
+	// through dead infrastructure fails fast instead of stalling a
+	// measurement day: at most budget × timeout extra wall time.
+	DefaultRetryBudget = 16
 )
 
 // Errors returned by resolution.
@@ -35,6 +46,7 @@ var (
 	ErrNoServers  = errors.New("dnsclient: no servers to query")
 	ErrExhausted  = errors.New("dnsclient: retries exhausted")
 	ErrTooManyRef = errors.New("dnsclient: referral limit exceeded")
+	ErrBudget     = errors.New("dnsclient: resolution retry budget exhausted")
 )
 
 // Result is the outcome of resolving one (name, type) pair.
@@ -45,6 +57,24 @@ type Result struct {
 	Records []dnswire.RR
 	// Queries counts datagrams sent to obtain this result.
 	Queries int
+	// Timeouts counts attempts that expired without a response.
+	Timeouts int
+
+	// budget is the remaining retransmission allowance for this
+	// resolution, shared across referral steps and glue chases.
+	budget int
+}
+
+// takeRetry consumes one retransmission from the resolution budget.
+func (r *Result) takeRetry() bool {
+	if r == nil {
+		return true // budget-less exchange (AXFR helpers)
+	}
+	if r.budget <= 0 {
+		return false
+	}
+	r.budget--
+	return true
 }
 
 // Addrs extracts the final A/AAAA addresses from the expansion.
@@ -82,6 +112,14 @@ type Resolver struct {
 	// larger than this arrive truncated and are retried over TCP when
 	// the network supports streams. Defaults to the transport MTU.
 	UDPSize int
+	// Backoff/MaxBackoff shape the exponential retransmission delay; a
+	// zero Backoff disables backoff sleeps entirely (retries fire
+	// immediately, the pre-hardening behaviour).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// RetryBudget caps retransmissions per resolution (see
+	// DefaultRetryBudget); 0 or negative means unlimited.
+	RetryBudget int
 
 	net   transport.Network
 	conn  transport.Conn
@@ -94,10 +132,20 @@ type Resolver struct {
 	// tractable: the TLD referral is taken once, not per domain.
 	cache map[string][]netip.AddrPort
 
+	// health scores every server this resolver has exchanged with and
+	// runs the per-server circuit breaker.
+	health *healthTable
+	// rot rotates the starting server across resolutions for fairness.
+	rot uint64
+
 	// queries counts datagrams sent, for stats. Atomic so a stats
 	// scraper (or a future shared-resolver caller) can read it while
-	// the resolver is mid-resolution without racing.
-	queries atomic.Int64
+	// the resolver is mid-resolution without racing. timeouts,
+	// resolutions and giveups feed the per-day failure accounting.
+	queries     atomic.Int64
+	timeouts    atomic.Int64
+	resolutions atomic.Int64
+	giveups     atomic.Int64
 }
 
 // NewResolver creates a resolver bound to an ephemeral port on local,
@@ -111,16 +159,20 @@ func NewResolver(network transport.Network, local netip.Addr, roots []netip.Addr
 		return nil, err
 	}
 	return &Resolver{
-		Timeout:  DefaultTimeout,
-		Retries:  DefaultRetries,
-		MaxSteps: defaultMaxSteps,
-		UDPSize:  transport.MTU,
-		net:      network,
-		conn:     conn,
-		roots:    append([]netip.AddrPort(nil), roots...),
-		rng:      rand.New(rand.NewSource(seed)),
-		buf:      make([]byte, transport.MTU),
-		cache:    make(map[string][]netip.AddrPort),
+		Timeout:     DefaultTimeout,
+		Retries:     DefaultRetries,
+		MaxSteps:    defaultMaxSteps,
+		UDPSize:     transport.MTU,
+		Backoff:     DefaultBackoff,
+		MaxBackoff:  DefaultMaxBackoff,
+		RetryBudget: DefaultRetryBudget,
+		net:         network,
+		conn:        conn,
+		roots:       append([]netip.AddrPort(nil), roots...),
+		rng:         rand.New(rand.NewSource(seed)),
+		buf:         make([]byte, transport.MTU),
+		cache:       make(map[string][]netip.AddrPort),
+		health:      newHealthTable(),
 	}, nil
 }
 
@@ -130,6 +182,21 @@ func (r *Resolver) Close() error { return r.conn.Close() }
 // QueriesSent returns the total number of query datagrams sent. Safe to
 // call concurrently with an in-flight resolution.
 func (r *Resolver) QueriesSent() int64 { return r.queries.Load() }
+
+// TimeoutsSeen returns the total attempts that expired unanswered — the
+// "lost" column of the per-day failure accounting. Safe concurrently.
+func (r *Resolver) TimeoutsSeen() int64 { return r.timeouts.Load() }
+
+// Resolutions returns the number of Resolve calls made. Safe concurrently.
+func (r *Resolver) Resolutions() int64 { return r.resolutions.Load() }
+
+// GiveUps returns the number of resolutions that returned an error — the
+// "gave-up" column of the per-day failure accounting. Safe concurrently.
+func (r *Resolver) GiveUps() int64 { return r.giveups.Load() }
+
+// ServerScore exposes the health EWMA of one server in [0,1] (1 when the
+// server has never been queried), for tests and diagnostics.
+func (r *Resolver) ServerScore(s netip.AddrPort) float64 { return r.health.Score(s) }
 
 // FlushCache drops learned referrals; the daily measurement loop calls it
 // between days so delegation changes are observed.
@@ -150,7 +217,13 @@ func (r *Resolver) Resolve(ctx context.Context, name string, qtype dnswire.Type)
 	ctx, sp := trace.StartSpan(ctx, "dnsclient.resolve",
 		trace.Str("name", qname), trace.Str("qtype", qtype.String()))
 	defer sp.End()
-	res := &Result{RCode: dnswire.RCodeNoError}
+	r.rot++ // rotate the starting server across resolutions
+	r.resolutions.Add(1)
+	budget := r.RetryBudget
+	if budget <= 0 {
+		budget = int(^uint(0) >> 1) // unlimited
+	}
+	res := &Result{RCode: dnswire.RCodeNoError, budget: budget}
 	seen := map[string]bool{}
 	for hop := 0; hop <= maxCNAMEHops; hop++ {
 		if seen[qname] {
@@ -160,6 +233,7 @@ func (r *Resolver) Resolve(ctx context.Context, name string, qtype dnswire.Type)
 		resp, err := r.resolveOne(ctx, qname, qtype, res, 0)
 		if err != nil {
 			mErrors.Inc()
+			r.giveups.Add(1)
 			sp.SetAttr(trace.Str("error", err.Error()))
 			return res, err
 		}
@@ -310,13 +384,25 @@ func (r *Resolver) exchange(ctx context.Context, servers []netip.AddrPort, qname
 	if sp := trace.SpanFromContext(ctx); sp != nil {
 		traceID = sp.TraceID().String()
 	}
+	// Advance the logical clock (breaker cooldowns are measured in
+	// exchanges) and order the candidate servers healthy-first, rotated by
+	// the per-resolution fairness counter.
+	r.health.tick++
+	order := r.health.order(servers, r.rot)
 	for attempt := 0; attempt <= r.Retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		server := servers[attempt%len(servers)]
+		server := order[attempt%len(order)]
 		if attempt > 0 {
+			if !res.takeRetry() {
+				mBudgetExhausted.Inc()
+				return nil, fmt.Errorf("%w: %s %s", ErrBudget, qname, qtype)
+			}
 			mRetries.Inc()
+			if err := r.backoffSleep(ctx, attempt); err != nil {
+				return nil, err
+			}
 		}
 		_, ssp := trace.StartSpan(ctx, "transport.send",
 			trace.Str("server", server.String()), trace.Int("attempt", int64(attempt)),
@@ -336,14 +422,12 @@ func (r *Resolver) exchange(ctx context.Context, servers []netip.AddrPort, qname
 		for {
 			remain := time.Until(deadline)
 			if remain <= 0 {
-				mTimeouts.Inc()
 				ssp.SetAttr(trace.Str("outcome", "timeout"))
 				ssp.End()
 				break // retry
 			}
 			n, from, err := r.conn.ReadFrom(r.buf, remain)
 			if err == transport.ErrTimeout {
-				mTimeouts.Inc()
 				ssp.SetAttr(trace.Str("outcome", "timeout"))
 				ssp.End()
 				break
@@ -364,6 +448,7 @@ func (r *Resolver) exchange(ctx context.Context, servers []netip.AddrPort, qname
 				continue
 			}
 			mQueryLatency.ObserveExemplar(time.Since(sent).Seconds(), traceID)
+			r.health.ok(server)
 			if resp.Flags.Truncated {
 				// RFC 1035 §4.2.2: retry over TCP. Keep the truncated
 				// response if the stream path is unavailable or fails.
@@ -382,8 +467,40 @@ func (r *Resolver) exchange(ctx context.Context, servers []netip.AddrPort, qname
 			mRCodes.With(resp.Flags.RCode.String()).Inc()
 			return resp, nil
 		}
+		// Only a timed-out attempt reaches here: every response path
+		// returned above. Account it and mark the server against the
+		// circuit breaker before the next attempt tries elsewhere.
+		mTimeouts.Inc()
+		r.timeouts.Add(1)
+		if res != nil {
+			res.Timeouts++
+		}
+		r.health.fail(server)
 	}
 	return nil, fmt.Errorf("%w: %s %s", ErrExhausted, qname, qtype)
+}
+
+// backoffSleep waits the exponential retransmission delay before attempt
+// (1-based), with deterministic jitter in [d/2, d] drawn from the
+// resolver's seeded PRNG. A zero Backoff disables the sleep. Cancelling
+// the context aborts the wait.
+func (r *Resolver) backoffSleep(ctx context.Context, attempt int) error {
+	if r.Backoff <= 0 {
+		return nil
+	}
+	d := r.Backoff << (attempt - 1)
+	if r.MaxBackoff > 0 && d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	d = d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // exchangeTCP repeats one query over a stream connection.

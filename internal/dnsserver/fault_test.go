@@ -1,0 +1,144 @@
+package dnsserver
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dpsadopt/internal/dnswire"
+	"dpsadopt/internal/transport"
+)
+
+// fixedFault orders the same fault for every query.
+type fixedFault struct {
+	fault Fault
+	delay time.Duration
+}
+
+func (f fixedFault) QueryFault(string) (Fault, time.Duration) { return f.fault, f.delay }
+
+// askUDP sends one query datagram and returns the decoded response, or nil
+// on timeout.
+func askUDP(t *testing.T, network transport.Network, server netip.AddrPort, name string, timeout time.Duration) *dnswire.Message {
+	t.Helper()
+	cli, err := network.Dial(netip.MustParseAddr("10.9.0.9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	q := dnswire.NewQuery(77, name, dnswire.TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.WriteTo(wire, server); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, transport.MTU)
+	n, _, err := cli.ReadFrom(buf, timeout)
+	if errors.Is(err, transport.ErrTimeout) {
+		return nil
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestFaultInjection(t *testing.T) {
+	network := transport.NewMem(31)
+	srv := New()
+	srv.AddZone(testZone())
+	run, err := Start(srv, network, "10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop()
+	addr := netip.MustParseAddrPort("10.0.0.1:53")
+
+	srv.SetFaults(fixedFault{fault: FaultServfail})
+	if r := askUDP(t, network, addr, "www.examp.le", time.Second); r == nil || r.Flags.RCode != dnswire.RCodeServFail {
+		t.Fatalf("servfail fault: resp = %+v", r)
+	}
+
+	srv.SetFaults(fixedFault{fault: FaultTruncate})
+	r := askUDP(t, network, addr, "www.examp.le", time.Second)
+	if r == nil || !r.Flags.Truncated || len(r.Answers) != 0 {
+		t.Fatalf("truncate fault: resp = %+v", r)
+	}
+
+	srv.SetFaults(fixedFault{fault: FaultDrop})
+	if r := askUDP(t, network, addr, "www.examp.le", 50*time.Millisecond); r != nil {
+		t.Fatalf("drop fault: got response %+v", r)
+	}
+
+	srv.SetFaults(fixedFault{fault: FaultSlow, delay: 30 * time.Millisecond})
+	start := time.Now()
+	r = askUDP(t, network, addr, "www.examp.le", time.Second)
+	if r == nil || len(r.Answers) != 1 {
+		t.Fatalf("slow fault: resp = %+v", r)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("slow fault answered in %v, want >= 30ms", elapsed)
+	}
+
+	// Removing the injector restores normal answers.
+	srv.SetFaults(nil)
+	if r := askUDP(t, network, addr, "www.examp.le", time.Second); r == nil || len(r.Answers) != 1 || r.Flags.Truncated {
+		t.Fatalf("after SetFaults(nil): resp = %+v", r)
+	}
+}
+
+// TestStopDrainsInFlightQueries exercises the graceful-shutdown guarantee
+// under -race: Stop must wait for every datagram already read off the
+// socket to be fully handled by the worker pool, even while handlers are
+// deliberately slowed so queries are in flight at close time.
+func TestStopDrainsInFlightQueries(t *testing.T) {
+	network := transport.NewMem(32)
+	srv := New()
+	srv.AddZone(testZone())
+	srv.SetConcurrency(8)
+	srv.SetFaults(fixedFault{fault: FaultSlow, delay: 2 * time.Millisecond})
+	run, err := Start(srv, network, "10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := netip.MustParseAddrPort("10.0.0.1:53")
+	cli, err := network.Dial(netip.MustParseAddr("10.9.0.8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	const total = 200
+	for i := 0; i < total; i++ {
+		q := dnswire.NewQuery(uint16(i), "www.examp.le", dnswire.TypeA)
+		wire, err := q.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.WriteTo(wire, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the serve loop to have read some queries so the pool is
+	// busy when Stop lands mid-burst.
+	for srv.Received() < total/4 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := run.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	// Every datagram read before close must have been handled: with only
+	// well-formed queries and a non-drop fault, handled == received.
+	if got, want := srv.Queries(), srv.Received(); got != want {
+		t.Errorf("queries handled = %d, datagrams received = %d: Stop abandoned in-flight queries", got, want)
+	}
+	if srv.Received() == 0 {
+		t.Error("no datagrams received before Stop; test proved nothing")
+	}
+}

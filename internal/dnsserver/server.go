@@ -24,6 +24,42 @@ import (
 	"dpsadopt/internal/transport"
 )
 
+// Fault is a server-side fault a FaultInjector can order for one query.
+type Fault int
+
+// Server-side fault kinds.
+const (
+	// FaultNone answers normally.
+	FaultNone Fault = iota
+	// FaultServfail answers SERVFAIL without consulting zone data.
+	FaultServfail
+	// FaultSlow answers correctly but only after the injector's delay.
+	FaultSlow
+	// FaultTruncate forces TC on the UDP answer with cleared sections,
+	// pushing the client to the RFC 1035 §4.2.2 TCP retry. TCP answers
+	// are never truncated.
+	FaultTruncate
+	// FaultDrop reads the query and answers nothing.
+	FaultDrop
+)
+
+var faultNames = [...]string{"none", "servfail", "slow", "truncate", "drop"}
+
+// String names the fault.
+func (f Fault) String() string {
+	if int(f) < len(faultNames) {
+		return faultNames[f]
+	}
+	return "unknown"
+}
+
+// FaultInjector decides a fault for each incoming query. Implementations
+// must be safe for concurrent use; internal/chaos provides a seeded,
+// deterministic one. The returned delay is only meaningful for FaultSlow.
+type FaultInjector interface {
+	QueryFault(qname string) (Fault, time.Duration)
+}
+
 // Server answers authoritative DNS queries for a set of zones.
 type Server struct {
 	mu    sync.RWMutex
@@ -32,9 +68,18 @@ type Server struct {
 	// concurrency is the Serve worker-pool size (see SetConcurrency).
 	concurrency int
 
+	// faults, when set, is consulted for every UDP query (see SetFaults).
+	faults atomic.Pointer[faultBox]
+
 	// Queries counts handled queries (including refused ones).
 	queries atomic.Int64
+	// received counts datagrams read off the socket, before decode or
+	// fault injection — Stop's drain guarantee is Received() == handled.
+	received atomic.Int64
 }
+
+// faultBox wraps the injector so a nil interface can be stored atomically.
+type faultBox struct{ fi FaultInjector }
 
 // New creates an empty server.
 func New() *Server {
@@ -81,6 +126,29 @@ func (s *Server) ZoneCount() int {
 
 // Queries returns the number of queries handled so far.
 func (s *Server) Queries() int64 { return s.queries.Load() }
+
+// Received returns the number of datagrams read off the server's sockets,
+// whether or not they decoded to a query. After Stop drains, every
+// received well-formed query has been handled.
+func (s *Server) Received() int64 { return s.received.Load() }
+
+// SetFaults installs (or, with nil, removes) a fault injector consulted
+// for every UDP query. Safe to call while serving.
+func (s *Server) SetFaults(fi FaultInjector) {
+	if fi == nil {
+		s.faults.Store(nil)
+		return
+	}
+	s.faults.Store(&faultBox{fi: fi})
+}
+
+// faultFor consults the installed injector, if any.
+func (s *Server) faultFor(qname string) (Fault, time.Duration) {
+	if box := s.faults.Load(); box != nil {
+		return box.fi.QueryFault(qname)
+	}
+	return FaultNone, 0
+}
 
 // findZone returns the zone whose origin is the longest suffix of qname.
 func (s *Server) findZone(qname string) *dnszone.Zone {
@@ -180,7 +248,11 @@ func (s *Server) SetConcurrency(n int) {
 // Serve reads queries from conn and writes responses until conn is closed.
 // It is typically run in its own goroutine per simulated server address.
 // With SetConcurrency(n>1), decoding and answering happen in a worker
-// pool while the loop keeps reading.
+// pool while the loop keeps reading. When the conn closes, Serve drains:
+// every datagram already read is still decoded and answered (the answers
+// to a closed conn are discarded by the transport, but handling completes
+// — queries are never abandoned mid-flight), and Serve returns only after
+// all workers have exited.
 func (s *Server) Serve(conn transport.Conn) error {
 	workers := s.concurrency
 	if workers <= 1 {
@@ -210,6 +282,7 @@ func (s *Server) Serve(conn transport.Conn) error {
 		if err != nil {
 			break
 		}
+		s.received.Add(1)
 		jobs <- job{data: append([]byte(nil), buf[:n]...), from: from}
 	}
 	close(jobs)
@@ -230,6 +303,7 @@ func (s *Server) serveInline(conn transport.Conn) error {
 			}
 			return fmt.Errorf("dnsserver: read: %w", err)
 		}
+		s.received.Add(1)
 		s.answer(conn, buf[:n], from)
 	}
 }
@@ -239,6 +313,9 @@ func (s *Server) serveInline(conn transport.Conn) error {
 // (trace.SetDefault) the query is recorded as a `dnsserver.handle` root
 // span, sampled by qname with the same deterministic hash the client
 // side uses, so server-side traces exist for the same sampled names.
+// When a fault injector is installed, its verdict is applied here —
+// before zone lookup for drops, after it for truncation — and recorded
+// as a `chaos` span attribute so injected faults are visible in traces.
 func (s *Server) answer(conn transport.Conn, data []byte, from netip.AddrPort) {
 	mInflight.Inc()
 	defer mInflight.Dec()
@@ -247,16 +324,47 @@ func (s *Server) answer(conn transport.Conn, data []byte, from netip.AddrPort) {
 		mMalformed.Inc()
 		return
 	}
-	var sp *trace.Span
-	if tr := trace.Default(); tr != nil && len(q.Questions) == 1 {
-		if qn, err := dnswire.CanonicalName(q.Questions[0].Name); err == nil && tr.SampleName(qn) {
-			_, sp = tr.StartRoot(context.Background(), "dnsserver.handle",
-				trace.Str("qname", qn),
-				trace.Str("qtype", q.Questions[0].Type.String()),
-				trace.Str("client", from.String()))
+	var qname string
+	if len(q.Questions) == 1 {
+		if qn, err := dnswire.CanonicalName(q.Questions[0].Name); err == nil {
+			qname = qn
 		}
 	}
-	resp := s.Handle(q)
+	var sp *trace.Span
+	if tr := trace.Default(); tr != nil && qname != "" && tr.SampleName(qname) {
+		_, sp = tr.StartRoot(context.Background(), "dnsserver.handle",
+			trace.Str("qname", qname),
+			trace.Str("qtype", q.Questions[0].Type.String()),
+			trace.Str("client", from.String()))
+	}
+	fault, delay := FaultNone, time.Duration(0)
+	if qname != "" {
+		fault, delay = s.faultFor(qname)
+	}
+	if fault != FaultNone {
+		sp.SetAttr(trace.Str("chaos", fault.String()))
+	}
+	switch fault {
+	case FaultDrop:
+		sp.End()
+		return
+	case FaultSlow:
+		time.Sleep(delay)
+	}
+	var resp *dnswire.Message
+	if fault == FaultServfail {
+		s.queries.Add(1)
+		mQueries.Inc()
+		resp = q.Reply()
+		resp.Flags.RCode = dnswire.RCodeServFail
+	} else {
+		resp = s.Handle(q)
+	}
+	if fault == FaultTruncate {
+		resp.Flags.Truncated = true
+		resp.Answers, resp.Authority, resp.Extra = nil, nil, nil
+		mTruncated.Inc()
+	}
 	sp.SetAttr(trace.Str("rcode", resp.Flags.RCode.String()))
 	wire, err := packWithLimit(resp, maxPayload(q))
 	if err != nil {
@@ -289,13 +397,20 @@ func Start(srv *Server, net transport.Network, addr string) (*Running, error) {
 	return r, nil
 }
 
-// Stop closes the listener and waits for the serve loop to exit, waiting
-// at most a second before giving up.
+// drainTimeout bounds how long Stop waits for in-flight queries. It is a
+// deadlock backstop, not a drop policy: a drain that needs this long
+// means a handler is wedged, and Stop reports it as an error instead of
+// silently abandoning goroutines.
+const drainTimeout = 30 * time.Second
+
+// Stop closes the listener and waits for the serve loop — including all
+// worker goroutines and their queued queries — to drain completely.
 func (r *Running) Stop() error {
 	r.conn.Close()
 	select {
 	case <-r.done:
-	case <-time.After(time.Second):
+	case <-time.After(drainTimeout):
+		return fmt.Errorf("dnsserver: stop: drain timed out after %v with queries in flight", drainTimeout)
 	}
 	return r.err
 }

@@ -14,4 +14,10 @@ var (
 		"rows folded into the aggregation across the run")
 	mDetected = obs.Default().Gauge("experiment_detected_domains",
 		"gTLD domains using any DPS on the most recent measured day")
+	mDegradedDays = obs.Default().Counter("experiment_degraded_days_total",
+		"wire days committed above the resolution failure threshold")
+	mQueriesLost = obs.Default().Counter("experiment_queries_lost_total",
+		"wire query attempts that expired unanswered, across the run")
+	mFailureRate = obs.Default().Gauge("experiment_day_failure_rate",
+		"resolution failure rate of the most recent measured day")
 )

@@ -13,12 +13,14 @@ import (
 	"strings"
 
 	"dpsadopt/internal/analysis"
+	"dpsadopt/internal/chaos"
 	"dpsadopt/internal/core"
 	"dpsadopt/internal/measure"
 	"dpsadopt/internal/pfx2as"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
 	"dpsadopt/internal/trace"
+	"dpsadopt/internal/transport"
 	"dpsadopt/internal/worldsim"
 )
 
@@ -34,6 +36,32 @@ type Config struct {
 	// KeepStore retains raw partitions instead of dropping them after
 	// aggregation (needed when callers want to re-scan; costs memory).
 	KeepStore bool
+	// Wire measures over the transport network (measure.ModeWire) instead
+	// of deriving records in process — required for fault injection, since
+	// only wire days have datagrams to lose.
+	Wire bool
+	// WireNetwork, when set, supplies the base per-day transport for wire
+	// mode (defaults to a fresh day-seeded in-memory network). A fault
+	// scenario wraps whatever this returns.
+	WireNetwork func(day simtime.Day) transport.Network
+	// WireTimeout (milliseconds), WireRetries and WireRetryBudget tune the
+	// wire-mode resolvers; zero keeps the dnsclient defaults. Chaos runs
+	// lower the timeout so injected losses cost milliseconds, not seconds.
+	WireTimeout     int
+	WireRetries     int
+	WireRetryBudget int
+	// FaultScenario names a chaos scenario (chaos.ScenarioNames) injected
+	// into every wire day; empty runs fault-free. Requires Wire.
+	FaultScenario string
+	// FaultSeed fixes the fault pattern: the same scenario and seed inject
+	// the same faults, making degraded-day accounting reproducible.
+	FaultSeed int64
+	// FaultDays, when set, limits injection to days where it returns true
+	// (e.g. a mid-run outage window); nil injects on every day.
+	FaultDays func(day simtime.Day) bool
+	// FailureThreshold is the resolution failure rate above which a day is
+	// committed as degraded (default 0.05).
+	FailureThreshold float64
 	// OnProgress, when set, receives (day index, total days). It is kept
 	// for existing callers; new code should prefer OnDayProgress, which
 	// carries the full per-day observation.
@@ -55,6 +83,26 @@ type DayProgress struct {
 	Rows int64
 	// Detected is the number of gTLD domains using any DPS on this day.
 	Detected int
+	// Net is the wire-mode network accounting (zero for direct mode).
+	Net measure.NetStats
+	// Degraded reports whether the day was committed as degraded.
+	Degraded bool
+}
+
+// DayAccounting is one row of the run's degraded-day ledger: the paper's
+// pipeline had to commit partial measurement days and remember which ones
+// they were (§4.2); this is that memory, per day.
+type DayAccounting struct {
+	Day simtime.Day
+	// Queries/Lost/GaveUp/Resolutions mirror measure.NetStats.
+	Queries     int64
+	Lost        int64
+	Resolutions int64
+	GaveUp      int64
+	// FailureRate is GaveUp/Resolutions.
+	FailureRate float64
+	// Degraded marks the day as committed above the failure threshold.
+	Degraded bool
 }
 
 // SourceStats accumulates one Table 1 row.
@@ -77,10 +125,11 @@ type Runner struct {
 	Store *store.Store
 	Agg   *analysis.Aggregator
 
-	pipeline *measure.Pipeline
-	stats    map[string]*SourceStats
-	window   simtime.Range
-	ran      bool
+	pipeline   *measure.Pipeline
+	stats      map[string]*SourceStats
+	window     simtime.Range
+	ran        bool
+	accounting []DayAccounting
 }
 
 // New builds a runner over a freshly generated world.
@@ -90,6 +139,12 @@ func New(cfg Config) (*Runner, error) {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = DefaultFailureThreshold
+	}
+	if cfg.FaultScenario != "" && !cfg.Wire {
+		return nil, fmt.Errorf("experiment: fault scenario %q requires Wire mode (direct days have no datagrams to lose)", cfg.FaultScenario)
 	}
 	w, err := worldsim.New(worldsim.DefaultConfig(cfg.Scale))
 	if err != nil {
@@ -108,13 +163,84 @@ func New(cfg Config) (*Runner, error) {
 		Agg:   analysis.NewAggregator(refs, s, worldsim.GTLDs()),
 		stats: make(map[string]*SourceStats),
 	}
-	r.pipeline = measure.New(w, s, measure.Config{Mode: measure.ModeDirect, Workers: cfg.Workers})
+	mcfg := measure.Config{Mode: measure.ModeDirect, Workers: cfg.Workers}
+	if cfg.Wire {
+		mcfg.Mode = measure.ModeWire
+		mcfg.Timeout = cfg.WireTimeout
+		mcfg.Retries = cfg.WireRetries
+		mcfg.RetryBudget = cfg.WireRetryBudget
+		if err := r.wireFaults(&mcfg); err != nil {
+			return nil, err
+		}
+	}
+	r.pipeline = measure.New(w, s, mcfg)
 	r.window = w.Cfg.Window
 	if cfg.Days > 0 && cfg.Days < r.window.Len() {
 		r.window.End = r.window.Start + simtime.Day(cfg.Days)
 	}
 	return r, nil
 }
+
+// DefaultFailureThreshold is the resolution failure rate above which a
+// wire day is committed as degraded.
+const DefaultFailureThreshold = 0.05
+
+// wireFaults wires the chaos scenario (if any) into the measurement
+// config: the network wrapper per day, root-server protection, and the
+// server-side injector on every authoritative.
+func (r *Runner) wireFaults(mcfg *measure.Config) error {
+	cfg := r.Cfg
+	var faultCfg chaos.Config
+	if cfg.FaultScenario != "" {
+		var err error
+		faultCfg, err = chaos.Scenario(cfg.FaultScenario)
+		if err != nil {
+			return err
+		}
+	}
+	faultsOn := func(day simtime.Day) bool {
+		if cfg.FaultScenario == "" {
+			return false
+		}
+		return cfg.FaultDays == nil || cfg.FaultDays(day)
+	}
+	base := cfg.WireNetwork
+	if base == nil {
+		base = func(day simtime.Day) transport.Network {
+			return transport.NewMem(int64(day) ^ 0x3f3f)
+		}
+	}
+	// Per-day seeds keep days' fault patterns independent while the whole
+	// run stays a pure function of (scenario, FaultSeed).
+	daySeed := func(day simtime.Day) int64 { return cfg.FaultSeed + int64(day)*1_000_003 }
+	mcfg.WireNetwork = func(day simtime.Day) transport.Network {
+		n := base(day)
+		if faultsOn(day) && faultCfg.Active() {
+			return chaos.Wrap(n, faultCfg, daySeed(day))
+		}
+		return n
+	}
+	mcfg.OnWire = func(day simtime.Day, wire *worldsim.Wire, network transport.Network) {
+		if cn, ok := network.(*chaos.Network); ok {
+			// A blackholed root would sever the namespace at its first
+			// hop; the scenarios model degraded days, not a dead Internet.
+			for _, root := range wire.Roots {
+				cn.Protect(root.Addr())
+			}
+		}
+		if faultsOn(day) && faultCfg.ServerActive() {
+			wire.SetFaults(chaos.NewServerFaults(faultCfg, daySeed(day)))
+		}
+	}
+	return nil
+}
+
+// Accounting returns the per-day network ledger of a completed wire run:
+// one row per measured day, in day order, with degraded days marked.
+func (r *Runner) Accounting() []DayAccounting { return r.accounting }
+
+// DegradedDays returns the days committed as degraded.
+func (r *Runner) DegradedDays() []simtime.Day { return r.Agg.DegradedDays() }
 
 // Window returns the days actually run.
 func (r *Runner) Window() simtime.Range { return r.window }
@@ -169,11 +295,29 @@ func (r *Runner) Run(ctx context.Context) error {
 			}
 		}
 		detected := r.Agg.SumAny(worldsim.GTLDs(), day)
+		net := r.pipeline.LastNetStats()
+		acct := DayAccounting{
+			Day: day, Queries: net.Queries, Lost: net.Lost,
+			Resolutions: net.Resolutions, GaveUp: net.GaveUp,
+			FailureRate: net.FailureRate(),
+		}
+		if r.Cfg.Wire && acct.FailureRate > r.Cfg.FailureThreshold {
+			// The day is kept — partial data still feeds the aggregates,
+			// as the paper's pipeline kept partial days — but committed as
+			// degraded so the growth analysis interpolates across it.
+			acct.Degraded = true
+			r.Agg.MarkDegraded(day)
+			mDegradedDays.Inc()
+			sp.SetAttr(trace.Str("degraded", "true"))
+		}
+		r.accounting = append(r.accounting, acct)
 		sp.SetAttr(trace.Int("rows", dayRows), trace.Int("detected", int64(detected)))
 		sp.End()
 		mDaysCompleted.Set(float64(i + 1))
 		mRowsSeen.Add(dayRows)
 		mDetected.Set(float64(detected))
+		mQueriesLost.Add(net.Lost)
+		mFailureRate.Set(acct.FailureRate)
 		if r.Cfg.OnProgress != nil {
 			r.Cfg.OnProgress(i+1, total)
 		}
@@ -181,6 +325,7 @@ func (r *Runner) Run(ctx context.Context) error {
 			r.Cfg.OnDayProgress(DayProgress{
 				Done: i + 1, Total: total, Day: day,
 				Rows: dayRows, Detected: detected,
+				Net: net, Degraded: acct.Degraded,
 			})
 		}
 	}

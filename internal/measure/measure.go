@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -51,13 +52,21 @@ const SourceAlexa = "alexa"
 type Config struct {
 	Mode    Mode
 	Workers int
-	// Timeout/Retries apply to wire-mode resolvers.
-	Timeout int // milliseconds; 0 = dnsclient default
-	Retries int
+	// Timeout/Retries/RetryBudget apply to wire-mode resolvers
+	// (0 = dnsclient default).
+	Timeout     int // milliseconds
+	Retries     int
+	RetryBudget int
 	// WireNetwork, when set, supplies the transport for each wire-mode
-	// day (e.g. transport.NewMappedUDP to measure over kernel sockets);
-	// by default each day gets a fresh in-memory network.
-	WireNetwork func() transport.Network
+	// day (e.g. transport.NewMappedUDP to measure over kernel sockets,
+	// or a chaos.Wrap for fault injection); by default each day gets a
+	// fresh in-memory network.
+	WireNetwork func(day simtime.Day) transport.Network
+	// OnWire, when set, is invoked after a wire-mode day's authoritative
+	// world is built and before resolution starts — the hook point for
+	// installing server-side fault injectors or protecting root addresses
+	// on a chaos transport.
+	OnWire func(day simtime.Day, wire *worldsim.Wire, network transport.Network)
 	// StageIZoneFiles, when true, derives the daily TLD domain lists by
 	// rendering and parsing the registry zone files instead of reading
 	// the world model — the literal Stage I of Fig 1. Slower; used by
@@ -67,6 +76,45 @@ type Config struct {
 	OnDay func(day simtime.Day, rows int)
 }
 
+// NetStats is the per-day network-health accounting of a wire-mode day:
+// how hard the resolvers had to work and how often they failed. The
+// experiment layer compares FailureRate against its degraded-day
+// threshold when committing the day.
+type NetStats struct {
+	// Queries counts query datagrams sent (UDP and TCP).
+	Queries int64
+	// Lost counts attempts that expired without a response.
+	Lost int64
+	// Resolutions counts Resolve calls.
+	Resolutions int64
+	// GaveUp counts resolutions that returned an error — lost data points.
+	GaveUp int64
+}
+
+// FailureRate is the fraction of resolutions that gave up entirely.
+func (s NetStats) FailureRate() float64 {
+	if s.Resolutions == 0 {
+		return 0
+	}
+	return float64(s.GaveUp) / float64(s.Resolutions)
+}
+
+// LossRate is the fraction of query attempts that went unanswered.
+func (s NetStats) LossRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(s.Queries)
+}
+
+// add folds one worker resolver's counters in.
+func (s *NetStats) add(r *dnsclient.Resolver) {
+	s.Queries += r.QueriesSent()
+	s.Lost += r.TimeoutsSeen()
+	s.Resolutions += r.Resolutions()
+	s.GaveUp += r.GiveUps()
+}
+
 // Pipeline measures a world into a store.
 type Pipeline struct {
 	World *worldsim.World
@@ -74,6 +122,7 @@ type Pipeline struct {
 	Cfg   Config
 
 	queriesSent int64
+	dayNet      NetStats
 }
 
 // New creates a pipeline.
@@ -86,6 +135,10 @@ func New(w *worldsim.World, s *store.Store, cfg Config) *Pipeline {
 
 // QueriesSent reports wire-mode query datagrams sent so far.
 func (p *Pipeline) QueriesSent() int64 { return p.queriesSent }
+
+// LastNetStats reports the network accounting of the most recently
+// completed wire-mode day (zero for direct mode).
+func (p *Pipeline) LastNetStats() NetStats { return p.dayNet }
 
 // task is one domain to measure into one source partition.
 type task struct {
@@ -180,9 +233,10 @@ func (p *Pipeline) RunDay(ctx context.Context, day simtime.Day) error {
 
 	var wire *worldsim.Wire
 	var network transport.Network
+	p.dayNet = NetStats{}
 	if p.Cfg.Mode == ModeWire {
 		if p.Cfg.WireNetwork != nil {
-			network = p.Cfg.WireNetwork()
+			network = p.Cfg.WireNetwork(day)
 		} else {
 			network = transport.NewMem(int64(day) ^ 0x3f3f)
 		}
@@ -193,12 +247,24 @@ func (p *Pipeline) RunDay(ctx context.Context, day simtime.Day) error {
 			return fmt.Errorf("measure: wire build: %w", err)
 		}
 		defer wire.Close()
+		if p.Cfg.OnWire != nil {
+			p.Cfg.OnWire(day, wire, network)
+		}
 	}
 
 	resStart := time.Now()
 	rows := 0
 	domains := 0
-	for source, tasks := range lists {
+	// Sources run in sorted order: map order would make wire-mode flow
+	// identities (ephemeral ports) differ between runs, breaking the
+	// reproducibility of fault accounting.
+	sources := make([]string, 0, len(lists))
+	for source := range lists {
+		sources = append(sources, source)
+	}
+	sort.Strings(sources)
+	for _, source := range sources {
+		tasks := lists[source]
 		sctx, sp2 := trace.StartSpan(ctx, "measure.stage2",
 			trace.Str("source", source), trace.Int("domains", int64(len(tasks))))
 		n, err := p.runSource(sctx, day, source, tasks, table, wire, network)
@@ -249,6 +315,33 @@ func (p *Pipeline) runSource(ctx context.Context, day simtime.Day, source string
 	total := 0
 	var firstErr error
 	chunk := (len(tasks) + workers - 1) / workers
+	// Wire-mode resolvers are created sequentially before the workers
+	// start: concurrent dials would race for ephemeral ports and give
+	// flows run-dependent identities, breaking reproducible fault
+	// accounting.
+	resolvers := make([]*dnsclient.Resolver, workers)
+	if p.Cfg.Mode == ModeWire {
+		for wi := 0; wi < workers; wi++ {
+			local := netip.AddrFrom4([4]byte{10, 200, byte(wi >> 8), byte(wi)})
+			r, err := dnsclient.NewResolver(network, local, wire.Roots, int64(day)*1000+int64(wi))
+			if err != nil {
+				for _, prev := range resolvers[:wi] {
+					prev.Close()
+				}
+				return 0, err
+			}
+			if p.Cfg.Timeout > 0 {
+				r.Timeout = time.Duration(p.Cfg.Timeout) * time.Millisecond
+			}
+			if p.Cfg.Retries > 0 {
+				r.Retries = p.Cfg.Retries
+			}
+			if p.Cfg.RetryBudget > 0 {
+				r.RetryBudget = p.Cfg.RetryBudget
+			}
+			resolvers[wi] = r
+		}
+	}
 	for wi := 0; wi < workers; wi++ {
 		lo := wi * chunk
 		hi := lo + chunk
@@ -256,6 +349,9 @@ func (p *Pipeline) runSource(ctx context.Context, day simtime.Day, source string
 			hi = len(tasks)
 		}
 		if lo >= hi {
+			if resolvers[wi] != nil {
+				resolvers[wi].Close()
+			}
 			continue
 		}
 		wg.Add(1)
@@ -264,26 +360,9 @@ func (p *Pipeline) runSource(ctx context.Context, day simtime.Day, source string
 			mWorkersActive.Inc()
 			defer mWorkersActive.Dec()
 			writer := p.Store.NewWriter(source, day)
-			var resolver *dnsclient.Resolver
-			if p.Cfg.Mode == ModeWire {
-				local := netip.AddrFrom4([4]byte{10, 200, byte(wi >> 8), byte(wi)})
-				r, err := dnsclient.NewResolver(network, local, wire.Roots, int64(day)*1000+int64(wi))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				if p.Cfg.Timeout > 0 {
-					r.Timeout = time.Duration(p.Cfg.Timeout) * time.Millisecond
-				}
-				if p.Cfg.Retries > 0 {
-					r.Retries = p.Cfg.Retries
-				}
-				resolver = r
-				defer r.Close()
+			resolver := resolvers[wi]
+			if resolver != nil {
+				defer resolver.Close()
 			}
 			n := 0
 			for _, t := range tasks[lo:hi] {
@@ -308,6 +387,7 @@ func (p *Pipeline) runSource(ctx context.Context, day simtime.Day, source string
 			total += n
 			if resolver != nil {
 				p.queriesSent += resolver.QueriesSent()
+				p.dayNet.add(resolver)
 			}
 			mu.Unlock()
 		}(wi, lo, hi)

@@ -280,7 +280,7 @@ func TestWireOverMappedUDP(t *testing.T) {
 	}
 	udp := store.New()
 	cfg := Config{Mode: ModeWire, Workers: 8, Timeout: 400, Retries: 3,
-		WireNetwork: func() transport.Network { return transport.NewMappedUDP() }}
+		WireNetwork: func(simtime.Day) transport.Network { return transport.NewMappedUDP() }}
 	if err := New(w, udp, cfg).RunDay(context.Background(), day); err != nil {
 		t.Skipf("cannot run over UDP: %v", err)
 	}
@@ -360,7 +360,7 @@ func TestWireSurvivesPacketLoss(t *testing.T) {
 	}
 	lossy := store.New()
 	cfg := Config{Mode: ModeWire, Workers: 8, Timeout: 20, Retries: 8,
-		WireNetwork: func() transport.Network {
+		WireNetwork: func(simtime.Day) transport.Network {
 			n := transport.NewMem(99)
 			n.SetLoss(0.10)
 			return n

@@ -25,6 +25,20 @@ type Wire struct {
 	streams []*dnsserver.RunningStream
 }
 
+// SetFaults installs a fault injector (e.g. chaos.ServerFaults) on every
+// authoritative server of the day's infrastructure — root, registry,
+// hoster, provider and operator servers alike — so a chaos scenario
+// degrades the whole simulated Internet, not a single zone.
+func (wi *Wire) SetFaults(fi dnsserver.FaultInjector) {
+	seen := map[*dnsserver.Server]bool{}
+	for _, r := range wi.running {
+		if !seen[r.Server] {
+			seen[r.Server] = true
+			r.Server.SetFaults(fi)
+		}
+	}
+}
+
 // Close stops all servers.
 func (wi *Wire) Close() {
 	for _, r := range wi.running {
