@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench chaos
+.PHONY: check vet build test test-race bench chaos api
 
 check: vet build test-race
 
@@ -29,3 +29,11 @@ bench:
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Degraded|Loss|Trunc|Rotation|Health|Breaker|Budget|Scenario|Interpolate|SmoothMasked|StopDrains' \
 		./internal/chaos/ ./internal/dnsserver/ ./internal/dnsclient/ ./internal/analysis/ ./internal/experiment/
+
+# Serving-layer suite: the api package's handler/cache/admission tests
+# and the store partition-directory tests under the race detector, then
+# a real-process smoke test (measure -> save -> dpsapi -> curl every
+# route -> assert cache hits -> SIGTERM drain).
+api:
+	$(GO) test -race ./internal/api/ ./internal/store/
+	sh scripts/api_smoke.sh

@@ -12,12 +12,17 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"net/netip"
+	"net/url"
 	"os"
 	"sync"
 	"testing"
 	"time"
 
+	"dpsadopt/internal/api"
 	"dpsadopt/internal/chaos"
 	"dpsadopt/internal/core"
 	"dpsadopt/internal/dnsclient"
@@ -448,6 +453,131 @@ func writeChaosBench(b *testing.B, stats map[string]lossStat) {
 	}
 	b.Logf("wrote results/BENCH_chaos.json (1%% loss %.2fx, 10%% loss %.2fx vs clean)",
 		slowdown("loss_1pct"), slowdown("loss_10pct"))
+}
+
+// apiBench holds the serving-layer benchmark fixture: a 12-day
+// direct-mode measurement indexed once and shared by every sub-bench.
+var (
+	apiBenchOnce sync.Once
+	apiBenchIdx  *api.Index
+	apiBenchErr  error
+)
+
+func apiIndex(b *testing.B) *api.Index {
+	b.Helper()
+	apiBenchOnce.Do(func() {
+		w, err := worldsim.New(worldsim.DefaultConfig(50_000))
+		if err != nil {
+			apiBenchErr = err
+			return
+		}
+		s := store.New()
+		p := measure.New(w, s, measure.Config{Mode: measure.ModeDirect, Workers: 4})
+		for day := simtime.Day(0); day < 12; day++ {
+			if err := p.RunDay(context.Background(), day); err != nil {
+				apiBenchErr = err
+				return
+			}
+		}
+		apiBenchIdx = api.NewIndex(s, core.MustGroundTruth())
+	})
+	if apiBenchErr != nil {
+		b.Fatal(apiBenchErr)
+	}
+	return apiBenchIdx
+}
+
+// apiBenchPaths builds the request population: every detected domain,
+// every indexed day, every provider series, and /v1/stats.
+func apiBenchPaths(b *testing.B, idx *api.Index) []string {
+	b.Helper()
+	var paths []string
+	for _, dom := range idx.Domains() {
+		paths = append(paths, "/v1/domain/"+dom)
+	}
+	if len(paths) == 0 {
+		b.Fatal("bench world produced no detections")
+	}
+	for _, d := range idx.Days() {
+		paths = append(paths, "/v1/day/"+d.String())
+	}
+	for _, p := range idx.Stats().Providers {
+		paths = append(paths, "/v1/provider/"+url.PathEscape(p)+"/series")
+	}
+	return append(paths, "/v1/stats")
+}
+
+// BenchmarkAPIServe measures the serving layer's single-threaded request
+// cost under two key distributions (Zipf-skewed, as production query
+// logs are, and uniform as the adversarial cache-hostile case) with the
+// response cache on and off. Results are persisted to
+// results/BENCH_api.json with the cache's speedup per distribution.
+func BenchmarkAPIServe(b *testing.B) {
+	idx := apiIndex(b)
+	paths := apiBenchPaths(b, idx)
+	secPerOp := map[string]float64{}
+	run := func(b *testing.B, key string, cacheEntries int, pick func(i int) string) {
+		srv := api.NewServer(idx, api.Config{CacheEntries: cacheEntries, MaxInflight: 64})
+		h := srv.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, pick(i), nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("%s: status %d", pick(i), rec.Code)
+			}
+		}
+		b.StopTimer()
+		secPerOp[key] = b.Elapsed().Seconds() / float64(b.N)
+	}
+	zipfPick := func() func(i int) string {
+		z := rand.NewZipf(rand.New(rand.NewSource(1)), 1.2, 1, uint64(len(paths)-1))
+		return func(int) string { return paths[z.Uint64()] }
+	}
+	uniformPick := func() func(i int) string {
+		return func(i int) string { return paths[i%len(paths)] }
+	}
+	b.Run("zipf/cache", func(b *testing.B) { run(b, "zipf_cache", 4096, zipfPick()) })
+	b.Run("zipf/nocache", func(b *testing.B) { run(b, "zipf_nocache", -1, zipfPick()) })
+	b.Run("uniform/cache", func(b *testing.B) { run(b, "uniform_cache", 4096, uniformPick()) })
+	b.Run("uniform/nocache", func(b *testing.B) { run(b, "uniform_nocache", -1, uniformPick()) })
+	writeAPIBench(b, secPerOp, len(paths))
+}
+
+// writeAPIBench persists the serving benchmark, mirroring writeObsBench's
+// role as a machine-readable perf trajectory.
+func writeAPIBench(b *testing.B, secPerOp map[string]float64, keys int) {
+	b.Helper()
+	if secPerOp["zipf_cache"] == 0 || secPerOp["zipf_nocache"] == 0 {
+		b.Log("BENCH_api.json not written: sub-benchmarks missing")
+		return
+	}
+	qps := func(key string) float64 { return 1 / secPerOp[key] }
+	doc := map[string]any{
+		"bench":                   "APIServe",
+		"request_keys":            keys,
+		"qps_zipf_cache":          qps("zipf_cache"),
+		"qps_zipf_nocache":        qps("zipf_nocache"),
+		"qps_uniform_cache":       qps("uniform_cache"),
+		"qps_uniform_nocache":     qps("uniform_nocache"),
+		"cache_speedup_zipf_x":    secPerOp["zipf_nocache"] / secPerOp["zipf_cache"],
+		"cache_speedup_uniform_x": secPerOp["uniform_nocache"] / secPerOp["uniform_cache"],
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		b.Logf("BENCH_api.json not written: %v", err)
+		return
+	}
+	if err := os.WriteFile("results/BENCH_api.json", append(raw, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_api.json not written: %v", err)
+		return
+	}
+	b.Logf("wrote results/BENCH_api.json (zipf: %.0f q/s cached, %.1fx speedup)",
+		qps("zipf_cache"), secPerOp["zipf_nocache"]/secPerOp["zipf_cache"])
 }
 
 // BenchmarkDetectDay benchmarks the §3.3 detection scan over one stored

@@ -1,0 +1,129 @@
+// Command dpsapi serves detection queries over a measurement dataset
+// written by cmd/dpsmeasure -out (the .dpsa archive):
+//
+//	GET /v1/domain/{name}           full detection history of one domain
+//	GET /v1/provider/{name}/series  daily use counts, raw + smoothed
+//	GET /v1/day/{date}              per-provider totals for one day
+//	GET /v1/stats                   dataset + index summary
+//
+// The same listener also exposes /metrics (Prometheus text), expvar
+// /debug/vars, and pprof profiles. Admission control is layered: -qps
+// rate-limits with a token bucket (429 beyond it), -max-inflight bounds
+// concurrency (503 when the gate stays full past the deadline), and
+// -timeout caps every request. SIGINT/SIGTERM drain gracefully: the
+// listener closes, in-flight requests finish (up to -drain), then the
+// process exits.
+//
+// Usage:
+//
+//	dpsapi -data world.dpsa [-addr :8080] [-qps 0] [-max-inflight 256]
+//	       [-timeout 2s] [-cache 4096] [-drain 5s] [-quiet] [-log-json]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dpsadopt/internal/api"
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/obs"
+	"dpsadopt/internal/store"
+)
+
+func main() {
+	var (
+		data        = flag.String("data", "", "dataset file (.dpsa) to serve (required)")
+		addr        = flag.String("addr", ":8080", "listen address for /v1 and /metrics")
+		qps         = flag.Float64("qps", 0, "admitted requests per second (0 = unlimited)")
+		burst       = flag.Int("burst", 0, "token bucket depth (default: qps)")
+		maxInflight = flag.Int("max-inflight", 256, "max concurrently handled requests")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-request deadline")
+		cacheSize   = flag.Int("cache", 4096, "response cache entries (negative = disabled)")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful shutdown deadline")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging (warnings still shown)")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "dpsapi: -data FILE required")
+		os.Exit(2)
+	}
+
+	if *logJSON {
+		obs.SetLogger(obs.NewLogger(os.Stderr, slog.LevelInfo, true))
+	}
+	if *quiet {
+		obs.SetQuiet()
+	}
+	log := obs.Logger()
+
+	t0 := time.Now()
+	s, err := store.Load(*data)
+	if err != nil {
+		fatal(err)
+	}
+	log.Info("dataset loaded", "path", *data, "elapsed", time.Since(t0).Round(time.Millisecond).String())
+
+	t0 = time.Now()
+	idx := api.NewIndex(s, core.MustGroundTruth())
+	st := idx.Stats()
+	log.Info("index built",
+		"domains", st.DomainsDetected, "days", st.DaysIndexed,
+		"sources", st.Sources, "elapsed", time.Since(t0).Round(time.Millisecond).String())
+
+	srv := api.NewServer(idx, api.Config{
+		QPS:          *qps,
+		Burst:        *burst,
+		MaxInflight:  *maxInflight,
+		Timeout:      *timeout,
+		CacheEntries: *cacheSize,
+	})
+	// One listener for everything: the API routes share the mux with
+	// /metrics, /debug/vars and /debug/pprof so operators scrape the
+	// serving-path counters from the same port they query.
+	mux := obs.NewMux(obs.Default())
+	srv.Register(mux)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Info("serving", "addr", ln.Addr().String(),
+		"routes", "/v1/domain/{name} /v1/provider/{name}/series /v1/day/{date} /v1/stats /metrics")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		log.Info("signal received; draining", "deadline", drain.String())
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Warn("drain incomplete, closing", "err", err)
+			_ = httpSrv.Close()
+		}
+		log.Info("drained; bye")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpsapi:", err)
+	os.Exit(1)
+}

@@ -8,15 +8,22 @@
 //	dpsdata -data FILE -dump com/0      # dump a partition (source/dayIndex)
 //	dpsdata -data FILE -detect          # per-day per-provider counts
 //	dpsdata -data FILE -grep cloudflare # rows whose strings match
+//	dpsdata -data FILE -domain x.com    # one domain's full detection history
+//
+// -dump uses the dataset's partition directory (when present) to decode
+// only the requested day block; -domain answers from the internal/api
+// read index instead of scanning rows.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"dpsadopt/internal/api"
 	"dpsadopt/internal/core"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
@@ -28,6 +35,7 @@ func main() {
 		dump   = flag.String("dump", "", "partition to dump as source/day (day = index into the source's day list)")
 		detect = flag.Bool("detect", false, "run Table 2 detection per stored day")
 		grep   = flag.String("grep", "", "print rows whose NS/CNAME strings contain this substring")
+		domain = flag.String("domain", "", "print this domain's full detection history")
 		limit  = flag.Int("limit", 20, "max rows for -dump/-grep")
 	)
 	flag.Parse()
@@ -35,12 +43,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dpsdata: -data FILE required")
 		os.Exit(2)
 	}
+
+	if *dump != "" {
+		// Fast path: resolve source/dayIndex against the directory and
+		// decode one partition, not the whole archive.
+		if done, err := dumpViaDirectory(*data, *dump, *limit); done {
+			if err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
+
 	s, err := store.Load(*data)
 	if err != nil {
 		fatal(err)
 	}
 
 	switch {
+	case *domain != "":
+		printDomainHistory(s, strings.ToLower(strings.TrimSuffix(*domain, ".")))
 	case *dump != "":
 		source, day, err := parsePartition(s, *dump)
 		if err != nil {
@@ -89,6 +111,68 @@ func main() {
 			fmt.Printf("%-8s %6d %10d %12d %13dB\n", src, st.Days, st.UniqueSLDs, st.DataPoints, st.CompressedBytes)
 		}
 	}
+}
+
+// printDomainHistory renders one domain's detection record from the
+// internal/api read index — the structured replacement for grepping rows.
+func printDomainHistory(s *store.Store, name string) {
+	idx := api.NewIndex(s, core.MustGroundTruth())
+	h, ok := idx.Domain(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dpsdata: no DPS references recorded for %q\n", name)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: detected on %d day(s), %s .. %s\n", h.Domain, h.Days, h.FirstSeen, h.LastSeen)
+	for _, p := range h.Providers {
+		fmt.Printf("  %-12s via %-11s %s .. %s (%d days, peak run %d)\n",
+			p.Provider, p.Methods, p.FirstSeen, p.LastSeen, p.Days, p.PeakRun)
+		for _, iv := range p.Intervals {
+			fmt.Printf("    %s .. %s  %-11s %d day(s)\n", iv.From, iv.To, iv.Methods, iv.Days)
+		}
+	}
+}
+
+// dumpViaDirectory serves -dump from the partition directory when the
+// file has one. done=false means no directory (legacy file): fall back
+// to the full-decode path.
+func dumpViaDirectory(path, spec string, limit int) (done bool, err error) {
+	parts := strings.SplitN(spec, "/", 2)
+	if len(parts) != 2 {
+		return true, fmt.Errorf("dpsdata: -dump wants source/dayIndex")
+	}
+	dir, err := store.Directory(path)
+	if errors.Is(err, store.ErrNoDirectory) {
+		return false, nil
+	}
+	if err != nil {
+		return true, err
+	}
+	var days []simtime.Day
+	for _, ent := range dir {
+		if ent.Source == parts[0] {
+			days = append(days, ent.Day)
+		}
+	}
+	if len(days) == 0 {
+		return true, fmt.Errorf("dpsdata: no data for source %q", parts[0])
+	}
+	idx, err := strconv.Atoi(parts[1])
+	if err != nil || idx < 0 || idx >= len(days) {
+		return true, fmt.Errorf("dpsdata: day index out of range [0,%d)", len(days))
+	}
+	s, err := store.LoadPartition(path, parts[0], days[idx])
+	if err != nil {
+		return true, err
+	}
+	n := 0
+	s.ForEachRow(parts[0], days[idx], func(r store.Row) {
+		if n >= limit {
+			return
+		}
+		n++
+		printRow(r)
+	})
+	return true, nil
 }
 
 func parsePartition(s *store.Store, spec string) (string, simtime.Day, error) {

@@ -154,7 +154,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		// Drain instead of tearing the socket down: a scrape racing the
+		// exit still collects the final counters.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				_ = srv.Close()
+			}
+		}()
 		log.Info("metrics listening", "addr", srv.Addr,
 			"endpoints", "/metrics /debug/vars /debug/pprof/ /debug/traces")
 	}

@@ -1,0 +1,51 @@
+package api
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the first admission layer: a classic leaky bucket
+// refilled at rate tokens/second up to burst. Allow is O(1) under one
+// mutex; a request that finds the bucket empty is rejected immediately
+// with 429 rather than queued — shedding at the cheapest possible point,
+// before any index or cache work.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = int(rate)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &tokenBucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   time.Now(),
+	}
+}
+
+// allow consumes one token if available.
+func (b *tokenBucket) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

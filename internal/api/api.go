@@ -1,0 +1,277 @@
+// Package api is the serving layer: a high-QPS HTTP JSON service that
+// answers detection queries against a loaded measurement dataset.
+//
+// The paper's output — per-domain, per-day DPS detection and
+// per-provider adoption series — is produced offline; this package turns
+// it into something that serves. At load time, NewIndex runs the §3.3
+// detection pass once per partition and builds read-optimized inverted
+// structures (domain → packed detection-interval list, provider → daily
+// series), so no request ever scans columnar data. The hot path is then
+// layered, outermost first:
+//
+//  1. Admission control: a token bucket (429 when the offered rate
+//     exceeds the configured QPS), a bounded concurrency gate (503 when
+//     the deadline expires while waiting for a slot), and a per-request
+//     deadline — load is shed at the edge instead of queueing
+//     unboundedly, in the spirit of layered-defense frontends.
+//  2. A sharded LRU response cache (power-of-two shards, per-shard
+//     mutex) holding fully rendered JSON bodies.
+//  3. Singleflight coalescing: N concurrent misses for one key perform
+//     one index walk and share the bytes.
+//  4. The index lookup itself, lock-free on the immutable Index.
+//
+// Every request is counted (api_requests_total{route_code}), timed
+// (api_request_seconds with trace exemplars), and optionally traced with
+// a per-request root span.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/trace"
+)
+
+// Config tunes the server's admission and caching layers.
+type Config struct {
+	// QPS is the sustained admitted request rate; <= 0 disables rate
+	// limiting.
+	QPS float64
+	// Burst is the token bucket depth (default: QPS, at least 1).
+	Burst int
+	// MaxInflight bounds concurrently handled requests (default 256).
+	MaxInflight int
+	// Timeout is the per-request deadline, covering both the wait for a
+	// concurrency slot and the handler itself (default 2s).
+	Timeout time.Duration
+	// CacheEntries sizes the response cache: 0 means the 4096 default,
+	// negative disables caching.
+	CacheEntries int
+	// CacheShards is rounded up to a power of two (default 16).
+	CacheShards int
+	// Tracer, when enabled, opens a sampled root span per request and
+	// links latency histogram buckets to trace IDs via exemplars.
+	Tracer *trace.Tracer
+}
+
+// Server answers the /v1 routes from an immutable Index.
+type Server struct {
+	idx    *Index
+	cfg    Config
+	cache  *shardedCache // nil when disabled
+	flight *flightGroup
+	bucket *tokenBucket // nil when unlimited
+	gate   chan struct{}
+	mux    *http.ServeMux
+
+	// testHook, when set by tests, runs inside the concurrency gate
+	// before the handler — it simulates slow handlers for shed tests.
+	testHook func(route string)
+	// flightHook, when set by tests, runs inside the singleflight
+	// leader's computation — it lets tests hold a flight open and count
+	// real index walks.
+	flightHook func()
+}
+
+// NewServer builds a server for an index.
+func NewServer(idx *Index, cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 16
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 4096
+	}
+	s := &Server{
+		idx:    idx,
+		cfg:    cfg,
+		flight: newFlightGroup(),
+		gate:   make(chan struct{}, cfg.MaxInflight),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newCache(cfg.CacheEntries, cfg.CacheShards)
+	}
+	if cfg.QPS > 0 {
+		s.bucket = newTokenBucket(cfg.QPS, cfg.Burst)
+	}
+	s.mux = http.NewServeMux()
+	s.Register(s.mux)
+	return s
+}
+
+// Register mounts the /v1 routes on an external mux (so a binary can
+// serve them alongside /metrics and /debug endpoints on one listener).
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.Handle("GET /v1/domain/{name}", s.route("domain", s.handleDomain))
+	mux.Handle("GET /v1/provider/{name}/series", s.route("series", s.handleSeries))
+	mux.Handle("GET /v1/day/{date}", s.route("day", s.handleDay))
+	mux.Handle("GET /v1/stats", s.route("stats", s.handleStats))
+}
+
+// Handler returns the server's own mux (API routes only).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route wraps one handler with the full serving stack: admission
+// (bucket → gate → deadline), tracing, cache + coalescing, metrics.
+func (s *Server) route(name string, fn func(r *http.Request) cached) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if s.bucket != nil && !s.bucket.allow() {
+			mRateLimited.Inc()
+			s.finish(w, name, start, nil, errResponse(http.StatusTooManyRequests, "rate limit exceeded"))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		select {
+		case s.gate <- struct{}{}:
+		default:
+			// Gate full: wait, but only as long as the request deadline —
+			// the queue is bounded by MaxInflight waiters' deadlines, not
+			// by memory.
+			select {
+			case s.gate <- struct{}{}:
+			case <-ctx.Done():
+				mShed.Inc()
+				s.finish(w, name, start, nil, errResponse(http.StatusServiceUnavailable, "server overloaded"))
+				return
+			}
+		}
+		mInflight.Inc()
+		defer func() { <-s.gate; mInflight.Dec() }()
+
+		var sp *trace.Span
+		if t := s.cfg.Tracer; t.Enabled() && t.SampleName(r.URL.Path) {
+			ctx, sp = t.StartRoot(ctx, "api.request",
+				trace.Str("route", name), trace.Str("path", r.URL.Path))
+			defer sp.End()
+		}
+		r = r.WithContext(ctx)
+		if s.testHook != nil {
+			s.testHook(name)
+		}
+		s.finish(w, name, start, sp, s.respond(name, r, fn))
+	})
+}
+
+// respond resolves a request through cache and singleflight.
+func (s *Server) respond(route string, r *http.Request, fn func(r *http.Request) cached) cached {
+	key := route + " " + r.URL.RequestURI()
+	if s.cache == nil {
+		val, shared := s.flight.do(key, func() cached {
+			if s.flightHook != nil {
+				s.flightHook()
+			}
+			return fn(r)
+		})
+		if shared {
+			mCoalesced.Inc()
+		}
+		return val
+	}
+	if val, ok := s.cache.get(key); ok {
+		mCacheHits.Inc()
+		return val
+	}
+	mCacheMisses.Inc()
+	val, shared := s.flight.do(key, func() cached {
+		if s.flightHook != nil {
+			s.flightHook()
+		}
+		val := fn(r)
+		// Only successful and not-found answers are cacheable: both are
+		// immutable facts of the loaded dataset. Errors are not.
+		if val.status == http.StatusOK || val.status == http.StatusNotFound {
+			s.cache.put(key, val)
+		}
+		return val
+	})
+	if shared {
+		mCoalesced.Inc()
+	}
+	return val
+}
+
+// finish writes the response and records metrics, the span status, and
+// the latency exemplar.
+func (s *Server) finish(w http.ResponseWriter, route string, start time.Time, sp *trace.Span, val cached) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(val.status)
+	_, _ = w.Write(val.body)
+	mRequests.With(fmt.Sprintf("%s:%d", route, val.status)).Inc()
+	sec := time.Since(start).Seconds()
+	h := mLatency.With(route)
+	if sp != nil {
+		sp.SetAttr(trace.Int("status", int64(val.status)))
+		h.ObserveExemplar(sec, sp.TraceID().String())
+	} else {
+		h.Observe(sec)
+	}
+}
+
+// jsonResponse marshals v into a cached response.
+func jsonResponse(status int, v any) cached {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return errResponse(http.StatusInternalServerError, "encoding failed")
+	}
+	return cached{status: status, body: append(body, '\n')}
+}
+
+// errResponse renders the uniform error body.
+func errResponse(status int, msg string) cached {
+	return cached{status: status, body: []byte(fmt.Sprintf("{\"error\":%q}\n", msg))}
+}
+
+// maxDomainName bounds /v1/domain path values (RFC 1035 name limit).
+const maxDomainName = 253
+
+func (s *Server) handleDomain(r *http.Request) cached {
+	name := strings.ToLower(strings.TrimSuffix(r.PathValue("name"), "."))
+	if name == "" || len(name) > maxDomainName || strings.ContainsAny(name, " /\\") {
+		return errResponse(http.StatusBadRequest, "invalid domain name")
+	}
+	h, ok := s.idx.Domain(name)
+	if !ok {
+		return errResponse(http.StatusNotFound, "domain has no recorded DPS references")
+	}
+	return jsonResponse(http.StatusOK, h)
+}
+
+func (s *Server) handleSeries(r *http.Request) cached {
+	name := r.PathValue("name")
+	if name == "" {
+		return errResponse(http.StatusBadRequest, "invalid provider name")
+	}
+	series, ok := s.idx.Series(name)
+	if !ok {
+		return errResponse(http.StatusNotFound, "unknown provider")
+	}
+	return jsonResponse(http.StatusOK, series)
+}
+
+func (s *Server) handleDay(r *http.Request) cached {
+	day, err := simtime.Parse(r.PathValue("date"))
+	if err != nil {
+		return errResponse(http.StatusBadRequest, "invalid date, want YYYY-MM-DD")
+	}
+	info, ok := s.idx.Day(day)
+	if !ok {
+		return errResponse(http.StatusNotFound, "day not in dataset")
+	}
+	return jsonResponse(http.StatusOK, info)
+}
+
+func (s *Server) handleStats(r *http.Request) cached {
+	return jsonResponse(http.StatusOK, s.idx.Stats())
+}

@@ -1,0 +1,121 @@
+package api
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cached is one materialised response.
+type cached struct {
+	status int
+	body   []byte
+}
+
+// cacheShard is one lock domain of the response cache: an LRU list plus
+// its lookup map under a single mutex. Hits and misses both touch only
+// this shard's lock, so concurrent requests for different keys contend
+// only 1/shards of the time.
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val cached
+}
+
+// shardedCache is a power-of-two-sharded LRU keyed by request key. The
+// dataset is immutable while served, so entries never expire — they only
+// fall off the cold end under capacity pressure.
+type shardedCache struct {
+	shards []*cacheShard
+	mask   uint64
+}
+
+// newCache builds a cache holding ~entries responses across shards
+// (shards is rounded up to a power of two).
+func newCache(entries, shards int) *shardedCache {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := entries / n
+	if per < 1 {
+		per = 1
+	}
+	c := &shardedCache{shards: make([]*cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap:   per,
+			ll:    list.New(),
+			items: make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+// fnv64a hashes the key for shard selection (inline to avoid the
+// hash/fnv allocation on the hot path).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *shardedCache) shard(key string) *cacheShard {
+	return c.shards[fnv64a(key)&c.mask]
+}
+
+// get returns the cached response and promotes it to most-recent.
+func (c *shardedCache) get(key string) (cached, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return cached{}, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts (or refreshes) a response, evicting the coldest entry of
+// the shard when full.
+func (c *shardedCache) put(key string, val cached) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		if back := s.ll.Back(); back != nil {
+			s.ll.Remove(back)
+			delete(s.items, back.Value.(*lruEntry).key)
+			mCacheEvictions.Inc()
+		}
+	}
+	s.items[key] = s.ll.PushFront(&lruEntry{key: key, val: val})
+}
+
+// len reports the number of resident entries (test/diagnostic use).
+func (c *shardedCache) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

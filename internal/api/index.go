@@ -1,0 +1,350 @@
+package api
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"dpsadopt/internal/analysis"
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+)
+
+// interval is one packed detection interval: a maximal run of
+// consecutive measured days on which a domain exhibited the same
+// reference methods toward one provider. 12 bytes per interval keeps a
+// multi-million-domain index compact; a gap in detection (or a change
+// in the method set) starts a new interval.
+type interval struct {
+	provider uint8
+	methods  core.Method
+	days     uint16 // measured days covered (== last-first+1 on contiguous data)
+	first    int32  // simtime.Day
+	last     int32  // simtime.Day, inclusive
+}
+
+// Index is the read-optimized view of a loaded dataset: the detection
+// pass (core.DetectDay) runs once per partition at build time, and every
+// request is then answered from inverted structures — domain → packed
+// interval list, provider → daily series — without touching the columnar
+// store again. The index is immutable after Build, so readers need no
+// locks.
+type Index struct {
+	refs    *core.References
+	sources []string
+	days    []simtime.Day // sorted union over sources
+	dayPos  map[simtime.Day]int
+
+	domains map[string][]interval // domain → intervals in day order
+
+	series   [][]int64   // [provider][dayIdx] distinct domains using p
+	smoothed [][]float64 // §4.2-smoothed counterpart of series
+	measured []int64     // [dayIdx] domains with any stored row (summed over sources)
+	anyUse   []int64     // [dayIdx] distinct domains using at least one provider
+
+	buildTime time.Duration
+}
+
+// NewIndex builds the index from a store by running detection over every
+// (source, day) partition and merging sources per day (a domain counted
+// once per day regardless of how many lists contain it, as §4.1 counts).
+func NewIndex(s *store.Store, refs *core.References) *Index {
+	start := time.Now()
+	np := refs.NumProviders()
+	x := &Index{
+		refs:    refs,
+		sources: s.Sources(),
+		dayPos:  make(map[simtime.Day]int),
+		domains: make(map[string][]interval),
+	}
+	daySet := make(map[simtime.Day]bool)
+	for _, src := range x.sources {
+		for _, d := range s.Days(src) {
+			daySet[d] = true
+		}
+	}
+	x.days = make([]simtime.Day, 0, len(daySet))
+	for d := range daySet {
+		x.days = append(x.days, d)
+	}
+	sort.Slice(x.days, func(i, j int) bool { return x.days[i] < x.days[j] })
+	for i, d := range x.days {
+		x.dayPos[d] = i
+	}
+
+	x.series = make([][]int64, np)
+	for p := range x.series {
+		x.series[p] = make([]int64, len(x.days))
+	}
+	x.measured = make([]int64, len(x.days))
+	x.anyUse = make([]int64, len(x.days))
+
+	merged := make([]map[string]core.Method, np)
+	for di, day := range x.days {
+		for p := range merged {
+			merged[p] = make(map[string]core.Method)
+		}
+		for _, src := range x.sources {
+			det := core.DetectDay(s, src, day, refs)
+			x.measured[di] += int64(det.DomainsMeasured)
+			for p := 0; p < np; p++ {
+				det.MergeAny(p, merged[p])
+			}
+		}
+		prev := simtime.Day(-1 << 30)
+		if di > 0 {
+			prev = x.days[di-1]
+		}
+		anySet := make(map[string]bool)
+		for p := 0; p < np; p++ {
+			x.series[p][di] = int64(len(merged[p]))
+			for dom, m := range merged[p] {
+				anySet[dom] = true
+				x.addDay(dom, p, m, day, prev)
+			}
+		}
+		x.anyUse[di] = int64(len(anySet))
+	}
+
+	x.smoothed = make([][]float64, np)
+	for p := 0; p < np; p++ {
+		raw := make([]float64, len(x.series[p]))
+		for i, v := range x.series[p] {
+			raw[i] = float64(v)
+		}
+		x.smoothed[p] = analysis.Smooth(raw)
+	}
+
+	x.buildTime = time.Since(start)
+	mIndexDomains.Set(float64(len(x.domains)))
+	mIndexDays.Set(float64(len(x.days)))
+	mIndexBuildSeconds.Set(x.buildTime.Seconds())
+	return x
+}
+
+// addDay folds one (domain, provider, methods) detection on day into the
+// domain's packed interval list. prev is the previous measured day: an
+// interval extends only across consecutive measured days with an
+// unchanged method set.
+func (x *Index) addDay(dom string, p int, m core.Method, day, prev simtime.Day) {
+	ivs := x.domains[dom]
+	for i := len(ivs) - 1; i >= 0; i-- {
+		if int(ivs[i].provider) != p {
+			continue
+		}
+		if simtime.Day(ivs[i].last) == prev && ivs[i].methods == m {
+			ivs[i].last = int32(day)
+			ivs[i].days++
+			return
+		}
+		break
+	}
+	x.domains[dom] = append(ivs, interval{
+		provider: uint8(p),
+		methods:  m,
+		days:     1,
+		first:    int32(day),
+		last:     int32(day),
+	})
+}
+
+// IntervalInfo is one detection interval in presentation form.
+type IntervalInfo struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Days    int    `json:"days"`
+	Methods string `json:"methods"`
+}
+
+// ProviderUse summarises one domain's use of one provider.
+type ProviderUse struct {
+	Provider  string         `json:"provider"`
+	Methods   string         `json:"methods"` // union over all intervals
+	FirstSeen string         `json:"first_seen"`
+	LastSeen  string         `json:"last_seen"`
+	Days      int            `json:"days"`
+	PeakRun   int            `json:"peak_run_days"` // longest uninterrupted interval
+	Intervals []IntervalInfo `json:"intervals"`
+}
+
+// DomainHistory is the /v1/domain/{name} response body.
+type DomainHistory struct {
+	Domain    string        `json:"domain"`
+	FirstSeen string        `json:"first_seen"`
+	LastSeen  string        `json:"last_seen"`
+	Days      int           `json:"days_detected"`
+	Providers []ProviderUse `json:"providers"`
+}
+
+// Domain returns the full detection history of one domain, or false if
+// the domain never exhibited a DPS reference in the dataset.
+func (x *Index) Domain(name string) (DomainHistory, bool) {
+	ivs, ok := x.domains[name]
+	if !ok {
+		return DomainHistory{}, false
+	}
+	h := DomainHistory{Domain: name}
+	byProv := make(map[int]*ProviderUse)
+	union := make(map[int]core.Method)
+	var order []int
+	first, last := int32(1<<31-1), int32(-1<<31)
+	daySet := make(map[int32]bool)
+	for _, iv := range ivs {
+		if iv.first < first {
+			first = iv.first
+		}
+		if iv.last > last {
+			last = iv.last
+		}
+		for d := iv.first; d <= iv.last; d++ {
+			if _, ok := x.dayPos[simtime.Day(d)]; ok {
+				daySet[d] = true
+			}
+		}
+		p := int(iv.provider)
+		u := byProv[p]
+		if u == nil {
+			u = &ProviderUse{
+				Provider:  x.refs.Providers[p].Name,
+				FirstSeen: simtime.Day(iv.first).String(),
+			}
+			byProv[p] = u
+			order = append(order, p)
+		}
+		union[p] |= iv.methods
+		u.LastSeen = simtime.Day(iv.last).String()
+		u.Days += int(iv.days)
+		if int(iv.days) > u.PeakRun {
+			u.PeakRun = int(iv.days)
+		}
+		u.Intervals = append(u.Intervals, IntervalInfo{
+			From:    simtime.Day(iv.first).String(),
+			To:      simtime.Day(iv.last).String(),
+			Days:    int(iv.days),
+			Methods: iv.methods.String(),
+		})
+	}
+	sort.Ints(order)
+	for _, p := range order {
+		byProv[p].Methods = union[p].String()
+		h.Providers = append(h.Providers, *byProv[p])
+	}
+	h.FirstSeen = simtime.Day(first).String()
+	h.LastSeen = simtime.Day(last).String()
+	h.Days = len(daySet)
+	return h, true
+}
+
+// ProviderSeries is the /v1/provider/{name}/series response body.
+type ProviderSeries struct {
+	Provider string    `json:"provider"`
+	FirstDay string    `json:"first_day"`
+	Days     []string  `json:"days"`
+	Raw      []int64   `json:"raw"`
+	Smoothed []float64 `json:"smoothed"`
+}
+
+// Series returns one provider's daily use counts (raw and §4.2-smoothed).
+// Provider names match case-insensitively.
+func (x *Index) Series(name string) (ProviderSeries, bool) {
+	p := -1
+	for i := range x.refs.Providers {
+		if strings.EqualFold(x.refs.Providers[i].Name, name) {
+			p = i
+			break
+		}
+	}
+	if p < 0 {
+		return ProviderSeries{}, false
+	}
+	out := ProviderSeries{
+		Provider: x.refs.Providers[p].Name,
+		Days:     make([]string, len(x.days)),
+		Raw:      append([]int64(nil), x.series[p]...),
+		Smoothed: append([]float64(nil), x.smoothed[p]...),
+	}
+	for i, d := range x.days {
+		out.Days[i] = d.String()
+	}
+	if len(x.days) > 0 {
+		out.FirstDay = x.days[0].String()
+	}
+	return out, true
+}
+
+// DayInfo is the /v1/day/{date} response body.
+type DayInfo struct {
+	Day       string           `json:"day"`
+	Measured  int64            `json:"domains_measured"`
+	AnyUse    int64            `json:"domains_using_any"`
+	Providers map[string]int64 `json:"providers"`
+}
+
+// Day returns per-provider totals for one measured day.
+func (x *Index) Day(d simtime.Day) (DayInfo, bool) {
+	di, ok := x.dayPos[d]
+	if !ok {
+		return DayInfo{}, false
+	}
+	out := DayInfo{
+		Day:       d.String(),
+		Measured:  x.measured[di],
+		AnyUse:    x.anyUse[di],
+		Providers: make(map[string]int64, len(x.refs.Providers)),
+	}
+	for p := range x.refs.Providers {
+		out.Providers[x.refs.Providers[p].Name] = x.series[p][di]
+	}
+	return out, true
+}
+
+// Stats is the /v1/stats response body. ExampleDomain gives smoke tests
+// and quickstarts a known-good /v1/domain key.
+type Stats struct {
+	Sources         []string `json:"sources"`
+	FirstDay        string   `json:"first_day"`
+	LastDay         string   `json:"last_day"`
+	DaysIndexed     int      `json:"days_indexed"`
+	DomainsDetected int      `json:"domains_detected"`
+	ExampleDomain   string   `json:"example_domain,omitempty"`
+	Providers       []string `json:"providers"`
+	IndexBuildMS    float64  `json:"index_build_ms"`
+}
+
+// Stats summarises the loaded dataset and index.
+func (x *Index) Stats() Stats {
+	st := Stats{
+		Sources:         x.sources,
+		DaysIndexed:     len(x.days),
+		DomainsDetected: len(x.domains),
+		IndexBuildMS:    float64(x.buildTime.Microseconds()) / 1000,
+	}
+	if len(x.days) > 0 {
+		st.FirstDay = x.days[0].String()
+		st.LastDay = x.days[len(x.days)-1].String()
+	}
+	for i := range x.refs.Providers {
+		st.Providers = append(st.Providers, x.refs.Providers[i].Name)
+	}
+	for dom := range x.domains {
+		if st.ExampleDomain == "" || dom < st.ExampleDomain {
+			st.ExampleDomain = dom
+		}
+	}
+	return st
+}
+
+// Domains lists every detected domain, sorted (used by benchmarks and
+// dpsdata; not exposed as a route).
+func (x *Index) Domains() []string {
+	out := make([]string, 0, len(x.domains))
+	for dom := range x.domains {
+		out = append(out, dom)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Days lists the indexed days, sorted.
+func (x *Index) Days() []simtime.Day { return append([]simtime.Day(nil), x.days...) }

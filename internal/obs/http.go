@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -92,5 +93,12 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	return s, nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping in-flight requests.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains the server gracefully: the listener stops accepting,
+// in-flight scrapes complete, and the call returns when they have (or
+// when ctx expires, whichever is first). Binaries should prefer this
+// over Close on their signal path so a /metrics scrape racing the
+// shutdown still gets its final counters.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

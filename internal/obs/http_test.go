@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestMetricsRoundTrip serves a registry over httptest and asserts the
@@ -118,5 +120,68 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + s.Addr + "/metrics"); err == nil {
 		t.Error("server still reachable after Close")
+	}
+}
+
+// TestShutdownDrains proves the graceful path: a scrape in flight when
+// Shutdown is called completes with its body, and only then does the
+// listener die.
+func TestShutdownDrains(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	Handle("/debug/slowtest", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		w.Write([]byte("drained ok"))
+	}))
+	defer func() {
+		extraMu.Lock()
+		delete(extraHandlers, "/debug/slowtest")
+		extraMu.Unlock()
+	}()
+
+	s, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr + "/debug/slowtest")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- result{body: string(body)}
+	}()
+	<-started
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	// The in-flight request holds the drain open until released.
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned (%v) before the in-flight request finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "drained ok" {
+		t.Fatalf("in-flight request: body=%q err=%v", r.body, r.err)
+	}
+	if _, err := http.Get("http://" + s.Addr + "/metrics"); err == nil {
+		t.Error("server still reachable after Shutdown")
 	}
 }

@@ -3,9 +3,11 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"dpsadopt/internal/simtime"
 )
@@ -20,12 +22,42 @@ import (
 //	  asnVals count u32 | columns in order (domains, kinds, addrs,
 //	  addrs6, strs, asnOff, asnVals)
 //
-// All integers are little-endian.
+// Version 3 appends a partition directory after the partitions so large
+// datasets can be opened without decoding every day block:
+//
+//	directory: count u32, then per partition:
+//	  source len u16 + bytes | day i64 | rows u32 |
+//	  offset u64 | length u64      (byte range of the partition)
+//	footer: directory offset u64 | magic "DPSD"
+//
+// Version 2 readers that stop after the partition count are unaffected
+// (the directory is trailing data), and version 3 readers fall back to a
+// full sequential decode on version 2 files, which have no directory.
+//
+// All integers are little-endian. Partitions are written in sorted
+// (source, day) order, so saving the same store twice yields identical
+// bytes.
 
 const (
 	persistMagic   = "DPSA"
-	persistVersion = 2
+	persistVersion = 3
+	dirMagic       = "DPSD"
+	footerSize     = 8 + 4 // directory offset + dirMagic
 )
+
+// ErrNoDirectory reports a dataset written before the partition
+// directory existed (version 2); callers fall back to a full Load.
+var ErrNoDirectory = errors.New("store: dataset has no partition directory")
+
+// PartitionInfo describes one (source, day) partition listed in a
+// dataset file's directory.
+type PartitionInfo struct {
+	Source string
+	Day    simtime.Day
+	Rows   int
+
+	offset, length uint64
+}
 
 // Save writes the store to path atomically (via a temp file + rename).
 func (s *Store) Save(path string) error {
@@ -52,19 +84,209 @@ func (s *Store) Save(path string) error {
 	return os.Rename(tmp, path)
 }
 
-// Load reads a store written by Save.
+// Load reads a store written by Save (any supported version).
 func Load(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return decode(bufio.NewReaderSize(f, 1<<20))
+	version, err := readHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	s, err := decode(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	// Version 3 files carry a directory + footer after the partitions;
+	// verifying it catches truncation that a sequential decode (which
+	// stops after the last partition) would let through.
+	if version >= 3 {
+		if _, err := readDirectory(f); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
-func (s *Store) encode(w io.Writer) error {
+// LoadPartition decodes a single (source, day) partition from a dataset
+// file, plus the shared dictionary, without decoding any other day
+// block. On version 2 files (no directory) it falls back to a full
+// decode and prunes. The returned store contains exactly one partition.
+func LoadPartition(path, source string, day simtime.Day) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	version, err := readHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	if version < 3 {
+		// Legacy: no directory to seek by. Decode everything, keep one.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		s, err := decode(bufio.NewReaderSize(f, 1<<20))
+		if err != nil {
+			return nil, err
+		}
+		if s.blocks[source][day] == nil {
+			return nil, fmt.Errorf("store: no partition %s/%s in %s", source, day, path)
+		}
+		for _, src := range s.Sources() {
+			for _, d := range s.Days(src) {
+				if src != source || d != day {
+					s.DropDay(src, d)
+				}
+			}
+		}
+		return s, nil
+	}
+	dir, err := readDirectory(f)
+	if err != nil {
+		return nil, err
+	}
+	var ent *PartitionInfo
+	for i := range dir {
+		if dir[i].Source == source && dir[i].Day == day {
+			ent = &dir[i]
+			break
+		}
+	}
+	if ent == nil {
+		return nil, fmt.Errorf("store: no partition %s/%s in %s", source, day, path)
+	}
+	// The dictionary immediately follows the 8-byte header.
+	if _, err := f.Seek(8, io.SeekStart); err != nil {
+		return nil, err
+	}
+	s := New()
+	if err := readDict(bufio.NewReaderSize(f, 1<<20), s); err != nil {
+		return nil, err
+	}
+	sec := io.NewSectionReader(f, int64(ent.offset), int64(ent.length))
+	if err := readPartition(bufio.NewReaderSize(sec, 1<<20), s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Directory reads a dataset file's partition listing without decoding
+// any data. Version 2 files return ErrNoDirectory.
+func Directory(path string) ([]PartitionInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	version, err := readHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	if version < 3 {
+		return nil, ErrNoDirectory
+	}
+	return readDirectory(f)
+}
+
+// readHeader validates the magic and returns the format version.
+func readHeader(f *os.File) (uint32, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, err
+	}
+	if string(hdr[:4]) != persistMagic {
+		return 0, fmt.Errorf("store: not a dataset file")
+	}
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if version != 2 && version != persistVersion {
+		return 0, fmt.Errorf("store: unsupported version %d", version)
+	}
+	return version, nil
+}
+
+// readDirectory parses the footer and partition directory of a v3 file.
+func readDirectory(f *os.File) ([]PartitionInfo, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < footerSize {
+		return nil, fmt.Errorf("store: file too short for directory footer")
+	}
+	var foot [footerSize]byte
+	if _, err := f.ReadAt(foot[:], size-footerSize); err != nil {
+		return nil, err
+	}
+	if string(foot[8:]) != dirMagic {
+		return nil, fmt.Errorf("store: directory footer missing or corrupt")
+	}
+	dirOff := binary.LittleEndian.Uint64(foot[:8])
+	if dirOff >= uint64(size-footerSize) {
+		return nil, fmt.Errorf("store: directory offset out of range")
+	}
+	r := bufio.NewReader(io.NewSectionReader(f, int64(dirOff), size-footerSize-int64(dirOff)))
+	count, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if count > maxPersistCount {
+		return nil, fmt.Errorf("store: directory too large")
+	}
+	out := make([]PartitionInfo, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var ent PartitionInfo
+		if ent.Source, err = readStr(r); err != nil {
+			return nil, err
+		}
+		var day int64
+		if err := binary.Read(r, binary.LittleEndian, &day); err != nil {
+			return nil, err
+		}
+		ent.Day = simtime.Day(day)
+		rows, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		ent.Rows = int(rows)
+		var buf [16]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		ent.offset = binary.LittleEndian.Uint64(buf[:8])
+		ent.length = binary.LittleEndian.Uint64(buf[8:])
+		if ent.offset+ent.length > uint64(size) {
+			return nil, fmt.Errorf("store: directory entry out of range")
+		}
+		out = append(out, ent)
+	}
+	return out, nil
+}
+
+// offsetWriter tracks the byte offset of everything written through it,
+// so encode can record partition positions for the directory.
+type offsetWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (o *offsetWriter) Write(p []byte) (int, error) {
+	n, err := o.w.Write(p)
+	o.n += uint64(n)
+	return n, err
+}
+
+func (s *Store) encode(dst io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	w := &offsetWriter{w: dst}
 	if _, err := io.WriteString(w, persistMagic); err != nil {
 		return err
 	}
@@ -85,7 +307,12 @@ func (s *Store) encode(w io.Writer) error {
 		}
 	}
 	s.dict.mu.RUnlock()
-	// Partitions.
+	// Partitions, in sorted (source, day) order for deterministic bytes.
+	sources := make([]string, 0, len(s.blocks))
+	for src := range s.blocks {
+		sources = append(sources, src)
+	}
+	sort.Strings(sources)
 	nParts := 0
 	for _, days := range s.blocks {
 		nParts += len(days)
@@ -93,53 +320,96 @@ func (s *Store) encode(w io.Writer) error {
 	if err := writeU32(w, uint32(nParts)); err != nil {
 		return err
 	}
-	for source, days := range s.blocks {
-		for day, b := range days {
-			if err := writeStr(w, source); err != nil {
+	dir := make([]PartitionInfo, 0, nParts)
+	for _, source := range sources {
+		days := make([]simtime.Day, 0, len(s.blocks[source]))
+		for day := range s.blocks[source] {
+			days = append(days, day)
+		}
+		sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+		for _, day := range days {
+			b := s.blocks[source][day]
+			start := w.n
+			if err := writePartition(w, source, day, b); err != nil {
 				return err
 			}
-			if err := binary.Write(w, binary.LittleEndian, int64(day)); err != nil {
-				return err
-			}
-			if err := writeU32(w, uint32(b.rows())); err != nil {
-				return err
-			}
-			if err := writeU32(w, uint32(len(b.addrs6))); err != nil {
-				return err
-			}
-			if err := writeU32(w, uint32(len(b.asnVals))); err != nil {
-				return err
-			}
-			if err := writeU32s(w, b.domains); err != nil {
-				return err
-			}
-			kinds := make([]byte, len(b.kinds))
-			for i, k := range b.kinds {
-				kinds[i] = byte(k)
-			}
-			if _, err := w.Write(kinds); err != nil {
-				return err
-			}
-			if err := writeU32s(w, b.addrs); err != nil {
-				return err
-			}
-			for _, a := range b.addrs6 {
-				if _, err := w.Write(a[:]); err != nil {
-					return err
-				}
-			}
-			if err := writeU32s(w, b.strs); err != nil {
-				return err
-			}
-			if err := writeU32s(w, b.asnOff); err != nil {
-				return err
-			}
-			if err := writeU32s(w, b.asnVals); err != nil {
-				return err
-			}
+			dir = append(dir, PartitionInfo{
+				Source: source, Day: day, Rows: b.rows(),
+				offset: start, length: w.n - start,
+			})
 		}
 	}
-	return nil
+	// Directory + footer.
+	dirOff := w.n
+	if err := writeU32(w, uint32(len(dir))); err != nil {
+		return err
+	}
+	for _, ent := range dir {
+		if err := writeStr(w, ent.Source); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, int64(ent.Day)); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(ent.Rows)); err != nil {
+			return err
+		}
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], ent.offset)
+		binary.LittleEndian.PutUint64(buf[8:], ent.length)
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	var foot [footerSize]byte
+	binary.LittleEndian.PutUint64(foot[:8], dirOff)
+	copy(foot[8:], dirMagic)
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// writePartition serialises one (source, day) block.
+func writePartition(w io.Writer, source string, day simtime.Day, b *dayBlock) error {
+	if err := writeStr(w, source); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(day)); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(b.rows())); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(b.addrs6))); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(b.asnVals))); err != nil {
+		return err
+	}
+	if err := writeU32s(w, b.domains); err != nil {
+		return err
+	}
+	kinds := make([]byte, len(b.kinds))
+	for i, k := range b.kinds {
+		kinds[i] = byte(k)
+	}
+	if _, err := w.Write(kinds); err != nil {
+		return err
+	}
+	if err := writeU32s(w, b.addrs); err != nil {
+		return err
+	}
+	for _, a := range b.addrs6 {
+		if _, err := w.Write(a[:]); err != nil {
+			return err
+		}
+	}
+	if err := writeU32s(w, b.strs); err != nil {
+		return err
+	}
+	if err := writeU32s(w, b.asnOff); err != nil {
+		return err
+	}
+	return writeU32s(w, b.asnVals)
 }
 
 // maxPersistCount bounds per-section element counts on load.
@@ -157,98 +427,117 @@ func decode(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != persistVersion {
+	if version != 2 && version != persistVersion {
 		return nil, fmt.Errorf("store: unsupported version %d", version)
 	}
 	s := New()
-	nStrs, err := readU32(r)
-	if err != nil {
+	if err := readDict(r, s); err != nil {
 		return nil, err
-	}
-	if nStrs > maxPersistCount {
-		return nil, fmt.Errorf("store: dictionary too large")
-	}
-	for i := uint32(0); i < nStrs; i++ {
-		str, err := readStr(r)
-		if err != nil {
-			return nil, err
-		}
-		s.dict.ID(str)
 	}
 	nParts, err := readU32(r)
 	if err != nil {
 		return nil, err
 	}
 	for i := uint32(0); i < nParts; i++ {
-		source, err := readStr(r)
-		if err != nil {
+		if err := readPartition(r, s); err != nil {
 			return nil, err
 		}
-		var day int64
-		if err := binary.Read(r, binary.LittleEndian, &day); err != nil {
-			return nil, err
-		}
-		rows, err := readU32(r)
-		if err != nil {
-			return nil, err
-		}
-		nV6, err := readU32(r)
-		if err != nil {
-			return nil, err
-		}
-		nASN, err := readU32(r)
-		if err != nil {
-			return nil, err
-		}
-		if rows > maxPersistCount || nV6 > rows || nASN > maxPersistCount {
-			return nil, fmt.Errorf("store: corrupt partition header")
-		}
-		b := &dayBlock{}
-		if b.domains, err = readU32s(r, rows); err != nil {
-			return nil, err
-		}
-		kinds := make([]byte, rows)
-		if _, err := io.ReadFull(r, kinds); err != nil {
-			return nil, err
-		}
-		b.kinds = make([]Kind, rows)
-		for j, k := range kinds {
-			if Kind(k) >= numKinds {
-				return nil, fmt.Errorf("store: bad kind %d", k)
-			}
-			b.kinds[j] = Kind(k)
-		}
-		if b.addrs, err = readU32s(r, rows); err != nil {
-			return nil, err
-		}
-		b.addrs6 = make([][16]byte, nV6)
-		for j := range b.addrs6 {
-			if _, err := io.ReadFull(r, b.addrs6[j][:]); err != nil {
-				return nil, err
-			}
-		}
-		if b.strs, err = readU32s(r, rows); err != nil {
-			return nil, err
-		}
-		if b.asnOff, err = readU32s(r, rows); err != nil {
-			return nil, err
-		}
-		if b.asnVals, err = readU32s(r, nASN); err != nil {
-			return nil, err
-		}
-		if err := validateBlock(b, s.dict.Len()); err != nil {
-			return nil, err
-		}
-		days := s.blocks[source]
-		if days == nil {
-			days = make(map[simtime.Day]*dayBlock)
-			s.blocks[source] = days
-		}
-		days[simtime.Day(day)] = b
-		mPartitions.Inc()
-		mResidentRows.Add(float64(b.rows()))
 	}
+	// Trailing directory + footer bytes (version 3) are intentionally
+	// left unread: a full decode has no use for them.
 	return s, nil
+}
+
+// readDict decodes the shared dictionary into s.
+func readDict(r io.Reader, s *Store) error {
+	nStrs, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if nStrs > maxPersistCount {
+		return fmt.Errorf("store: dictionary too large")
+	}
+	for i := uint32(0); i < nStrs; i++ {
+		str, err := readStr(r)
+		if err != nil {
+			return err
+		}
+		s.dict.ID(str)
+	}
+	return nil
+}
+
+// readPartition decodes one (source, day) block, validates it, and
+// installs it in s.
+func readPartition(r io.Reader, s *Store) error {
+	source, err := readStr(r)
+	if err != nil {
+		return err
+	}
+	var day int64
+	if err := binary.Read(r, binary.LittleEndian, &day); err != nil {
+		return err
+	}
+	rows, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	nV6, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	nASN, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if rows > maxPersistCount || nV6 > rows || nASN > maxPersistCount {
+		return fmt.Errorf("store: corrupt partition header")
+	}
+	b := &dayBlock{}
+	if b.domains, err = readU32s(r, rows); err != nil {
+		return err
+	}
+	kinds := make([]byte, rows)
+	if _, err := io.ReadFull(r, kinds); err != nil {
+		return err
+	}
+	b.kinds = make([]Kind, rows)
+	for j, k := range kinds {
+		if Kind(k) >= numKinds {
+			return fmt.Errorf("store: bad kind %d", k)
+		}
+		b.kinds[j] = Kind(k)
+	}
+	if b.addrs, err = readU32s(r, rows); err != nil {
+		return err
+	}
+	b.addrs6 = make([][16]byte, nV6)
+	for j := range b.addrs6 {
+		if _, err := io.ReadFull(r, b.addrs6[j][:]); err != nil {
+			return err
+		}
+	}
+	if b.strs, err = readU32s(r, rows); err != nil {
+		return err
+	}
+	if b.asnOff, err = readU32s(r, rows); err != nil {
+		return err
+	}
+	if b.asnVals, err = readU32s(r, nASN); err != nil {
+		return err
+	}
+	if err := validateBlock(b, s.dict.Len()); err != nil {
+		return err
+	}
+	days := s.blocks[source]
+	if days == nil {
+		days = make(map[simtime.Day]*dayBlock)
+		s.blocks[source] = days
+	}
+	days[simtime.Day(day)] = b
+	mPartitions.Inc()
+	mResidentRows.Add(float64(b.rows()))
+	return nil
 }
 
 // validateBlock checks cross-column invariants of a loaded partition so a

@@ -1,6 +1,9 @@
 package store
 
 import (
+	"bytes"
+	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -64,6 +67,144 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	ws, gs := s.SourceStats("com"), got.SourceStats("com")
 	if ws.DataPoints != gs.DataPoints || ws.UniqueSLDs != gs.UniqueSLDs {
 		t.Errorf("stats differ: %+v vs %+v", ws, gs)
+	}
+}
+
+// legacyV2File rewrites a saved v3 file into the version 2 format:
+// strip the trailing directory + footer and patch the version field.
+func legacyV2File(t *testing.T, s *Store) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v3.dpsa")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(data[len(data)-4:]); got != dirMagic {
+		t.Fatalf("footer magic = %q", got)
+	}
+	dirOff := binary.LittleEndian.Uint64(data[len(data)-footerSize : len(data)-4])
+	legacy := append([]byte(nil), data[:dirOff]...)
+	binary.LittleEndian.PutUint32(legacy[4:], 2)
+	out := filepath.Join(dir, "v2.dpsa")
+	if err := os.WriteFile(out, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDirectory(t *testing.T) {
+	s := populatedStore()
+	path := filepath.Join(t.TempDir(), "data.dpsa")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := Directory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, src := range s.Sources() {
+		want += len(s.Days(src))
+	}
+	if len(dir) != want {
+		t.Fatalf("directory has %d entries, want %d", len(dir), want)
+	}
+	for _, ent := range dir {
+		if got := len(rowsOf(s, ent.Source, ent.Day)); got != ent.Rows {
+			t.Errorf("%s/%v: directory says %d rows, store has %d", ent.Source, ent.Day, ent.Rows, got)
+		}
+	}
+}
+
+func TestDirectoryLegacy(t *testing.T) {
+	path := legacyV2File(t, populatedStore())
+	if _, err := Directory(path); !errors.Is(err, ErrNoDirectory) {
+		t.Fatalf("err = %v, want ErrNoDirectory", err)
+	}
+}
+
+func TestLoadPartition(t *testing.T) {
+	s := populatedStore()
+	path := filepath.Join(t.TempDir(), "data.dpsa")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range s.Sources() {
+		for _, day := range s.Days(src) {
+			part, err := LoadPartition(path, src, day)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := part.Sources(); len(got) != 1 || got[0] != src {
+				t.Fatalf("sources = %v, want [%s]", got, src)
+			}
+			if got := part.Days(src); len(got) != 1 || got[0] != day {
+				t.Fatalf("days = %v, want [%v]", got, day)
+			}
+			if want, have := rowsOf(s, src, day), rowsOf(part, src, day); !reflect.DeepEqual(want, have) {
+				t.Fatalf("%s/%v rows differ:\nwant %+v\ngot  %+v", src, day, want, have)
+			}
+		}
+	}
+	if _, err := LoadPartition(path, "com", 99); err == nil {
+		t.Fatal("missing partition accepted")
+	}
+	if _, err := LoadPartition(path, "org", 0); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}
+
+func TestLoadPartitionLegacyFallback(t *testing.T) {
+	s := populatedStore()
+	path := legacyV2File(t, s)
+	// Full decode still works on v2 bytes...
+	full, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Sources(), s.Sources()) {
+		t.Fatalf("sources = %v", full.Sources())
+	}
+	// ...and LoadPartition falls back to it transparently.
+	part, err := LoadPartition(path, "nl", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := part.Sources(); len(got) != 1 || got[0] != "nl" {
+		t.Fatalf("sources = %v, want [nl]", got)
+	}
+	if want, have := rowsOf(s, "nl", 10), rowsOf(part, "nl", 10); !reflect.DeepEqual(want, have) {
+		t.Fatalf("rows differ:\nwant %+v\ngot  %+v", want, have)
+	}
+	if _, err := LoadPartition(path, "com", 99); err == nil {
+		t.Fatal("missing partition accepted on legacy file")
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	s := populatedStore()
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.dpsa"), filepath.Join(dir, "b.dpsa")
+	if err := s.Save(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(b); err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatal("two saves of the same store produced different bytes")
 	}
 }
 
