@@ -19,8 +19,11 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Every Benchmark* in the module, with allocation stats. The root
+# artifact benchmarks persist their numbers to results/BENCH_*.json
+# (detect, obs, trace, chaos, api); CI uploads those as an artifact.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Fault-injection suite under the race detector: the chaos package's
 # determinism proofs, server fault/drain tests, resolver hardening under

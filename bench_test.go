@@ -11,6 +11,7 @@ package dpsadopt
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 	"net/netip"
 	"net/url"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -580,8 +582,39 @@ func writeAPIBench(b *testing.B, secPerOp map[string]float64, keys int) {
 		qps("zipf_cache"), secPerOp["zipf_nocache"]/secPerOp["zipf_cache"])
 }
 
+// detectBench collects the numbers both detection benchmarks produce so
+// writeDetectBench can persist them together. Whichever benchmark runs
+// last writes the file; fields a skipped benchmark never filled stay 0.
+var detectBench struct {
+	dayIDNs, dayIDAllocs     float64
+	dayBaseNs, dayBaseAllocs float64
+	rangeParts               int
+	rangePartsPerSec         map[int]float64 // workers → partitions/sec
+}
+
+// benchLoop runs fn b.N times and reports wall nanoseconds and heap
+// allocations per op (sub-benchmark results are not readable in-process,
+// so the JSON capture measures directly).
+func benchLoop(b *testing.B, fn func()) (nsPerOp, allocsPerOp float64) {
+	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	n := float64(b.N)
+	return float64(elapsed.Nanoseconds()) / n, float64(ms1.Mallocs-ms0.Mallocs) / n
+}
+
 // BenchmarkDetectDay benchmarks the §3.3 detection scan over one stored
-// day of .com.
+// day of .com: the ID-native engine against the retained string-keyed
+// baseline it replaced.
 func BenchmarkDetectDay(b *testing.B) {
 	r := runner(b)
 	tmp, err := r.MaterializeDay(quietDay)
@@ -589,13 +622,102 @@ func BenchmarkDetectDay(b *testing.B) {
 		b.Fatal(err)
 	}
 	refs := core.MustGroundTruth()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		det := core.DetectDay(tmp, "com", quietDay, refs)
-		if det.DomainsMeasured == 0 {
-			b.Fatal("nothing measured")
+	b.Run("id", func(b *testing.B) {
+		detectBench.dayIDNs, detectBench.dayIDAllocs = benchLoop(b, func() {
+			det := core.DetectDay(tmp, "com", quietDay, refs)
+			if det.DomainsMeasured == 0 {
+				b.Fatal("nothing measured")
+			}
+		})
+	})
+	b.Run("baseline", func(b *testing.B) {
+		detectBench.dayBaseNs, detectBench.dayBaseAllocs = benchLoop(b, func() {
+			det := core.DetectDayBaseline(tmp, "com", quietDay, refs)
+			if det.DomainsMeasured == 0 {
+				b.Fatal("nothing measured")
+			}
+		})
+	})
+	writeDetectBench(b)
+}
+
+// BenchmarkDetectRange benchmarks the day-sharded fan-out over a
+// multi-day, all-source store at several worker counts.
+func BenchmarkDetectRange(b *testing.B) {
+	r := runner(b)
+	tmp := store.New()
+	p := measure.New(r.World, tmp, measure.Config{Mode: measure.ModeDirect, Workers: 4})
+	const benchDays = 4
+	for i := 0; i < benchDays; i++ {
+		if err := p.RunDay(context.Background(), quietDay+simtime.Day(i)); err != nil {
+			b.Fatal(err)
 		}
+	}
+	refs := core.MustGroundTruth()
+	parts := core.Partitions(tmp)
+	detectBench.rangeParts = len(parts)
+	detectBench.rangePartsPerSec = make(map[int]float64)
+	counts := []int{1, 2, 4}
+	if gp := runtime.GOMAXPROCS(0); gp != 1 && gp != 2 && gp != 4 {
+		counts = append(counts, gp)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ns, _ := benchLoop(b, func() {
+				dets := core.DetectRange(context.Background(), tmp, parts, refs, workers)
+				if len(dets) == 0 || dets[0] == nil {
+					b.Fatal("no detections")
+				}
+			})
+			detectBench.rangePartsPerSec[workers] = float64(len(parts)) / (ns / 1e9)
+		})
+	}
+	writeDetectBench(b)
+}
+
+// writeDetectBench persists the detection engine numbers the README perf
+// note and DESIGN.md §9 quote.
+func writeDetectBench(b *testing.B) {
+	d := &detectBench
+	doc := map[string]any{
+		"bench":      "detect",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+	if d.dayIDNs > 0 {
+		doc["day_id_ns_op"] = d.dayIDNs
+		doc["day_id_allocs_op"] = d.dayIDAllocs
+	}
+	if d.dayBaseNs > 0 {
+		doc["day_baseline_ns_op"] = d.dayBaseNs
+		doc["day_baseline_allocs_op"] = d.dayBaseAllocs
+		doc["speedup_x"] = d.dayBaseNs / d.dayIDNs
+		doc["allocs_ratio_x"] = d.dayBaseAllocs / d.dayIDAllocs
+	}
+	if len(d.rangePartsPerSec) > 0 {
+		doc["range_partitions"] = d.rangeParts
+		pps := make(map[string]float64, len(d.rangePartsPerSec))
+		for w, v := range d.rangePartsPerSec {
+			pps[fmt.Sprintf("workers_%d", w)] = v
+		}
+		doc["range_partitions_per_sec"] = pps
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		b.Logf("BENCH_detect.json not written: %v", err)
+		return
+	}
+	if err := os.WriteFile("results/BENCH_detect.json", append(raw, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_detect.json not written: %v", err)
+		return
+	}
+	if d.dayBaseNs > 0 {
+		b.Logf("wrote results/BENCH_detect.json (%.1fx faster, %.0fx fewer allocs than baseline)",
+			d.dayBaseNs/d.dayIDNs, d.dayBaseAllocs/d.dayIDAllocs)
+	} else {
+		b.Logf("wrote results/BENCH_detect.json")
 	}
 }
 

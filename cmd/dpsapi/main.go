@@ -73,12 +73,18 @@ func main() {
 	}
 	log.Info("dataset loaded", "path", *data, "elapsed", time.Since(t0).Round(time.Millisecond).String())
 
-	t0 = time.Now()
 	idx := api.NewIndex(s, core.MustGroundTruth())
 	st := idx.Stats()
+	partitions, buildTime := idx.BuildStats()
+	perSec := 0.0
+	if buildTime > 0 {
+		perSec = float64(partitions) / buildTime.Seconds()
+	}
 	log.Info("index built",
 		"domains", st.DomainsDetected, "days", st.DaysIndexed,
-		"sources", st.Sources, "elapsed", time.Since(t0).Round(time.Millisecond).String())
+		"sources", st.Sources, "partitions", partitions,
+		"elapsed", buildTime.Round(time.Millisecond).String(),
+		"partitions_per_sec", fmt.Sprintf("%.1f", perSec))
 
 	srv := api.NewServer(idx, api.Config{
 		QPS:          *qps,

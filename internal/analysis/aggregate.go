@@ -6,6 +6,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -46,6 +47,8 @@ func (p *presence) add(day simtime.Day) {
 type Aggregator struct {
 	Refs  *core.References
 	Store *store.Store
+	// Workers bounds the detection fan-out of Run (0 = GOMAXPROCS).
+	Workers int
 
 	counts map[string]map[simtime.Day]*DayCounts
 	// trackers[p] maps domain → presence, across the tracked sources
@@ -81,20 +84,29 @@ func NewAggregator(refs *core.References, s *store.Store, trackSources []string)
 
 // AddDay detects and folds one (source, day) partition.
 func (a *Aggregator) AddDay(source string, day simtime.Day) error {
+	return a.AddDetections(core.DetectDay(a.Store, source, day, a.Refs))
+}
+
+// AddDetections folds one partition's precomputed detections — the hook
+// DetectRange callers use to fan detection out across partitions and
+// fold the results back in day order. Folding itself is not safe for
+// concurrent use; call it from one goroutine.
+func (a *Aggregator) AddDetections(det *core.DayDetections) error {
+	source, day := det.Source, det.Day
 	if last, ok := a.lastDay[source]; ok && day <= last {
 		return fmt.Errorf("analysis: %s day %s added out of order (last %s)", source, day, last)
 	}
 	a.lastDay[source] = day
-	det := core.DetectDay(a.Store, source, day, a.Refs)
 	dc := &DayCounts{
 		Measured:    det.DomainsMeasured,
 		Any:         det.CountAny(),
 		PerProvider: make([]int, a.Refs.NumProviders()),
 		PerMethod:   make([][3]int, a.Refs.NumProviders()),
 	}
+	track := a.trackSources[source]
 	for p := range dc.PerProvider {
 		dc.PerProvider[p] = det.Count(p)
-		for _, m := range det.Uses[p] {
+		det.EachUse(p, func(id uint32, m core.Method) {
 			if m.Has(core.RefAS) {
 				dc.PerMethod[p][0]++
 			}
@@ -104,9 +116,8 @@ func (a *Aggregator) AddDay(source string, day simtime.Day) error {
 			if m.Has(core.RefNS) {
 				dc.PerMethod[p][2]++
 			}
-		}
-		if a.trackSources[source] {
-			for dom := range det.Uses[p] {
+			if track {
+				dom := det.DomainName(id)
 				pr := a.trackers[p][dom]
 				if pr == nil {
 					pr = &presence{}
@@ -114,7 +125,7 @@ func (a *Aggregator) AddDay(source string, day simtime.Day) error {
 				}
 				pr.add(day)
 			}
-		}
+		})
 	}
 	days := a.counts[source]
 	if days == nil {
@@ -125,13 +136,19 @@ func (a *Aggregator) AddDay(source string, day simtime.Day) error {
 	return nil
 }
 
-// Run folds every stored day of the given sources, in day order.
+// Run folds every stored day of the given sources, detecting all
+// partitions in parallel (bounded by Workers) and folding the results in
+// day order.
 func (a *Aggregator) Run(sources []string) error {
+	var parts []core.Partition
 	for _, src := range sources {
 		for _, day := range a.Store.Days(src) {
-			if err := a.AddDay(src, day); err != nil {
-				return err
-			}
+			parts = append(parts, core.Partition{Source: src, Day: day})
+		}
+	}
+	for _, det := range core.DetectRange(context.Background(), a.Store, parts, a.Refs, a.Workers) {
+		if err := a.AddDetections(det); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -88,13 +88,9 @@ func (a *Aggregator) Attribute(sources []string, p int, day simtime.Day) Attribu
 	cur := make(map[string]bool)
 	for _, src := range sources {
 		dp := core.DetectDay(a.Store, src, prevDay, a.Refs)
-		for dom := range dp.Uses[p] {
-			prev[dom] = true
-		}
+		dp.EachUse(p, func(id uint32, _ core.Method) { prev[dp.DomainName(id)] = true })
 		dc := core.DetectDay(a.Store, src, day, a.Refs)
-		for dom := range dc.Uses[p] {
-			cur[dom] = true
-		}
+		dc.EachUse(p, func(id uint32, _ core.Method) { cur[dc.DomainName(id)] = true })
 	}
 	changed := make(map[string]bool)
 	for dom := range cur {

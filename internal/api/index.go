@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"time"
@@ -43,12 +44,16 @@ type Index struct {
 	measured []int64     // [dayIdx] domains with any stored row (summed over sources)
 	anyUse   []int64     // [dayIdx] distinct domains using at least one provider
 
-	buildTime time.Duration
+	partitions int
+	buildTime  time.Duration
 }
 
 // NewIndex builds the index from a store by running detection over every
 // (source, day) partition and merging sources per day (a domain counted
 // once per day regardless of how many lists contain it, as §4.1 counts).
+// Detection fans out across partitions via core.DetectRange — the build
+// folds one shared parallel pass instead of walking partitions
+// sequentially.
 func NewIndex(s *store.Store, refs *core.References) *Index {
 	start := time.Now()
 	np := refs.NumProviders()
@@ -58,9 +63,12 @@ func NewIndex(s *store.Store, refs *core.References) *Index {
 		dayPos:  make(map[simtime.Day]int),
 		domains: make(map[string][]interval),
 	}
+	srcDays := make(map[string]map[simtime.Day]bool, len(x.sources))
 	daySet := make(map[simtime.Day]bool)
 	for _, src := range x.sources {
+		srcDays[src] = make(map[simtime.Day]bool)
 		for _, d := range s.Days(src) {
+			srcDays[src][d] = true
 			daySet[d] = true
 		}
 	}
@@ -80,13 +88,27 @@ func NewIndex(s *store.Store, refs *core.References) *Index {
 	x.measured = make([]int64, len(x.days))
 	x.anyUse = make([]int64, len(x.days))
 
+	// Day-major partition order keeps each day's detections contiguous,
+	// so the fold below consumes the parallel results with one cursor.
+	var parts []core.Partition
+	for _, day := range x.days {
+		for _, src := range x.sources {
+			if srcDays[src][day] {
+				parts = append(parts, core.Partition{Source: src, Day: day})
+			}
+		}
+	}
+	x.partitions = len(parts)
+	dets := core.DetectRange(context.Background(), s, parts, refs, 0)
+
 	merged := make([]map[string]core.Method, np)
+	pi := 0
 	for di, day := range x.days {
 		for p := range merged {
 			merged[p] = make(map[string]core.Method)
 		}
-		for _, src := range x.sources {
-			det := core.DetectDay(s, src, day, refs)
+		for ; pi < len(parts) && parts[pi].Day == day; pi++ {
+			det := dets[pi]
 			x.measured[di] += int64(det.DomainsMeasured)
 			for p := 0; p < np; p++ {
 				det.MergeAny(p, merged[p])
@@ -302,23 +324,25 @@ func (x *Index) Day(d simtime.Day) (DayInfo, bool) {
 // Stats is the /v1/stats response body. ExampleDomain gives smoke tests
 // and quickstarts a known-good /v1/domain key.
 type Stats struct {
-	Sources         []string `json:"sources"`
-	FirstDay        string   `json:"first_day"`
-	LastDay         string   `json:"last_day"`
-	DaysIndexed     int      `json:"days_indexed"`
-	DomainsDetected int      `json:"domains_detected"`
-	ExampleDomain   string   `json:"example_domain,omitempty"`
-	Providers       []string `json:"providers"`
-	IndexBuildMS    float64  `json:"index_build_ms"`
+	Sources           []string `json:"sources"`
+	FirstDay          string   `json:"first_day"`
+	LastDay           string   `json:"last_day"`
+	DaysIndexed       int      `json:"days_indexed"`
+	PartitionsIndexed int      `json:"partitions_indexed"`
+	DomainsDetected   int      `json:"domains_detected"`
+	ExampleDomain     string   `json:"example_domain,omitempty"`
+	Providers         []string `json:"providers"`
+	IndexBuildMS      float64  `json:"index_build_ms"`
 }
 
 // Stats summarises the loaded dataset and index.
 func (x *Index) Stats() Stats {
 	st := Stats{
-		Sources:         x.sources,
-		DaysIndexed:     len(x.days),
-		DomainsDetected: len(x.domains),
-		IndexBuildMS:    float64(x.buildTime.Microseconds()) / 1000,
+		Sources:           x.sources,
+		DaysIndexed:       len(x.days),
+		PartitionsIndexed: x.partitions,
+		DomainsDetected:   len(x.domains),
+		IndexBuildMS:      float64(x.buildTime.Microseconds()) / 1000,
 	}
 	if len(x.days) > 0 {
 		st.FirstDay = x.days[0].String()
@@ -348,3 +372,9 @@ func (x *Index) Domains() []string {
 
 // Days lists the indexed days, sorted.
 func (x *Index) Days() []simtime.Day { return append([]simtime.Day(nil), x.days...) }
+
+// BuildStats reports the detection fan-out the index build performed:
+// the (source, day) partitions classified and the wall time spent.
+func (x *Index) BuildStats() (partitions int, elapsed time.Duration) {
+	return x.partitions, x.buildTime
+}

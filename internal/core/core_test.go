@@ -27,11 +27,34 @@ func TestSLD(t *testing.T) {
 		{"example.co.uk", "example.co.uk"},
 		{"co.uk", "co.uk"},
 		{"deep.sub.domain.example.org", "example.org"},
+		// Edge cases: empty input, the root, single labels, and names in
+		// canonical absolute form (trailing root dot).
+		{"", ""},
+		{".", ""},
+		{"localhost", "localhost"},
+		{"com.", "com"},
+		{"example.com.", "example.com"},
+		{"www.example.com.", "example.com"},
+		{"www.example.co.uk.", "example.co.uk"},
+		{"co.uk.", "co.uk"},
+		{".com", ".com"}, // degenerate empty leading label, below a TLD
 	}
 	for _, c := range cases {
 		if got := SLD(c.in); got != c.want {
 			t.Errorf("SLD(%q) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+func TestSLDDoesNotAllocate(t *testing.T) {
+	names := []string{"a.b.c.edgekey.net", "www.example.co.uk.", "example.com", "com"}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, n := range names {
+			_ = SLD(n)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SLD allocates %.1f times per batch, want 0", allocs)
 	}
 }
 
@@ -207,7 +230,7 @@ func TestDetectMethodCombinations(t *testing.T) {
 	// Verisign NS-only customers: NS reference without AS reference.
 	vs, _ := refs.ProviderIndex("Verisign")
 	nsOnly := 0
-	for _, m := range det.Uses[vs] {
+	for _, m := range det.Uses(vs) {
 		if m.Has(RefNS) && !m.Has(RefAS) {
 			nsOnly++
 		}
@@ -228,7 +251,7 @@ func TestDetectWixPeak(t *testing.T) {
 	}
 	// Wix peak domains reference Incapsula by AS only (no CNAME, no NS).
 	asOnly := 0
-	for _, m := range peak.Uses[inc] {
+	for _, m := range peak.Uses(inc) {
 		if m == RefAS {
 			asOnly++
 		}
@@ -270,5 +293,182 @@ func TestDiscoverUnknownProvider(t *testing.T) {
 	_, err := Discover(s, worldsim.GTLDs(), quietDay, w.Registry, "NoSuchProvider", table, nil, DiscoveryConfig{})
 	if err == nil {
 		t.Error("unknown provider accepted")
+	}
+}
+
+// TestDetectDayMatchesBaseline demands the ID-native engine reproduce
+// the string-keyed reference implementation exactly — same measured
+// count, same any-provider count, and the same domain → methods map for
+// every provider on every (source, day) partition of the measured world.
+func TestDetectDayMatchesBaseline(t *testing.T) {
+	_, s := measuredWorld(t)
+	refs := MustGroundTruth()
+	checked := 0
+	for _, src := range s.Sources() {
+		for _, day := range s.Days(src) {
+			id := DetectDay(s, src, day, refs)
+			base := DetectDayBaseline(s, src, day, refs)
+			if id.DomainsMeasured != base.DomainsMeasured {
+				t.Errorf("%s %s: DomainsMeasured = %d, baseline %d",
+					src, day, id.DomainsMeasured, base.DomainsMeasured)
+			}
+			if id.CountAny() != base.CountAny() {
+				t.Errorf("%s %s: CountAny = %d, baseline %d", src, day, id.CountAny(), base.CountAny())
+			}
+			for p := range refs.Providers {
+				got := id.Uses(p)
+				want := base.Uses[p]
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s %s %s: uses diverge (got %d, want %d domains)",
+						src, day, refs.Providers[p].Name, len(got), len(want))
+				}
+				if id.Count(p) != len(want) {
+					t.Errorf("%s %s %s: Count = %d, want %d", src, day, refs.Providers[p].Name, id.Count(p), len(want))
+				}
+				if len(want) > 0 {
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no provider had detections; agreement proves nothing")
+	}
+}
+
+// TestDomainsMeasuredInterleaved is the regression test for the
+// transition-counting bug: when a domain's rows arrive through separate
+// writer commits with another domain in between, its rows interleave in
+// the block and run transitions overcount. The ID-set count must stay
+// exact.
+func TestDomainsMeasuredInterleaved(t *testing.T) {
+	s := store.New()
+	day := simtime.Day(3)
+	w1 := s.NewWriter("com", day)
+	w1.AddStr("alpha.com", store.KindNS, "ns1.hoster.net")
+	w1.Commit()
+	w2 := s.NewWriter("com", day)
+	w2.AddStr("beta.com", store.KindNS, "ns1.hoster.net")
+	w2.Commit()
+	// alpha.com's remaining rows land after beta.com's: interleaved runs.
+	w3 := s.NewWriter("com", day)
+	w3.AddStr("alpha.com", store.KindNS, "ns2.hoster.net")
+	w3.Commit()
+
+	refs := MustGroundTruth()
+	det := DetectDay(s, "com", day, refs)
+	if det.DomainsMeasured != 2 {
+		t.Errorf("DomainsMeasured = %d, want 2 (interleaved runs must not double-count)", det.DomainsMeasured)
+	}
+	// Document what the baseline approximation does on the same block:
+	// three runs, so it overcounts — which is exactly why DetectDay
+	// switched to the ID set.
+	base := DetectDayBaseline(s, "com", day, refs)
+	if base.DomainsMeasured != 3 {
+		t.Errorf("baseline DomainsMeasured = %d, want 3 (run transitions)", base.DomainsMeasured)
+	}
+}
+
+// TestDetectDayMergesInterleavedMethods checks that a domain whose
+// references toward one provider are split across interleaved commits
+// still collapses to a single entry with the union of methods.
+func TestDetectDayMergesInterleavedMethods(t *testing.T) {
+	s := store.New()
+	day := simtime.Day(5)
+	w1 := s.NewWriter("com", day)
+	w1.AddStr("split.com", store.KindNS, "kate.ns.cloudflare.com")
+	w1.Commit()
+	w2 := s.NewWriter("com", day)
+	w2.AddStr("other.com", store.KindNS, "ns9.hoster.net")
+	w2.Commit()
+	w3 := s.NewWriter("com", day)
+	w3.AddAddr("split.com", store.KindApexA, netip.MustParseAddr("104.16.0.9"), []uint32{13335})
+	w3.Commit()
+
+	refs := MustGroundTruth()
+	cf, _ := refs.ProviderIndex("CloudFlare")
+	det := DetectDay(s, "com", day, refs)
+	if det.Count(cf) != 1 {
+		t.Fatalf("CloudFlare count = %d, want 1", det.Count(cf))
+	}
+	uses := det.Uses(cf)
+	if m := uses["split.com"]; m != RefNS|RefAS {
+		t.Errorf("split.com methods = %v, want NS+AS", m)
+	}
+	if det.CountAny() != 1 {
+		t.Errorf("CountAny = %d, want 1", det.CountAny())
+	}
+}
+
+// TestDetectRangeMatchesSequential runs the bounded worker pool over
+// every partition of the measured world and demands result parity (and
+// input-order results) with sequential DetectDay.
+func TestDetectRangeMatchesSequential(t *testing.T) {
+	_, s := measuredWorld(t)
+	refs := MustGroundTruth()
+	parts := Partitions(s)
+	if len(parts) < 2 {
+		t.Fatalf("measured world has %d partitions; want several", len(parts))
+	}
+	for _, workers := range []int{1, 3, 16} {
+		dets := DetectRange(context.Background(), s, parts, refs, workers)
+		if len(dets) != len(parts) {
+			t.Fatalf("workers=%d: %d results for %d partitions", workers, len(dets), len(parts))
+		}
+		for i, det := range dets {
+			if det == nil {
+				t.Fatalf("workers=%d: nil detection for %v", workers, parts[i])
+			}
+			if det.Source != parts[i].Source || det.Day != parts[i].Day {
+				t.Fatalf("workers=%d: result %d is (%s, %s), want %v",
+					workers, i, det.Source, det.Day, parts[i])
+			}
+			seq := DetectDay(s, parts[i].Source, parts[i].Day, refs)
+			if det.DomainsMeasured != seq.DomainsMeasured || det.CountAny() != seq.CountAny() {
+				t.Errorf("workers=%d %v: measured/any = %d/%d, want %d/%d", workers, parts[i],
+					det.DomainsMeasured, det.CountAny(), seq.DomainsMeasured, seq.CountAny())
+			}
+			for p := range refs.Providers {
+				if det.Count(p) != seq.Count(p) {
+					t.Errorf("workers=%d %v p=%d: count %d, want %d",
+						workers, parts[i], p, det.Count(p), seq.Count(p))
+				}
+			}
+		}
+	}
+}
+
+// TestDetectRangeCancelled: a pre-cancelled context yields nil slots
+// rather than blocking.
+func TestDetectRangeCancelled(t *testing.T) {
+	_, s := measuredWorld(t)
+	refs := MustGroundTruth()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dets := DetectRange(ctx, s, Partitions(s), refs, 2)
+	for _, det := range dets {
+		if det != nil {
+			t.Fatal("cancelled DetectRange still produced detections")
+		}
+	}
+}
+
+// TestEachUseOrdered: EachUse yields ascending domain IDs (the packed
+// span invariant downstream merges rely on).
+func TestEachUseOrdered(t *testing.T) {
+	_, s := measuredWorld(t)
+	refs := MustGroundTruth()
+	det := DetectDay(s, "com", quietDay, refs)
+	for p := range refs.Providers {
+		last := -1
+		det.EachUse(p, func(id uint32, m Method) {
+			if int(id) <= last {
+				t.Fatalf("provider %d: EachUse out of order (%d after %d)", p, id, last)
+			}
+			if m == 0 {
+				t.Fatalf("provider %d: empty method bits for id %d", p, id)
+			}
+			last = int(id)
+		})
 	}
 }

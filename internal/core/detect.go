@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
 )
@@ -10,19 +12,204 @@ import (
 // the raw material for all the figures. Use is counted at the domain's
 // second level: multiple references of the same kind collapse into one
 // (§4.1 footnote).
+//
+// The engine is ID-native: domains stay dictionary IDs end to end, packed
+// as one uint64 per detected (provider, domain) pair. String views
+// (Uses, MergeAny, DomainName) materialize through the store dictionary
+// only at the report/API edge. A DayDetections is immutable after
+// DetectDay returns and safe for concurrent readers.
 type DayDetections struct {
+	Source string
+	Day    simtime.Day
+	// DomainsMeasured counts distinct domains with any stored row,
+	// computed from the domain-ID column — exact even when a domain's
+	// rows interleave across writer commits.
+	DomainsMeasured int
+	// Rows is the number of rows scanned.
+	Rows int
+
+	dict *store.Dict
+	// packed holds one entry per detected (provider, domain) pair:
+	// provider<<40 | domainID<<8 | methods, sorted ascending and
+	// deduplicated, so provider p's detections are the contiguous span
+	// packed[off[p]:off[p+1]] in ascending domain-ID order.
+	packed []uint64
+	off    []int32
+	// anyCount is the distinct-domain union over all providers (§4.1's
+	// "using at least one provider"), computed once at build so per-day
+	// figure code never re-derives the set.
+	anyCount int
+}
+
+func packUse(p int, id uint32, m Method) uint64 {
+	return uint64(p)<<40 | uint64(id)<<8 | uint64(m)
+}
+
+// DetectDay scans one partition and classifies every row against the
+// reference table, entirely in dictionary-ID space: ASN hits via the
+// reference index, CNAME/NS hits via the per-dictionary SLD→provider
+// cache (References.ForDict), no per-row string materialization.
+func DetectDay(s *store.Store, source string, day simtime.Day, refs *References) *DayDetections {
+	np := refs.NumProviders()
+	d := &DayDetections{Source: source, Day: day, dict: s.Dict()}
+	b, ok := s.RowBatch(source, day)
+	if !ok {
+		d.off = make([]int32, np+1)
+		return d
+	}
+	n := b.Rows()
+	d.Rows = n
+	ids := refs.ForDict(d.dict)
+	packed := make([]uint64, 0, 1024)
+	for i := 0; i < n; i++ {
+		dom := b.Domains[i]
+		switch b.Kinds[i] {
+		case store.KindWWWCNAME:
+			if p, ok := ids.MatchCNAMEID(b.Strs[i]); ok {
+				packed = append(packed, packUse(p, dom, RefCNAME))
+			}
+		case store.KindNS:
+			if p, ok := ids.MatchNSID(b.Strs[i]); ok {
+				packed = append(packed, packUse(p, dom, RefNS))
+			}
+		default: // address kinds
+			for _, asn := range b.ASNs(i) {
+				if p, ok := refs.MatchASN(asn); ok {
+					packed = append(packed, packUse(p, dom, RefAS))
+				}
+			}
+		}
+	}
+	d.finalize(packed, np, b.Domains)
+	return d
+}
+
+// finalize sorts and dedups the packed hits, builds the per-provider
+// offsets, and computes the two distinct-domain counts.
+func (d *DayDetections) finalize(packed []uint64, np int, domains []uint32) {
+	slices.Sort(packed)
+	// Merge entries of the same (provider, domain), OR-ing the method
+	// bits; equal pairs are adjacent after the sort.
+	w := 0
+	for r := 0; r < len(packed); {
+		key := packed[r] &^ 0xff
+		m := packed[r]
+		for r++; r < len(packed) && packed[r]&^0xff == key; r++ {
+			m |= packed[r]
+		}
+		packed[w] = key | m&0xff
+		w++
+	}
+	d.packed = packed[:w]
+	d.off = make([]int32, np+1)
+	for _, v := range d.packed {
+		d.off[int(v>>40)+1]++
+	}
+	for p := 0; p < np; p++ {
+		d.off[p+1] += d.off[p]
+	}
+	// Distinct counts via a dict-sized bitset: one O(n) pass each, no
+	// hashing. Dict IDs are dense, so the bitset is dictLen/8 bytes.
+	words := make([]uint64, (d.dict.Len()+63)/64)
+	prev := store.NoStr
+	for _, id := range domains {
+		if id == prev { // skip the common contiguous-run repeats cheaply
+			continue
+		}
+		prev = id
+		if wd, bit := id>>6, uint64(1)<<(id&63); words[wd]&bit == 0 {
+			words[wd] |= bit
+			d.DomainsMeasured++
+		}
+	}
+	clear(words)
+	for _, v := range d.packed {
+		id := uint32(v >> 8)
+		if wd, bit := id>>6, uint64(1)<<(id&63); words[wd]&bit == 0 {
+			words[wd] |= bit
+			d.anyCount++
+		}
+	}
+}
+
+// span returns provider p's packed detections.
+func (d *DayDetections) span(p int) []uint64 { return d.packed[d.off[p]:d.off[p+1]] }
+
+// NumProviders returns the provider count the detections were built for.
+func (d *DayDetections) NumProviders() int { return len(d.off) - 1 }
+
+// Count returns the number of domains using provider p by any reference.
+func (d *DayDetections) Count(p int) int { return int(d.off[p+1] - d.off[p]) }
+
+// CountMethod returns the number of domains whose references toward p
+// include the given method bits.
+func (d *DayDetections) CountMethod(p int, m Method) int {
+	n := 0
+	for _, v := range d.span(p) {
+		if Method(v).Has(m) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountAny returns the number of domains using at least one provider
+// (precomputed at build; repeated calls are free).
+func (d *DayDetections) CountAny() int { return d.anyCount }
+
+// EachUse calls fn for every (domain ID, methods) pair toward provider
+// p, in ascending domain-ID order. Resolve IDs with DomainName.
+func (d *DayDetections) EachUse(p int, fn func(id uint32, m Method)) {
+	for _, v := range d.span(p) {
+		fn(uint32(v>>8), Method(v))
+	}
+}
+
+// DomainName resolves a domain ID from EachUse against the store
+// dictionary the detections were built over.
+func (d *DayDetections) DomainName(id uint32) string { return d.dict.Str(id) }
+
+// Uses materializes provider p's detections as domain name → methods:
+// the string view for reports and tests. It allocates per call; hot
+// paths should iterate EachUse instead.
+func (d *DayDetections) Uses(p int) map[string]Method {
+	out := make(map[string]Method, d.Count(p))
+	d.EachUse(p, func(id uint32, m Method) { out[d.dict.Str(id)] = m })
+	return out
+}
+
+// MergeAny folds the per-provider detections into dst: domain → union of
+// methods over a set of detections (used to combine sources).
+func (d *DayDetections) MergeAny(p int, dst map[string]Method) {
+	d.EachUse(p, func(id uint32, m Method) { dst[d.dict.Str(id)] |= m })
+}
+
+// MergeAnyID is MergeAny in dictionary-ID space, for consumers sharing
+// the detections' store dictionary.
+func (d *DayDetections) MergeAnyID(p int, dst map[uint32]Method) {
+	d.EachUse(p, func(id uint32, m Method) { dst[id] |= m })
+}
+
+// BaselineDetections is the result of DetectDayBaseline: the original
+// string-keyed representation, kept as the reference the ID-native
+// engine is cross-checked and benchmarked against.
+type BaselineDetections struct {
 	Source string
 	Day    simtime.Day
 	// Uses[p] maps domain name → reference methods toward provider p.
 	Uses []map[string]Method
-	// DomainsMeasured counts distinct domains with any stored row.
+	// DomainsMeasured counts domain-run transitions — exact only while
+	// every domain's rows are contiguous (the historical approximation;
+	// DetectDay counts the ID set and is exact unconditionally).
 	DomainsMeasured int
 }
 
-// DetectDay scans one partition and classifies every row against the
-// reference table.
-func DetectDay(s *store.Store, source string, day simtime.Day, refs *References) *DayDetections {
-	d := &DayDetections{
+// DetectDayBaseline is the pre-ID-engine detection pass, string-keyed
+// and one Dict.Str materialization per row. Retained verbatim so tests
+// can demand DetectDay produce identical counts and the detect benchmark
+// can quantify the de-stringing win; not for production use.
+func DetectDayBaseline(s *store.Store, source string, day simtime.Day, refs *References) *BaselineDetections {
+	d := &BaselineDetections{
 		Source: source,
 		Day:    day,
 		Uses:   make([]map[string]Method, refs.NumProviders()),
@@ -33,10 +220,6 @@ func DetectDay(s *store.Store, source string, day simtime.Day, refs *References)
 	var lastDomain string
 	s.ForEachRow(source, day, func(r store.Row) {
 		if r.Domain != lastDomain {
-			// Rows are appended in per-domain runs; counting transitions
-			// approximates the distinct count exactly because writers
-			// emit all rows of a domain contiguously and domains are not
-			// split across writers.
 			d.DomainsMeasured++
 			lastDomain = r.Domain
 		}
@@ -60,23 +243,9 @@ func DetectDay(s *store.Store, source string, day simtime.Day, refs *References)
 	return d
 }
 
-// Count returns the number of domains using provider p by any reference.
-func (d *DayDetections) Count(p int) int { return len(d.Uses[p]) }
-
-// CountMethod returns the number of domains whose references toward p
-// include the given method bits.
-func (d *DayDetections) CountMethod(p int, m Method) int {
-	n := 0
-	for _, got := range d.Uses[p] {
-		if got.Has(m) {
-			n++
-		}
-	}
-	return n
-}
-
-// CountAny returns the number of domains using at least one provider.
-func (d *DayDetections) CountAny() int {
+// CountAny returns the number of domains using at least one provider
+// (allocating a fresh union set per call, as the baseline always did).
+func (d *BaselineDetections) CountAny() int {
 	seen := make(map[string]bool)
 	for _, uses := range d.Uses {
 		for dom := range uses {
@@ -84,12 +253,4 @@ func (d *DayDetections) CountAny() int {
 		}
 	}
 	return len(seen)
-}
-
-// MergeAny folds the per-provider maps into dst: domain → union of
-// methods over a set of detections (used to combine sources).
-func (d *DayDetections) MergeAny(p int, dst map[string]Method) {
-	for dom, m := range d.Uses[p] {
-		dst[dom] |= m
-	}
 }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+	"dpsadopt/internal/trace"
+)
+
+// Partition names one (source, day) detection unit.
+type Partition struct {
+	Source string
+	Day    simtime.Day
+}
+
+// Partitions enumerates every stored (source, day) partition in
+// (source, day) order — the natural input to DetectRange.
+func Partitions(s *store.Store) []Partition {
+	var out []Partition
+	for _, src := range s.Sources() {
+		for _, day := range s.Days(src) {
+			out = append(out, Partition{Source: src, Day: day})
+		}
+	}
+	return out
+}
+
+// DetectRange classifies a set of partitions with a bounded worker pool
+// and returns the detections in input order. Workers share the store,
+// the references, and the per-dictionary ID matcher; partitions are
+// independent, so throughput scales with the worker count until the
+// memory bus saturates. workers <= 0 uses GOMAXPROCS. A cancelled
+// context stops the pool early; unprocessed slots are nil.
+//
+// Every consumer of multi-partition detection — the streaming
+// experiment runner, Aggregator.Run, the dpsapi index build — funnels
+// through here, so the fan-out and its metrics live in one place.
+func DetectRange(ctx context.Context, s *store.Store, parts []Partition, refs *References, workers int) []*DayDetections {
+	out := make([]*DayDetections, len(parts))
+	if len(parts) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	// Warm the matcher binding once so workers contend only on its
+	// read-mostly internals, not on creation.
+	refs.ForDict(s.Dict())
+	mDetectWorkers.Add(float64(workers))
+	defer mDetectWorkers.Add(-float64(workers))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				pt := parts[i]
+				_, sp := trace.StartSpan(ctx, "core.detect",
+					trace.Str("source", pt.Source), trace.Str("day", pt.Day.String()))
+				start := time.Now()
+				det := DetectDay(s, pt.Source, pt.Day, refs)
+				elapsed := time.Since(start).Seconds()
+				mDetectPartitions.Inc()
+				mDetectRows.Add(int64(det.Rows))
+				mDetectSeconds.Observe(elapsed)
+				if elapsed > 0 {
+					mDetectRowRate.Observe(float64(det.Rows) / elapsed)
+				}
+				sp.SetAttr(trace.Int("rows", int64(det.Rows)),
+					trace.Int("detected", int64(det.CountAny())))
+				sp.End()
+				out[i] = det
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -11,6 +11,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dpsadopt/internal/store"
 )
 
 // Method is a bitmask of reference kinds a domain exhibits toward a
@@ -71,12 +75,25 @@ func (p ProviderRefs) String() string {
 }
 
 // References is the full provider reference database with lookup indexes.
+// It must not be copied after first use (the ID-matcher cache carries a
+// mutex); share it by pointer, as every caller does.
 type References struct {
 	Providers []ProviderRefs
 
-	byASN   map[uint32]int
-	byCNAME map[string]int
-	byNS    map[string]int
+	byASN map[uint32]int
+	// asnDense is a flat ASN→provider table covering the small ASNs
+	// (the overwhelmingly common case), so the per-ASN probe in the
+	// detection hot loop is an array load instead of a map hash;
+	// noProvider marks unclaimed slots. ASNs beyond its length fall
+	// back to byASN.
+	asnDense []int16
+	byCNAME  map[string]int
+	byNS     map[string]int
+
+	// matchers caches one IDMatcher per store dictionary, so repeated
+	// DetectDay calls over the same store amortize every SLD extraction.
+	matcherMu sync.Mutex
+	matchers  map[*store.Dict]*IDMatcher
 }
 
 // NewReferences builds the indexes for a set of provider rows. Reference
@@ -110,6 +127,25 @@ func NewReferences(provs []ProviderRefs) (*References, error) {
 			r.byNS[s] = i
 		}
 	}
+	// Densify: real origin-AS numbers are small, so one flat table
+	// covers essentially every probe (capped so a stray 32-bit ASN
+	// cannot balloon the allocation).
+	const denseCap = 1 << 20
+	maxASN := uint32(0)
+	for a := range r.byASN {
+		if a > maxASN {
+			maxASN = a
+		}
+	}
+	if len(r.byASN) > 0 && maxASN < denseCap {
+		r.asnDense = make([]int16, maxASN+1)
+		for i := range r.asnDense {
+			r.asnDense[i] = noProvider
+		}
+		for a, p := range r.byASN {
+			r.asnDense[a] = int16(p)
+		}
+	}
 	return r, nil
 }
 
@@ -128,6 +164,10 @@ func (r *References) ProviderIndex(name string) (int, bool) {
 
 // MatchASN returns the provider owning an origin AS.
 func (r *References) MatchASN(asn uint32) (int, bool) {
+	if int(asn) < len(r.asnDense) {
+		p := r.asnDense[asn]
+		return int(p), p >= 0
+	}
 	i, ok := r.byASN[asn]
 	return i, ok
 }
@@ -142,4 +182,116 @@ func (r *References) MatchCNAME(target string) (int, bool) {
 func (r *References) MatchNS(host string) (int, bool) {
 	i, ok := r.byNS[SLD(host)]
 	return i, ok
+}
+
+// IDMatcher resolves interned CNAME/NS values to providers by dictionary
+// ID: the first lookup of an ID pays one Dict.Str + SLD extraction, every
+// later one is a single integer map probe against a lock-free published
+// snapshot (negative results are cached too — almost every NS host in a
+// measurement resolves to no provider). Dictionary IDs are stable for the
+// life of a store, so entries never invalidate. Safe for concurrent use
+// by DetectRange workers.
+type IDMatcher struct {
+	refs *References
+	dict *store.Dict
+
+	mu    sync.Mutex // serializes cache misses and republication
+	cname idCache
+	ns    idCache
+}
+
+// idCache is a read-mostly ID→provider map: hits read the published
+// snapshot with a single atomic pointer load and no lock. Misses go
+// through IDMatcher.mu into the pending map, which is folded into a
+// fresh snapshot once it outgrows a fraction of the published one —
+// copy-on-write with geometric batching, so total copying stays linear
+// in the number of distinct IDs while the read path stays lock-free.
+type idCache struct {
+	published atomic.Pointer[map[uint32]int16]
+	pending   map[uint32]int16 // guarded by IDMatcher.mu
+}
+
+// noProvider is the cached negative lookup.
+const noProvider = int16(-1)
+
+// ForDict returns the ID matcher binding these references to a store
+// dictionary, creating and caching it on first use.
+func (r *References) ForDict(dict *store.Dict) *IDMatcher {
+	r.matcherMu.Lock()
+	defer r.matcherMu.Unlock()
+	if r.matchers == nil {
+		r.matchers = make(map[*store.Dict]*IDMatcher)
+	}
+	m := r.matchers[dict]
+	if m == nil {
+		m = &IDMatcher{refs: r, dict: dict}
+		r.matchers[dict] = m
+	}
+	return m
+}
+
+// MatchCNAMEID returns the provider owning an interned CNAME target's
+// SLD.
+func (m *IDMatcher) MatchCNAMEID(id uint32) (int, bool) {
+	if mp := m.cname.published.Load(); mp != nil {
+		if p, ok := (*mp)[id]; ok {
+			return int(p), p >= 0
+		}
+	}
+	p := m.miss(id, &m.cname, m.refs.byCNAME)
+	return int(p), p >= 0
+}
+
+// MatchNSID returns the provider owning an interned NS host's SLD.
+func (m *IDMatcher) MatchNSID(id uint32) (int, bool) {
+	if mp := m.ns.published.Load(); mp != nil {
+		if p, ok := (*mp)[id]; ok {
+			return int(p), p >= 0
+		}
+	}
+	p := m.miss(id, &m.ns, m.refs.byNS)
+	return int(p), p >= 0
+}
+
+// miss resolves an ID absent from the published snapshot: check pending
+// under the lock, compute on a true miss, and republish when pending has
+// grown enough to be worth folding in.
+func (m *IDMatcher) miss(id uint32, c *idCache, index map[string]int) int16 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// The snapshot may have been republished while we waited.
+	if mp := c.published.Load(); mp != nil {
+		if p, ok := (*mp)[id]; ok {
+			return p
+		}
+	}
+	if p, ok := c.pending[id]; ok {
+		return p
+	}
+	p := noProvider
+	if i, hit := index[SLD(m.dict.Str(id))]; hit {
+		p = int16(i)
+	}
+	if c.pending == nil {
+		c.pending = make(map[uint32]int16)
+	}
+	c.pending[id] = p
+	published := 0
+	if mp := c.published.Load(); mp != nil {
+		published = len(*mp)
+	}
+	if len(c.pending) >= 64+published/4 {
+		next := make(map[uint32]int16, published+len(c.pending))
+		if mp := c.published.Load(); mp != nil {
+			for k, v := range *mp {
+				next[k] = v
+			}
+		}
+		for k, v := range c.pending {
+			next[k] = v
+		}
+		c.published.Store(&next)
+		c.pending = make(map[uint32]int16)
+	}
+	return p
 }

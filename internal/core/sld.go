@@ -21,18 +21,26 @@ var multiLabelSuffixes = map[string]bool{
 // SLD extracts the second-level domain of a canonical name: the label
 // directly below the public suffix, with the suffix attached
 // ("x.y.edgekey.net" → "edgekey.net", "a.b.co.uk" → "b.co.uk"). Names at
-// or above the public suffix are returned unchanged.
+// or above the public suffix are returned unchanged; a single trailing
+// root dot is stripped first. The result is always a substring of the
+// input — SLD never allocates, which matters because the discovery
+// procedure and the ID-matcher cache both call it per stored value.
 func SLD(name string) string {
-	labels := strings.Split(name, ".")
-	n := len(labels)
-	if n <= 2 {
+	name = strings.TrimSuffix(name, ".")
+	last := strings.LastIndexByte(name, '.')
+	if last < 0 {
 		return name
 	}
-	if multiLabelSuffixes[labels[n-2]+"."+labels[n-1]] {
-		if n == 3 {
+	second := strings.LastIndexByte(name[:last], '.')
+	if second < 0 {
+		return name
+	}
+	if multiLabelSuffixes[name[second+1:]] {
+		third := strings.LastIndexByte(name[:second], '.')
+		if third < 0 {
 			return name
 		}
-		return strings.Join(labels[n-3:], ".")
+		return name[third+1:]
 	}
-	return labels[n-2] + "." + labels[n-1]
+	return name[second+1:]
 }

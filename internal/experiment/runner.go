@@ -30,6 +30,11 @@ type Config struct {
 	Scale int
 	// Workers is the measurement worker count.
 	Workers int
+	// DetectWorkers bounds the per-day detection fan-out across source
+	// partitions (0 = GOMAXPROCS). Detection of a day's sources is
+	// independent, so the streaming runner classifies them in parallel
+	// and folds the results in source order.
+	DetectWorkers int
 	// Days truncates the run to the first N days of the window (0 = the
 	// full 550 days), for quick runs and benchmarks.
 	Days int
@@ -270,6 +275,7 @@ func (r *Runner) Run(ctx context.Context) error {
 			return fmt.Errorf("experiment: day %s: %w", day, err)
 		}
 		var dayRows int64
+		var parts []core.Partition
 		for _, src := range r.Store.Sources() {
 			rows, bytes, ids := r.Store.DayStats(src, day)
 			if rows == 0 {
@@ -287,11 +293,19 @@ func (r *Runner) Run(ctx context.Context) error {
 			for _, id := range ids {
 				st.unique[id] = true
 			}
-			if err := r.Agg.AddDay(src, day); err != nil {
+			parts = append(parts, core.Partition{Source: src, Day: day})
+		}
+		// One parallel detection pass over the day's source partitions;
+		// results fold in source order so aggregation stays deterministic.
+		for pi, det := range core.DetectRange(dctx, r.Store, parts, r.Refs, r.Cfg.DetectWorkers) {
+			if det == nil {
+				continue // cancelled mid-day; ctx.Err() surfaces next loop
+			}
+			if err := r.Agg.AddDetections(det); err != nil {
 				return err
 			}
 			if !r.Cfg.KeepStore {
-				r.Store.DropDay(src, day)
+				r.Store.DropDay(parts[pi].Source, day)
 			}
 		}
 		detected := r.Agg.SumAny(worldsim.GTLDs(), day)

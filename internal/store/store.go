@@ -58,6 +58,28 @@ type Row struct {
 	ASNs []uint32
 }
 
+// NoStr is the Strs-column sentinel marking an address row (no interned
+// string value).
+const NoStr = ^uint32(0)
+
+// RowID is one data point in dictionary-ID form: the zero-materialization
+// counterpart of Row. Consumers that stay in ID space (the detection
+// engine) never pay a Dict.Str resolution per row.
+type RowID struct {
+	// Domain is the dict ID of the domain name.
+	Domain uint32
+	Kind   Kind
+	// Addr is the IPv4 address as big-endian uint32; for IPv6 kinds it
+	// is an index into the batch's Addrs6 column.
+	Addr uint32
+	// Str is the dict ID of the CNAME target or NS host; NoStr for
+	// address rows.
+	Str uint32
+	// ASNs is the packed origin-AS view; must not be retained or
+	// mutated.
+	ASNs []uint32
+}
+
 // Dict interns strings (domain names, NS hosts, CNAME targets).
 type Dict struct {
 	mu   sync.RWMutex
@@ -165,7 +187,7 @@ func (w *Writer) AddAddr(domain string, kind Kind, addr netip.Addr, asns []uint3
 		b.addrs = append(b.addrs, uint32(len(b.addrs6)))
 		b.addrs6 = append(b.addrs6, addr.As16())
 	}
-	b.strs = append(b.strs, ^uint32(0))
+	b.strs = append(b.strs, NoStr)
 	b.asnOff = append(b.asnOff, uint32(len(b.asnVals)))
 	b.asnVals = append(b.asnVals, asns...)
 }
@@ -254,40 +276,125 @@ func (s *Store) Days(source string) []simtime.Day {
 	return out
 }
 
-// ForEachRow streams one partition's rows. The Row passed to fn shares no
-// mutable state with the store except the ASNs slice, which must not be
-// retained.
-func (s *Store) ForEachRow(source string, day simtime.Day, fn func(Row)) {
+// RowBatch is a read-only columnar view of one (source, day) partition:
+// the block's columns exposed directly, decoded once per partition
+// instead of once per row. The exported slices are dictionary IDs (or
+// packed addresses) — resolve them through the store's Dict only at the
+// presentation edge. Callers must not mutate the columns, and must not
+// use a batch concurrently with writers committing into the same
+// partition.
+type RowBatch struct {
+	// Domains holds the dict ID of each row's domain.
+	Domains []uint32
+	// Kinds holds each row's record kind.
+	Kinds []Kind
+	// Addrs holds IPv4 addresses as big-endian uint32 (for IPv6 kinds an
+	// index into Addrs6; 0 for string kinds).
+	Addrs []uint32
+	// Addrs6 is the IPv6 side table indexed through Addrs.
+	Addrs6 [][16]byte
+	// Strs holds the dict ID of each row's string value, NoStr for
+	// address rows.
+	Strs []uint32
+
+	asnOff  []uint32
+	asnVals []uint32
+}
+
+// Rows returns the number of rows in the batch.
+func (b *RowBatch) Rows() int { return len(b.Domains) }
+
+// ASNs returns row i's packed origin-AS view (nil when empty). The slice
+// aliases the store's adjacency and must not be retained or mutated.
+func (b *RowBatch) ASNs(i int) []uint32 {
+	lo := b.asnOff[i]
+	hi := uint32(len(b.asnVals))
+	if i+1 < len(b.asnOff) {
+		hi = b.asnOff[i+1]
+	}
+	if hi <= lo {
+		return nil
+	}
+	return b.asnVals[lo:hi]
+}
+
+// Addr decodes row i's address (the zero Addr for string rows).
+func (b *RowBatch) Addr(i int) netip.Addr {
+	if b.Strs[i] != NoStr {
+		return netip.Addr{}
+	}
+	if isV6Kind(b.Kinds[i]) {
+		return netip.AddrFrom16(b.Addrs6[b.Addrs[i]])
+	}
+	return u32Addr(b.Addrs[i])
+}
+
+// Row materializes row i in presentation form, resolving IDs through
+// dict (pass the store's Dict).
+func (b *RowBatch) Row(i int, dict *Dict) Row {
+	r := Row{
+		Domain: dict.Str(b.Domains[i]),
+		Kind:   b.Kinds[i],
+	}
+	if b.Strs[i] != NoStr {
+		r.Str = dict.Str(b.Strs[i])
+	} else {
+		r.Addr = b.Addr(i)
+		r.ASNs = b.ASNs(i)
+	}
+	return r
+}
+
+// RowBatch returns the columnar view of one partition, or false when the
+// partition holds no rows.
+func (s *Store) RowBatch(source string, day simtime.Day) (RowBatch, bool) {
 	s.mu.RLock()
 	b := s.blocks[source][day]
 	s.mu.RUnlock()
 	if b == nil {
+		return RowBatch{}, false
+	}
+	return RowBatch{
+		Domains: b.domains,
+		Kinds:   b.kinds,
+		Addrs:   b.addrs,
+		Addrs6:  b.addrs6,
+		Strs:    b.strs,
+		asnOff:  b.asnOff,
+		asnVals: b.asnVals,
+	}, true
+}
+
+// ForEachRowID streams one partition's rows in dictionary-ID form: no
+// string materialization, no per-row dict lock. The ASNs slice must not
+// be retained. For the tightest loops, index a RowBatch directly.
+func (s *Store) ForEachRowID(source string, day simtime.Day, fn func(RowID)) {
+	b, ok := s.RowBatch(source, day)
+	if !ok {
 		return
 	}
-	n := b.rows()
-	for i := 0; i < n; i++ {
-		r := Row{
-			Domain: s.dict.Str(b.domains[i]),
-			Kind:   b.kinds[i],
-		}
-		if b.strs[i] != ^uint32(0) {
-			r.Str = s.dict.Str(b.strs[i])
-		} else {
-			if isV6Kind(b.kinds[i]) {
-				r.Addr = netip.AddrFrom16(b.addrs6[b.addrs[i]])
-			} else {
-				r.Addr = u32Addr(b.addrs[i])
-			}
-			lo := b.asnOff[i]
-			hi := uint32(len(b.asnVals))
-			if i+1 < n {
-				hi = b.asnOff[i+1]
-			}
-			if hi > lo {
-				r.ASNs = b.asnVals[lo:hi]
-			}
-		}
-		fn(r)
+	for i, n := 0, b.Rows(); i < n; i++ {
+		fn(RowID{
+			Domain: b.Domains[i],
+			Kind:   b.Kinds[i],
+			Addr:   b.Addrs[i],
+			Str:    b.Strs[i],
+			ASNs:   b.ASNs(i),
+		})
+	}
+}
+
+// ForEachRow streams one partition's rows in presentation form — the
+// compatibility wrapper over RowBatch. The Row passed to fn shares no
+// mutable state with the store except the ASNs slice, which must not be
+// retained.
+func (s *Store) ForEachRow(source string, day simtime.Day, fn func(Row)) {
+	b, ok := s.RowBatch(source, day)
+	if !ok {
+		return
+	}
+	for i, n := 0, b.Rows(); i < n; i++ {
+		fn(b.Row(i, s.dict))
 	}
 }
 

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"fmt"
+	"math/rand"
 	"net/netip"
 	"reflect"
 	"testing"
@@ -187,4 +189,89 @@ func TestIPv6Rows(t *testing.T) {
 	if got[2].Addr != addr("2001:db8::2") || got[3].Addr != addr("2001:db8::3") {
 		t.Errorf("v6 rows = %v, %v", got[2].Addr, got[3].Addr)
 	}
+}
+
+// TestForEachRowIDAgreesWithForEachRow builds a randomized store —
+// several interleaved writer commits with a mix of address, CNAME, NS,
+// IPv4 and IPv6 rows — and demands that the ID-space iterator resolve to
+// exactly the presentation rows, in the same order.
+func TestForEachRowIDAgreesWithForEachRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := New()
+	day := simtime.Day(7)
+	kinds := []Kind{KindApexA, KindApexAAAA, KindWWWA, KindWWWAAAA, KindWWWCNAME, KindNS}
+	total := 0
+	for commit := 0; commit < 4; commit++ {
+		w := s.NewWriter("com", day)
+		for i := 0; i < 200; i++ {
+			// A small domain pool so the same domain recurs across
+			// commits (the interleaving DetectDay has to survive).
+			dom := fmt.Sprintf("dom%02d.com", rng.Intn(40))
+			k := kinds[rng.Intn(len(kinds))]
+			switch k {
+			case KindWWWCNAME, KindNS:
+				w.AddStr(dom, k, fmt.Sprintf("target%03d.example.net", rng.Intn(100)))
+			case KindApexAAAA, KindWWWAAAA:
+				a := netip.AddrFrom16([16]byte{0x20, 0x01, 0xd, 0xb8, byte(rng.Intn(256)), byte(rng.Intn(256))})
+				w.AddAddr(dom, k, a, randASNs(rng))
+			default:
+				a := netip.AddrFrom4([4]byte{10, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+				w.AddAddr(dom, k, a, randASNs(rng))
+			}
+			total++
+		}
+		w.Commit()
+	}
+
+	var want []Row
+	s.ForEachRow("com", day, func(r Row) {
+		r.ASNs = append([]uint32(nil), r.ASNs...)
+		want = append(want, r)
+	})
+	if len(want) != total {
+		t.Fatalf("ForEachRow yielded %d rows, want %d", len(want), total)
+	}
+
+	dict := s.Dict()
+	i := 0
+	s.ForEachRowID("com", day, func(r RowID) {
+		w := want[i]
+		if dict.Str(r.Domain) != w.Domain || r.Kind != w.Kind {
+			t.Fatalf("row %d: (%s, %v) vs (%s, %v)", i, dict.Str(r.Domain), r.Kind, w.Domain, w.Kind)
+		}
+		if r.Str == NoStr {
+			if w.Str != "" {
+				t.Fatalf("row %d: ID form has no string, presentation has %q", i, w.Str)
+			}
+		} else if got := dict.Str(r.Str); got != w.Str {
+			t.Fatalf("row %d: Str %q vs %q", i, got, w.Str)
+		}
+		if !reflect.DeepEqual(append([]uint32{}, r.ASNs...), append([]uint32{}, w.ASNs...)) {
+			t.Fatalf("row %d: ASNs %v vs %v", i, r.ASNs, w.ASNs)
+		}
+		i++
+	})
+	if i != total {
+		t.Fatalf("ForEachRowID yielded %d rows, want %d", i, total)
+	}
+
+	// The batch view resolves addresses identically (both families).
+	b, ok := s.RowBatch("com", day)
+	if !ok || b.Rows() != total {
+		t.Fatalf("RowBatch: ok=%v rows=%d", ok, b.Rows())
+	}
+	for j := 0; j < b.Rows(); j++ {
+		if r := b.Row(j, dict); r.Addr != want[j].Addr {
+			t.Fatalf("row %d: Addr %v vs %v", j, r.Addr, want[j].Addr)
+		}
+	}
+}
+
+func randASNs(rng *rand.Rand) []uint32 {
+	n := rng.Intn(3)
+	asns := make([]uint32, n)
+	for i := range asns {
+		asns[i] = uint32(rng.Intn(64000)) + 1
+	}
+	return asns
 }
