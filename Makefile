@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench chaos api
+.PHONY: check vet build test test-race bench chaos api benchscale benchscale-smoke
 
 check: vet build test-race
 
@@ -40,3 +40,17 @@ chaos:
 api:
 	$(GO) test -race ./internal/api/ ./internal/store/
 	sh scripts/api_smoke.sh
+
+# Full detection scaling sweep: GOMAXPROCS × workers over a generated
+# world, one row per cell into results/BENCH_detect.json, pprof mutex
+# profile + per-cell CPU profiles into results/profiles/. This is the
+# scaling observatory's headline artifact (DESIGN.md §10).
+benchscale:
+	$(GO) run ./cmd/dpsbench -scale 50000 -days 4 \
+		-gomaxprocs 1,2,4 -workers 1,2,4 -mintime 1s \
+		-out results/BENCH_detect.json -profiles results/profiles -prof-mutex 2
+
+# Tiny 2-cell sweep asserting dpsbench runs end to end and its JSON
+# carries the sweep/v2 schema. Mirrors the CI benchscale-smoke job.
+benchscale-smoke:
+	sh scripts/benchscale_smoke.sh

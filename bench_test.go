@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dpsadopt/internal/api"
+	"dpsadopt/internal/benchfmt"
 	"dpsadopt/internal/chaos"
 	"dpsadopt/internal/core"
 	"dpsadopt/internal/dnsclient"
@@ -584,12 +585,13 @@ func writeAPIBench(b *testing.B, secPerOp map[string]float64, keys int) {
 
 // detectBench collects the numbers both detection benchmarks produce so
 // writeDetectBench can persist them together. Whichever benchmark runs
-// last writes the file; fields a skipped benchmark never filled stay 0.
+// last writes the file; fields a skipped benchmark never filled stay
+// zero. The cmd/dpsbench harness writes the same benchfmt schema from a
+// full GOMAXPROCS sweep — these benchmarks only cover the current
+// GOMAXPROCS.
 var detectBench struct {
-	dayIDNs, dayIDAllocs     float64
-	dayBaseNs, dayBaseAllocs float64
-	rangeParts               int
-	rangePartsPerSec         map[int]float64 // workers → partitions/sec
+	dayEngine *benchfmt.DayEngine
+	sweep     []benchfmt.DetectCell
 }
 
 // benchLoop runs fn b.N times and reports wall nanoseconds and heap
@@ -622,8 +624,9 @@ func BenchmarkDetectDay(b *testing.B) {
 		b.Fatal(err)
 	}
 	refs := core.MustGroundTruth()
+	de := &benchfmt.DayEngine{}
 	b.Run("id", func(b *testing.B) {
-		detectBench.dayIDNs, detectBench.dayIDAllocs = benchLoop(b, func() {
+		de.IDNsOp, de.IDAllocsOp = benchLoop(b, func() {
 			det := core.DetectDay(tmp, "com", quietDay, refs)
 			if det.DomainsMeasured == 0 {
 				b.Fatal("nothing measured")
@@ -631,13 +634,20 @@ func BenchmarkDetectDay(b *testing.B) {
 		})
 	})
 	b.Run("baseline", func(b *testing.B) {
-		detectBench.dayBaseNs, detectBench.dayBaseAllocs = benchLoop(b, func() {
+		de.BaselineNsOp, de.BaselineAllocsOp = benchLoop(b, func() {
 			det := core.DetectDayBaseline(tmp, "com", quietDay, refs)
 			if det.DomainsMeasured == 0 {
 				b.Fatal("nothing measured")
 			}
 		})
 	})
+	if de.IDNsOp > 0 {
+		de.SpeedupX = de.BaselineNsOp / de.IDNsOp
+	}
+	if de.IDAllocsOp > 0 {
+		de.AllocsRatioX = de.BaselineAllocsOp / de.IDAllocsOp
+	}
+	detectBench.dayEngine = de
 	writeDetectBench(b)
 }
 
@@ -655,69 +665,86 @@ func BenchmarkDetectRange(b *testing.B) {
 	}
 	refs := core.MustGroundTruth()
 	parts := core.Partitions(tmp)
-	detectBench.rangeParts = len(parts)
-	detectBench.rangePartsPerSec = make(map[int]float64)
 	counts := []int{1, 2, 4}
 	if gp := runtime.GOMAXPROCS(0); gp != 1 && gp != 2 && gp != 4 {
 		counts = append(counts, gp)
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			ns, _ := benchLoop(b, func() {
-				dets := core.DetectRange(context.Background(), tmp, parts, refs, workers)
+			var agg core.RangeStats
+			var ms0, ms1 runtime.MemStats
+			b.ReportAllocs()
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dets, st := core.DetectRangeStats(context.Background(), tmp, parts, refs, workers)
 				if len(dets) == 0 || dets[0] == nil {
 					b.Fatal("no detections")
 				}
-			})
-			detectBench.rangePartsPerSec[workers] = float64(len(parts)) / (ns / 1e9)
+				agg.Add(st)
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			cell := benchfmt.DetectCell{
+				Gomaxprocs:       runtime.GOMAXPROCS(0),
+				Workers:          agg.Workers,
+				Iters:            b.N,
+				Partitions:       len(parts),
+				Rows:             agg.Rows / int64(b.N),
+				WallSeconds:      agg.Wall.Seconds(),
+				PartitionsPerSec: agg.PartitionsPerSec(),
+				Utilization:      agg.Utilization(),
+				ScanSeconds:      agg.Scan.Seconds(),
+				MergeSeconds:     agg.Merge.Seconds(),
+				QueueWaitSeconds: agg.QueueWait.Seconds(),
+				BarrierSeconds:   agg.Barrier.Seconds(),
+			}
+			if agg.Partitions > 0 {
+				cell.AllocsPerPartition = float64(ms1.Mallocs-ms0.Mallocs) / float64(agg.Partitions)
+			}
+			if cell.WallSeconds > 0 {
+				cell.RowsPerSec = float64(agg.Rows) / cell.WallSeconds
+			}
+			// The harness reruns the closure while calibrating b.N; keep
+			// only the final (longest) run per cell.
+			for i := range detectBench.sweep {
+				if detectBench.sweep[i].Gomaxprocs == cell.Gomaxprocs &&
+					detectBench.sweep[i].Workers == cell.Workers {
+					detectBench.sweep[i] = cell
+					return
+				}
+			}
+			detectBench.sweep = append(detectBench.sweep, cell)
 		})
 	}
 	writeDetectBench(b)
 }
 
 // writeDetectBench persists the detection engine numbers the README perf
-// note and DESIGN.md §9 quote.
+// note and DESIGN.md §9–§10 quote, in the same row-per-cell schema the
+// cmd/dpsbench sweep harness writes.
 func writeDetectBench(b *testing.B) {
-	d := &detectBench
-	doc := map[string]any{
-		"bench":      "detect",
-		"gomaxprocs": runtime.GOMAXPROCS(0),
+	doc := &benchfmt.DetectDoc{
+		Bench:     "detect",
+		Schema:    benchfmt.DetectSchema,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Source:    "go test -bench",
+		World:     "shared 1:50000 runner world, 4 quiet days",
+		DayEngine: detectBench.dayEngine,
+		Sweep:     detectBench.sweep,
 	}
-	if d.dayIDNs > 0 {
-		doc["day_id_ns_op"] = d.dayIDNs
-		doc["day_id_allocs_op"] = d.dayIDAllocs
-	}
-	if d.dayBaseNs > 0 {
-		doc["day_baseline_ns_op"] = d.dayBaseNs
-		doc["day_baseline_allocs_op"] = d.dayBaseAllocs
-		doc["speedup_x"] = d.dayBaseNs / d.dayIDNs
-		doc["allocs_ratio_x"] = d.dayBaseAllocs / d.dayIDAllocs
-	}
-	if len(d.rangePartsPerSec) > 0 {
-		doc["range_partitions"] = d.rangeParts
-		pps := make(map[string]float64, len(d.rangePartsPerSec))
-		for w, v := range d.rangePartsPerSec {
-			pps[fmt.Sprintf("workers_%d", w)] = v
-		}
-		doc["range_partitions_per_sec"] = pps
-	}
-	raw, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.MkdirAll("results", 0o755); err != nil {
+	doc.FillEfficiency()
+	if err := doc.Write("results/BENCH_detect.json"); err != nil {
 		b.Logf("BENCH_detect.json not written: %v", err)
 		return
 	}
-	if err := os.WriteFile("results/BENCH_detect.json", append(raw, '\n'), 0o644); err != nil {
-		b.Logf("BENCH_detect.json not written: %v", err)
-		return
-	}
-	if d.dayBaseNs > 0 {
+	if de := doc.DayEngine; de != nil && de.BaselineNsOp > 0 {
 		b.Logf("wrote results/BENCH_detect.json (%.1fx faster, %.0fx fewer allocs than baseline)",
-			d.dayBaseNs/d.dayIDNs, d.dayBaseAllocs/d.dayIDAllocs)
+			de.SpeedupX, de.AllocsRatioX)
 	} else {
-		b.Logf("wrote results/BENCH_detect.json")
+		b.Logf("wrote results/BENCH_detect.json (%d sweep cells)", len(doc.Sweep))
 	}
 }
 

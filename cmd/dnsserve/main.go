@@ -16,6 +16,7 @@
 //
 //	dnsserve [-scale 400000] [-date 2015-03-05] [-resolve www.DOMAIN]
 //	         [-fault-scenario dead-ns] [-fault-seed 7] [-metrics-addr :9091]
+//	         [-prof-mutex 5] [-prof-block 0]
 package main
 
 import (
@@ -47,17 +48,23 @@ func main() {
 		faultScenario = flag.String("fault-scenario", "",
 			"chaos scenario degrading the served namespace ("+strings.Join(chaos.ScenarioNames(), ", ")+"); empty = fault-free")
 		faultSeed = flag.Int64("fault-seed", 0, "seed pinning the fault pattern")
+
+		profMutex = flag.Int("prof-mutex", 0, "mutex profiling fraction (runtime.SetMutexProfileFraction; 0 = off); served at /debug/pprof/mutex and /debug/contention")
+		profBlock = flag.Int("prof-block", 0, "block profiling rate in ns (runtime.SetBlockProfileRate; 0 = off); served at /debug/pprof/block and /debug/contention")
 	)
 	flag.Parse()
+	obs.SetContentionProfiling(*profMutex, *profBlock)
 
 	if *metricsAddr != "" {
+		rc := obs.StartRuntimeCollector(obs.Default(), 0)
+		defer rc.Close()
 		srv, err := obs.Serve(*metricsAddr, obs.Default())
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
 		obs.Logger().Info("metrics listening", "addr", srv.Addr,
-			"endpoints", "/metrics /debug/vars /debug/pprof/")
+			"endpoints", "/metrics /debug/vars /debug/pprof/ /debug/contention")
 	}
 
 	day, err := simtime.Parse(*date)

@@ -6,8 +6,11 @@
 //	GET /v1/day/{date}              per-provider totals for one day
 //	GET /v1/stats                   dataset + index summary
 //
-// The same listener also exposes /metrics (Prometheus text), expvar
-// /debug/vars, and pprof profiles. Admission control is layered: -qps
+// The same listener also exposes /metrics (Prometheus text, including
+// the go_*/process_* runtime gauges and build_info), expvar /debug/vars,
+// pprof profiles and the /debug/contention JSON summary; -prof-mutex and
+// -prof-block arm the runtime's contention profilers behind the latter
+// two. Admission control is layered: -qps
 // rate-limits with a token bucket (429 beyond it), -max-inflight bounds
 // concurrency (503 when the gate stays full past the deadline), and
 // -timeout caps every request. SIGINT/SIGTERM drain gracefully: the
@@ -18,6 +21,7 @@
 //
 //	dpsapi -data world.dpsa [-addr :8080] [-qps 0] [-max-inflight 256]
 //	       [-timeout 2s] [-cache 4096] [-drain 5s] [-quiet] [-log-json]
+//	       [-prof-mutex 5] [-prof-block 0]
 package main
 
 import (
@@ -51,8 +55,12 @@ func main() {
 		drain       = flag.Duration("drain", 5*time.Second, "graceful shutdown deadline")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging (warnings still shown)")
 		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON")
+
+		profMutex = flag.Int("prof-mutex", 0, "mutex profiling fraction (runtime.SetMutexProfileFraction; 0 = off); served at /debug/pprof/mutex and /debug/contention")
+		profBlock = flag.Int("prof-block", 0, "block profiling rate in ns (runtime.SetBlockProfileRate; 0 = off); served at /debug/pprof/block and /debug/contention")
 	)
 	flag.Parse()
+	obs.SetContentionProfiling(*profMutex, *profBlock)
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "dpsapi: -data FILE required")
 		os.Exit(2)
@@ -76,15 +84,17 @@ func main() {
 	idx := api.NewIndex(s, core.MustGroundTruth())
 	st := idx.Stats()
 	partitions, buildTime := idx.BuildStats()
-	perSec := 0.0
-	if buildTime > 0 {
-		perSec = float64(partitions) / buildTime.Seconds()
-	}
+	dst := idx.DetectStats()
 	log.Info("index built",
 		"domains", st.DomainsDetected, "days", st.DaysIndexed,
 		"sources", st.Sources, "partitions", partitions,
 		"elapsed", buildTime.Round(time.Millisecond).String(),
-		"partitions_per_sec", fmt.Sprintf("%.1f", perSec))
+		"partitions_per_sec", fmt.Sprintf("%.1f", dst.PartitionsPerSec()),
+		"workers", dst.Workers,
+		"utilization", fmt.Sprintf("%.3f", dst.Utilization()),
+		"scan", dst.Scan.Round(time.Millisecond).String(),
+		"merge", dst.Merge.Round(time.Millisecond).String(),
+		"barrier", dst.Barrier.Round(time.Millisecond).String())
 
 	srv := api.NewServer(idx, api.Config{
 		QPS:          *qps,
@@ -94,8 +104,12 @@ func main() {
 		CacheEntries: *cacheSize,
 	})
 	// One listener for everything: the API routes share the mux with
-	// /metrics, /debug/vars and /debug/pprof so operators scrape the
-	// serving-path counters from the same port they query.
+	// /metrics, /debug/vars, /debug/pprof and /debug/contention so
+	// operators scrape the serving-path counters from the same port they
+	// query. The runtime collector keeps the go_*/process_* gauges (GC
+	// pause, sched latency, heap, RSS) current for the process lifetime.
+	rc := obs.StartRuntimeCollector(obs.Default(), 0)
+	defer rc.Close()
 	mux := obs.NewMux(obs.Default())
 	srv.Register(mux)
 

@@ -7,10 +7,13 @@
 // Progress is reported through the structured logger (one summary line
 // per day with row/query counts and latency quantiles); -quiet
 // suppresses it. With -metrics-addr the process serves live
-// Prometheus-text /metrics, expvar /debug/vars, pprof profiles and — when
-// tracing is on — /debug/traces for the duration of the run, and stays up
-// after the run finishes until interrupted so the final counters can be
-// scraped.
+// Prometheus-text /metrics (including the go_*/process_* runtime
+// gauges), expvar /debug/vars, pprof profiles, the /debug/contention
+// JSON summary and — when tracing is on — /debug/traces for the duration
+// of the run, and stays up after the run finishes until interrupted so
+// the final counters can be scraped. -prof-mutex and -prof-block arm the
+// runtime's contention profilers, which feed both /debug/pprof/{mutex,
+// block} and /debug/contention.
 //
 // Tracing: -trace-out enables request-scoped tracing and names the output
 // base; the run writes <base>.json (Chrome trace_event, loadable in
@@ -34,7 +37,8 @@
 //
 //	dpsmeasure [-scale 100000] [-days 3] [-mode direct|wire] [-workers N]
 //	           [-fault-scenario flaky-1pct] [-fault-seed 7] [-wire-timeout 100]
-//	           [-metrics-addr :9090] [-quiet] [-log-json] [-v]
+//	           [-metrics-addr :9090] [-prof-mutex 5] [-prof-block 0]
+//	           [-quiet] [-log-json] [-v]
 //	           [-trace-out traces] [-trace-sample 0.01] [-trace-slow 250ms]
 package main
 
@@ -80,8 +84,12 @@ func main() {
 			"chaos scenario injected into wire days ("+strings.Join(chaos.ScenarioNames(), ", ")+"); empty = fault-free")
 		faultSeed   = flag.Int64("fault-seed", 0, "seed pinning the fault pattern; same scenario+seed = same faults")
 		wireTimeout = flag.Int("wire-timeout", 0, "wire-mode resolver timeout in ms (0 = dnsclient default; lower it under chaos so losses cost ms, not s)")
+
+		profMutex = flag.Int("prof-mutex", 0, "mutex profiling fraction (runtime.SetMutexProfileFraction; 0 = off); served at /debug/pprof/mutex and /debug/contention")
+		profBlock = flag.Int("prof-block", 0, "block profiling rate in ns (runtime.SetBlockProfileRate; 0 = off); served at /debug/pprof/block and /debug/contention")
 	)
 	flag.Parse()
+	obs.SetContentionProfiling(*profMutex, *profBlock)
 
 	if *logJSON {
 		obs.SetLogger(obs.NewLogger(os.Stderr, slog.LevelInfo, true))
@@ -150,6 +158,10 @@ func main() {
 
 	reg := obs.Default()
 	if *metricsAddr != "" {
+		// Scrapers get the Go runtime's view too: GC pauses, scheduling
+		// latency, heap size, mutex wait (go_* / process_* gauges).
+		rc := obs.StartRuntimeCollector(reg, 0)
+		defer rc.Close()
 		srv, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			fatal(err)

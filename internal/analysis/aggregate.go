@@ -57,6 +57,7 @@ type Aggregator struct {
 	// trackSources marks sources that feed interval tracking.
 	trackSources map[string]bool
 	lastDay      map[string]simtime.Day
+	detectStats  core.RangeStats
 	// degraded marks days committed with excess measurement failures;
 	// the growth pipeline interpolates across them (see degraded.go).
 	degraded map[simtime.Day]bool
@@ -146,13 +147,19 @@ func (a *Aggregator) Run(sources []string) error {
 			parts = append(parts, core.Partition{Source: src, Day: day})
 		}
 	}
-	for _, det := range core.DetectRange(context.Background(), a.Store, parts, a.Refs, a.Workers) {
+	dets, rst := core.DetectRangeStats(context.Background(), a.Store, parts, a.Refs, a.Workers)
+	a.detectStats.Add(rst)
+	for _, det := range dets {
 		if err := a.AddDetections(det); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// DetectStats returns the stage-timing summary accumulated over Run
+// calls (zero if detection was fed through AddDay/AddDetections).
+func (a *Aggregator) DetectStats() core.RangeStats { return a.detectStats }
 
 // Days returns the aggregated days for a source, sorted.
 func (a *Aggregator) Days(source string) []simtime.Day {

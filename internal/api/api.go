@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"dpsadopt/internal/obs"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/trace"
 )
@@ -190,8 +191,9 @@ func (s *Server) respond(route string, r *http.Request, fn func(r *http.Request)
 		}
 		val := fn(r)
 		// Only successful and not-found answers are cacheable: both are
-		// immutable facts of the loaded dataset. Errors are not.
-		if val.status == http.StatusOK || val.status == http.StatusNotFound {
+		// immutable facts of the loaded dataset. Errors are not, and
+		// neither are volatile responses carrying live process state.
+		if !val.volatile && (val.status == http.StatusOK || val.status == http.StatusNotFound) {
 			s.cache.put(key, val)
 		}
 		return val
@@ -272,6 +274,17 @@ func (s *Server) handleDay(r *http.Request) cached {
 	return jsonResponse(http.StatusOK, info)
 }
 
+// StatsResponse is the /v1/stats body: the dataset/index summary plus a
+// live view of the serving process (Go version, GOMAXPROCS, CPU count,
+// uptime, RSS) — the same facts the build_info/process_* metrics expose,
+// for clients that speak JSON rather than Prometheus text.
+type StatsResponse struct {
+	Stats
+	Process obs.ProcessInfo `json:"process"`
+}
+
 func (s *Server) handleStats(r *http.Request) cached {
-	return jsonResponse(http.StatusOK, s.idx.Stats())
+	val := jsonResponse(http.StatusOK, StatsResponse{Stats: s.idx.Stats(), Process: obs.ReadProcessInfo()})
+	val.volatile = true
+	return val
 }

@@ -9,6 +9,10 @@ import (
 type cached struct {
 	status int
 	body   []byte
+	// volatile marks a response that must not be cached because it
+	// embeds live process state (/v1/stats carries uptime and RSS);
+	// singleflight still coalesces concurrent misses.
+	volatile bool
 }
 
 // cacheShard is one lock domain of the response cache: an LRU list plus

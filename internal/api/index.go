@@ -44,8 +44,9 @@ type Index struct {
 	measured []int64     // [dayIdx] domains with any stored row (summed over sources)
 	anyUse   []int64     // [dayIdx] distinct domains using at least one provider
 
-	partitions int
-	buildTime  time.Duration
+	partitions  int
+	buildTime   time.Duration
+	detectStats core.RangeStats
 }
 
 // NewIndex builds the index from a store by running detection over every
@@ -99,7 +100,8 @@ func NewIndex(s *store.Store, refs *core.References) *Index {
 		}
 	}
 	x.partitions = len(parts)
-	dets := core.DetectRange(context.Background(), s, parts, refs, 0)
+	dets, rst := core.DetectRangeStats(context.Background(), s, parts, refs, 0)
+	x.detectStats = rst
 
 	merged := make([]map[string]core.Method, np)
 	pi := 0
@@ -378,3 +380,7 @@ func (x *Index) Days() []simtime.Day { return append([]simtime.Day(nil), x.days.
 func (x *Index) BuildStats() (partitions int, elapsed time.Duration) {
 	return x.partitions, x.buildTime
 }
+
+// DetectStats returns the stage-timing summary of the build's
+// DetectRange pass, for logging per-core efficiency at startup.
+func (x *Index) DetectStats() core.RangeStats { return x.detectStats }

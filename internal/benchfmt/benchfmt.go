@@ -1,0 +1,122 @@
+// Package benchfmt defines the persisted benchmark result schemas under
+// results/. Both producers of the detection benchmark — the dpsbench
+// sweep harness and the root go-test benchmarks — write through this
+// package, so results/BENCH_detect.json has exactly one shape regardless
+// of which tool produced it.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DetectSchema names the current BENCH_detect.json layout: one row per
+// (gomaxprocs, workers) sweep cell instead of the flat v1 map.
+const DetectSchema = "sweep/v2"
+
+// DetectCell is one sweep cell: DetectRange run to steady state at a
+// fixed GOMAXPROCS and worker count.
+type DetectCell struct {
+	Gomaxprocs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	// Iters is how many full DetectRange passes the cell aggregated.
+	Iters      int   `json:"iters"`
+	Partitions int   `json:"partitions"`
+	Rows       int64 `json:"rows"`
+
+	WallSeconds      float64 `json:"wall_seconds"`
+	PartitionsPerSec float64 `json:"partitions_per_sec"`
+	RowsPerSec       float64 `json:"rows_per_sec"`
+
+	// Utilization is busy/(workers×wall) from core.RangeStats; the stage
+	// clocks below are summed over workers and iterations.
+	Utilization      float64 `json:"utilization"`
+	ScanSeconds      float64 `json:"scan_seconds"`
+	MergeSeconds     float64 `json:"merge_seconds"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	BarrierSeconds   float64 `json:"barrier_seconds"`
+
+	AllocsPerPartition float64 `json:"allocs_per_partition"`
+	// GCShare is the fraction of the cell's total CPU the garbage
+	// collector consumed (runtime/metrics /cpu/classes delta).
+	GCShare float64 `json:"gc_share"`
+	// EfficiencyPerCore is (pps / baseline pps) / min(gomaxprocs,
+	// workers), baseline being the sweep's smallest cell — 1.0 means
+	// perfect linear scaling from the baseline.
+	EfficiencyPerCore float64 `json:"efficiency_per_core"`
+}
+
+// DayEngine compares the single-day ID-native scan against the retained
+// string-keyed baseline (the DESIGN.md §7 ablation).
+type DayEngine struct {
+	IDNsOp           float64 `json:"id_ns_op"`
+	IDAllocsOp       float64 `json:"id_allocs_op"`
+	BaselineNsOp     float64 `json:"baseline_ns_op,omitempty"`
+	BaselineAllocsOp float64 `json:"baseline_allocs_op,omitempty"`
+	SpeedupX         float64 `json:"speedup_x,omitempty"`
+	AllocsRatioX     float64 `json:"allocs_ratio_x,omitempty"`
+}
+
+// DetectDoc is results/BENCH_detect.json.
+type DetectDoc struct {
+	Bench     string `json:"bench"`  // always "detect"
+	Schema    string `json:"schema"` // always DetectSchema
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	// Source names the producer ("dpsbench" or "go test -bench").
+	Source string `json:"source"`
+	// World describes the measured dataset (synthetic scale/days or a
+	// loaded .dpsa path).
+	World     string       `json:"world"`
+	DayEngine *DayEngine   `json:"day_engine,omitempty"`
+	Sweep     []DetectCell `json:"sweep"`
+}
+
+// FillEfficiency computes every cell's EfficiencyPerCore against the
+// sweep's baseline: the cell with the smallest (gomaxprocs, workers).
+func (d *DetectDoc) FillEfficiency() {
+	if len(d.Sweep) == 0 {
+		return
+	}
+	base := d.Sweep[0]
+	for _, c := range d.Sweep {
+		if c.Gomaxprocs < base.Gomaxprocs ||
+			(c.Gomaxprocs == base.Gomaxprocs && c.Workers < base.Workers) {
+			base = c
+		}
+	}
+	if base.PartitionsPerSec <= 0 {
+		return
+	}
+	for i := range d.Sweep {
+		c := &d.Sweep[i]
+		cores := min(c.Gomaxprocs, c.Workers)
+		if cores < 1 {
+			cores = 1
+		}
+		c.EfficiencyPerCore = (c.PartitionsPerSec / base.PartitionsPerSec) / float64(cores)
+	}
+}
+
+// Write persists the document as indented JSON, creating the parent
+// directory if needed.
+func (d *DetectDoc) Write(path string) error {
+	if d.Bench == "" {
+		d.Bench = "detect"
+	}
+	if d.Schema == "" {
+		d.Schema = DetectSchema
+	}
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("benchfmt: %w", err)
+		}
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

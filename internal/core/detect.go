@@ -2,6 +2,7 @@ package core
 
 import (
 	"slices"
+	"time"
 
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
@@ -50,13 +51,24 @@ func packUse(p int, id uint32, m Method) uint64 {
 // reference index, CNAME/NS hits via the per-dictionary SLD→provider
 // cache (References.ForDict), no per-row string materialization.
 func DetectDay(s *store.Store, source string, day simtime.Day, refs *References) *DayDetections {
+	d, _, _ := detectDayStaged(s, source, day, refs)
+	return d
+}
+
+// detectDayStaged is DetectDay with per-stage wall timing: scan is the
+// row classification loop (batch-scan), merge is finalize's sort / dedup
+// / distinct-count pass (hit-merge). DetectRange feeds these into the
+// detect_stage_seconds histograms; the two time.Now pairs are noise next
+// to a partition's work.
+func detectDayStaged(s *store.Store, source string, day simtime.Day, refs *References) (d *DayDetections, scan, merge time.Duration) {
 	np := refs.NumProviders()
-	d := &DayDetections{Source: source, Day: day, dict: s.Dict()}
+	d = &DayDetections{Source: source, Day: day, dict: s.Dict()}
 	b, ok := s.RowBatch(source, day)
 	if !ok {
 		d.off = make([]int32, np+1)
-		return d
+		return d, 0, 0
 	}
+	t0 := time.Now()
 	n := b.Rows()
 	d.Rows = n
 	ids := refs.ForDict(d.dict)
@@ -80,8 +92,9 @@ func DetectDay(s *store.Store, source string, day simtime.Day, refs *References)
 			}
 		}
 	}
+	t1 := time.Now()
 	d.finalize(packed, np, b.Domains)
-	return d
+	return d, t1.Sub(t0), time.Since(t1)
 }
 
 // finalize sorts and dedups the packed hits, builds the per-provider

@@ -30,6 +30,66 @@ func Partitions(s *store.Store) []Partition {
 	return out
 }
 
+// RangeStats describes where one DetectRange call spent its time, per
+// stage, summed across workers. It is the per-call counterpart of the
+// detect_stage_seconds histograms: callers (experiment.Run,
+// analysis.Aggregator.Run, api.NewIndex, cmd/dpsbench) use it to log and
+// persist per-core efficiency instead of inferring it from wall time.
+type RangeStats struct {
+	Partitions int           // partitions classified
+	Rows       int64         // rows scanned
+	Workers    int           // pool size actually used
+	Wall       time.Duration // call wall time
+
+	// Per-stage time, summed over workers. Scan+Merge is productive
+	// work; QueueWait is time between finishing one partition and
+	// claiming the next; Barrier is time workers that ran out of work
+	// spent waiting for the slowest worker (the input-order result
+	// barrier).
+	Scan      time.Duration
+	Merge     time.Duration
+	QueueWait time.Duration
+	Barrier   time.Duration
+}
+
+// Add folds another call's stats in (callers accumulate per-day passes
+// into a run total).
+func (st *RangeStats) Add(o RangeStats) {
+	st.Partitions += o.Partitions
+	st.Rows += o.Rows
+	if o.Workers > st.Workers {
+		st.Workers = o.Workers
+	}
+	st.Wall += o.Wall
+	st.Scan += o.Scan
+	st.Merge += o.Merge
+	st.QueueWait += o.QueueWait
+	st.Barrier += o.Barrier
+}
+
+// Busy is the productive time summed over workers (scan + merge).
+func (st RangeStats) Busy() time.Duration { return st.Scan + st.Merge }
+
+// Utilization is the fraction of the pool's wall-clock capacity spent
+// doing productive work: Busy / (Workers × Wall). 1.0 means every worker
+// scanned or merged for the whole call; the gap is queue wait, the
+// result barrier, and scheduler/GC time.
+func (st RangeStats) Utilization() float64 {
+	cap := float64(st.Workers) * st.Wall.Seconds()
+	if cap <= 0 {
+		return 0
+	}
+	return st.Busy().Seconds() / cap
+}
+
+// PartitionsPerSec is the call's aggregate throughput.
+func (st RangeStats) PartitionsPerSec() float64 {
+	if st.Wall <= 0 {
+		return 0
+	}
+	return float64(st.Partitions) / st.Wall.Seconds()
+}
+
 // DetectRange classifies a set of partitions with a bounded worker pool
 // and returns the detections in input order. Workers share the store,
 // the references, and the per-dictionary ID matcher; partitions are
@@ -41,9 +101,23 @@ func Partitions(s *store.Store) []Partition {
 // experiment runner, Aggregator.Run, the dpsapi index build — funnels
 // through here, so the fan-out and its metrics live in one place.
 func DetectRange(ctx context.Context, s *store.Store, parts []Partition, refs *References, workers int) []*DayDetections {
+	out, _ := DetectRangeStats(ctx, s, parts, refs, workers)
+	return out
+}
+
+// workerClock is one worker's private stage accounting, folded into
+// RangeStats after the pool drains (no shared state on the hot path).
+type workerClock struct {
+	scan, merge, wait time.Duration
+	finished          time.Time // when this worker ran out of work
+}
+
+// DetectRangeStats is DetectRange returning the call's stage-timing
+// summary alongside the detections.
+func DetectRangeStats(ctx context.Context, s *store.Store, parts []Partition, refs *References, workers int) ([]*DayDetections, RangeStats) {
 	out := make([]*DayDetections, len(parts))
 	if len(parts) == 0 {
-		return out
+		return out, RangeStats{}
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -59,39 +133,74 @@ func DetectRange(ctx context.Context, s *store.Store, parts []Partition, refs *R
 	refs.ForDict(s.Dict())
 	mDetectWorkers.Add(float64(workers))
 	defer mDetectWorkers.Add(-float64(workers))
+	start := time.Now()
+	clocks := make([]workerClock, workers)
+	var rows atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(clk *workerClock) {
 			defer wg.Done()
 			for {
+				tWait := time.Now()
 				if ctx.Err() != nil {
-					return
+					break
 				}
 				i := int(next.Add(1)) - 1
 				if i >= len(parts) {
-					return
+					break
 				}
+				// Queue wait: the gap between being ready for work and
+				// holding a claim. Near zero with the atomic cursor; a
+				// regression here means work handoff became a bottleneck.
+				wait := time.Since(tWait)
+				clk.wait += wait
+				mStageQueueWait.Observe(wait.Seconds())
 				pt := parts[i]
 				_, sp := trace.StartSpan(ctx, "core.detect",
 					trace.Str("source", pt.Source), trace.Str("day", pt.Day.String()))
-				start := time.Now()
-				det := DetectDay(s, pt.Source, pt.Day, refs)
-				elapsed := time.Since(start).Seconds()
+				det, scan, merge := detectDayStaged(s, pt.Source, pt.Day, refs)
+				clk.scan += scan
+				clk.merge += merge
+				elapsed := scan + merge
+				rows.Add(int64(det.Rows))
 				mDetectPartitions.Inc()
 				mDetectRows.Add(int64(det.Rows))
-				mDetectSeconds.Observe(elapsed)
+				mDetectSeconds.Observe(elapsed.Seconds())
+				mStageScan.Observe(scan.Seconds())
+				mStageMerge.Observe(merge.Seconds())
 				if elapsed > 0 {
-					mDetectRowRate.Observe(float64(det.Rows) / elapsed)
+					mDetectRowRate.Observe(float64(det.Rows) / elapsed.Seconds())
 				}
 				sp.SetAttr(trace.Int("rows", int64(det.Rows)),
-					trace.Int("detected", int64(det.CountAny())))
+					trace.Int("detected", int64(det.CountAny())),
+					trace.Int("scan_us", scan.Microseconds()),
+					trace.Int("merge_us", merge.Microseconds()))
 				sp.End()
 				out[i] = det
 			}
-		}()
+			clk.finished = time.Now()
+		}(&clocks[w])
 	}
 	wg.Wait()
-	return out
+	end := time.Now()
+
+	st := RangeStats{Partitions: len(parts), Rows: rows.Load(), Workers: workers, Wall: end.Sub(start)}
+	for i := range clocks {
+		clk := &clocks[i]
+		st.Scan += clk.scan
+		st.Merge += clk.merge
+		st.QueueWait += clk.wait
+		// Barrier: this worker sat idle from its own exit until the
+		// slowest worker let wg.Wait return — the cost of demanding
+		// input-order results from a single call.
+		if !clk.finished.IsZero() {
+			barrier := end.Sub(clk.finished)
+			st.Barrier += barrier
+			mStageBarrier.Observe(barrier.Seconds())
+		}
+	}
+	mDetectUtilization.Set(st.Utilization())
+	return out, st
 }

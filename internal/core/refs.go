@@ -186,29 +186,72 @@ func (r *References) MatchNS(host string) (int, bool) {
 
 // IDMatcher resolves interned CNAME/NS values to providers by dictionary
 // ID: the first lookup of an ID pays one Dict.Str + SLD extraction, every
-// later one is a single integer map probe against a lock-free published
-// snapshot (negative results are cached too — almost every NS host in a
-// measurement resolves to no provider). Dictionary IDs are stable for the
-// life of a store, so entries never invalidate. Safe for concurrent use
-// by DetectRange workers.
+// later one is a single atomic array load (negative results are cached
+// too — almost every NS host in a measurement resolves to no provider).
+// Dictionary IDs are stable for the life of a store, so entries never
+// invalidate. Safe for concurrent use by DetectRange workers.
 type IDMatcher struct {
 	refs *References
 	dict *store.Dict
 
-	mu    sync.Mutex // serializes cache misses and republication
+	mu    sync.Mutex // serializes table growth only
 	cname idCache
 	ns    idCache
 }
 
-// idCache is a read-mostly ID→provider map: hits read the published
-// snapshot with a single atomic pointer load and no lock. Misses go
-// through IDMatcher.mu into the pending map, which is folded into a
-// fresh snapshot once it outgrows a fraction of the published one —
-// copy-on-write with geometric batching, so total copying stays linear
-// in the number of distinct IDs while the read path stays lock-free.
+// idCache is a dense ID→provider table exploiting the dictionary's
+// sequential ID space: slot id holds 0 (unresolved) or the provider
+// encoded as p+2, so the cached "no provider" answer (−1) becomes 1 and
+// stays distinguishable from an untouched slot. Hits and misses alike
+// are lock-free — a miss recomputes the answer and stores it with a
+// plain atomic write. The answer is a pure function of the ID, so a
+// racing store by another worker writes the same value; the mutex only
+// serializes growing the table when an ID beyond its length appears.
+// This replaced a copy-on-write map snapshot whose miss-path lock and
+// geometric republishing dominated the mutex profile under DetectRange
+// fan-out (see DESIGN.md §10).
 type idCache struct {
-	published atomic.Pointer[map[uint32]int16]
-	pending   map[uint32]int16 // guarded by IDMatcher.mu
+	table atomic.Pointer[[]atomic.Int32]
+}
+
+// get returns the cached provider for an ID, if resolved.
+func (c *idCache) get(id uint32) (int16, bool) {
+	t := c.table.Load()
+	if t == nil || int(id) >= len(*t) {
+		return 0, false
+	}
+	v := (*t)[id].Load()
+	if v == 0 {
+		return 0, false
+	}
+	return int16(v - 2), true
+}
+
+// set records an answer, growing the table under mu when the ID is out
+// of range. A store lost to a concurrent grow only costs a later
+// recompute of the same value.
+func (c *idCache) set(id uint32, p int16, mu *sync.Mutex, minLen int) {
+	t := c.table.Load()
+	if t == nil || int(id) >= len(*t) {
+		mu.Lock()
+		t = c.table.Load()
+		if t == nil || int(id) >= len(*t) {
+			n := max(minLen, int(id)+1)
+			if t != nil {
+				n = max(n, 2*len(*t))
+			}
+			next := make([]atomic.Int32, n)
+			if t != nil {
+				for i := range *t {
+					next[i].Store((*t)[i].Load())
+				}
+			}
+			c.table.Store(&next)
+			t = &next
+		}
+		mu.Unlock()
+	}
+	(*t)[id].Store(int32(p) + 2)
 }
 
 // noProvider is the cached negative lookup.
@@ -233,10 +276,8 @@ func (r *References) ForDict(dict *store.Dict) *IDMatcher {
 // MatchCNAMEID returns the provider owning an interned CNAME target's
 // SLD.
 func (m *IDMatcher) MatchCNAMEID(id uint32) (int, bool) {
-	if mp := m.cname.published.Load(); mp != nil {
-		if p, ok := (*mp)[id]; ok {
-			return int(p), p >= 0
-		}
+	if p, ok := m.cname.get(id); ok {
+		return int(p), p >= 0
 	}
 	p := m.miss(id, &m.cname, m.refs.byCNAME)
 	return int(p), p >= 0
@@ -244,54 +285,21 @@ func (m *IDMatcher) MatchCNAMEID(id uint32) (int, bool) {
 
 // MatchNSID returns the provider owning an interned NS host's SLD.
 func (m *IDMatcher) MatchNSID(id uint32) (int, bool) {
-	if mp := m.ns.published.Load(); mp != nil {
-		if p, ok := (*mp)[id]; ok {
-			return int(p), p >= 0
-		}
+	if p, ok := m.ns.get(id); ok {
+		return int(p), p >= 0
 	}
 	p := m.miss(id, &m.ns, m.refs.byNS)
 	return int(p), p >= 0
 }
 
-// miss resolves an ID absent from the published snapshot: check pending
-// under the lock, compute on a true miss, and republish when pending has
-// grown enough to be worth folding in.
+// miss resolves an unresolved ID — one Dict.Str + SLD extraction + index
+// probe — and caches the answer, sizing a fresh table to the dictionary
+// so steady state needs no further growth.
 func (m *IDMatcher) miss(id uint32, c *idCache, index map[string]int) int16 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	// The snapshot may have been republished while we waited.
-	if mp := c.published.Load(); mp != nil {
-		if p, ok := (*mp)[id]; ok {
-			return p
-		}
-	}
-	if p, ok := c.pending[id]; ok {
-		return p
-	}
 	p := noProvider
 	if i, hit := index[SLD(m.dict.Str(id))]; hit {
 		p = int16(i)
 	}
-	if c.pending == nil {
-		c.pending = make(map[uint32]int16)
-	}
-	c.pending[id] = p
-	published := 0
-	if mp := c.published.Load(); mp != nil {
-		published = len(*mp)
-	}
-	if len(c.pending) >= 64+published/4 {
-		next := make(map[uint32]int16, published+len(c.pending))
-		if mp := c.published.Load(); mp != nil {
-			for k, v := range *mp {
-				next[k] = v
-			}
-		}
-		for k, v := range c.pending {
-			next[k] = v
-		}
-		c.published.Store(&next)
-		c.pending = make(map[uint32]int16)
-	}
+	c.set(id, p, &m.mu, m.dict.Len())
 	return p
 }

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"time"
 
 	"dpsadopt/internal/analysis"
 	"dpsadopt/internal/chaos"
 	"dpsadopt/internal/core"
 	"dpsadopt/internal/measure"
+	"dpsadopt/internal/obs"
 	"dpsadopt/internal/pfx2as"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
@@ -130,11 +132,12 @@ type Runner struct {
 	Store *store.Store
 	Agg   *analysis.Aggregator
 
-	pipeline   *measure.Pipeline
-	stats      map[string]*SourceStats
-	window     simtime.Range
-	ran        bool
-	accounting []DayAccounting
+	pipeline    *measure.Pipeline
+	stats       map[string]*SourceStats
+	window      simtime.Range
+	ran         bool
+	accounting  []DayAccounting
+	detectStats core.RangeStats
 }
 
 // New builds a runner over a freshly generated world.
@@ -297,7 +300,9 @@ func (r *Runner) Run(ctx context.Context) error {
 		}
 		// One parallel detection pass over the day's source partitions;
 		// results fold in source order so aggregation stays deterministic.
-		for pi, det := range core.DetectRange(dctx, r.Store, parts, r.Refs, r.Cfg.DetectWorkers) {
+		dets, rst := core.DetectRangeStats(dctx, r.Store, parts, r.Refs, r.Cfg.DetectWorkers)
+		r.detectStats.Add(rst)
+		for pi, det := range dets {
 			if det == nil {
 				continue // cancelled mid-day; ctx.Err() surfaces next loop
 			}
@@ -346,8 +351,21 @@ func (r *Runner) Run(ctx context.Context) error {
 	for _, st := range r.stats {
 		st.UniqueSLDs = len(st.unique)
 	}
+	if ds := r.detectStats; ds.Partitions > 0 {
+		obs.Logger().Info("detection fan-out",
+			"partitions", ds.Partitions, "rows", ds.Rows, "workers", ds.Workers,
+			"partitions_per_sec", fmt.Sprintf("%.0f", ds.PartitionsPerSec()),
+			"utilization", fmt.Sprintf("%.2f", ds.Utilization()),
+			"scan", ds.Scan.Round(time.Millisecond).String(),
+			"merge", ds.Merge.Round(time.Millisecond).String(),
+			"barrier", ds.Barrier.Round(time.Millisecond).String())
+	}
 	return nil
 }
+
+// DetectStats returns the run's accumulated DetectRange stage timing —
+// the per-core efficiency ledger of the streaming detection passes.
+func (r *Runner) DetectStats() core.RangeStats { return r.detectStats }
 
 // MaterializeDay re-measures one day into a fresh store (the world is
 // deterministic, so any day can be reproduced after the streaming pass).

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Contention profiling control. The runtime's mutex and block profilers
+// are free when off and cheap when sampled; every obs-serving binary
+// exposes them behind the same pair of flags (-prof-mutex, -prof-block)
+// so a contended run can be diagnosed without a rebuild:
+//
+//	-prof-mutex 5    sample 1/5 of contended mutex events
+//	-prof-block 1000 sample blocking events lasting >= 1000ns
+//
+// /debug/contention summarises the top contended sites as JSON; the full
+// profiles remain available in pprof form at /debug/pprof/mutex and
+// /debug/pprof/block.
+
+// profiling state mirrored for the summary endpoint (the runtime offers
+// a getter only for the mutex fraction).
+var (
+	mutexFraction atomic.Int64
+	blockRate     atomic.Int64
+)
+
+// SetContentionProfiling enables (or, with zeros, disables) runtime
+// mutex and block profiling. mutexFrac is the reciprocal sampling rate
+// of contended mutex events (runtime.SetMutexProfileFraction); blockNS
+// samples blocking events lasting at least that many nanoseconds
+// (runtime.SetBlockProfileRate). Negative values leave the respective
+// profiler untouched.
+func SetContentionProfiling(mutexFrac, blockNS int) {
+	if mutexFrac >= 0 {
+		runtime.SetMutexProfileFraction(mutexFrac)
+		mutexFraction.Store(int64(mutexFrac))
+	}
+	if blockNS >= 0 {
+		runtime.SetBlockProfileRate(blockNS)
+		blockRate.Store(int64(blockNS))
+	}
+}
+
+// ContentionSite is one contended stack in the /debug/contention summary.
+type ContentionSite struct {
+	// Site is the deepest non-runtime frame — where the contended lock
+	// lives in application code.
+	Site string `json:"site"`
+	// Stack is the frames from Site outward (capped for readability).
+	Stack []string `json:"stack"`
+	// Count is how many sampled events hit this stack.
+	Count int64 `json:"count"`
+	// Cycles is the sampled wait time in CPU cycles (the runtime's
+	// native unit; comparable across sites within one process).
+	Cycles int64 `json:"cycles"`
+	// SharePct is Cycles as a percentage of the profile's total.
+	SharePct float64 `json:"share_pct"`
+}
+
+// ContentionSummary is the /debug/contention response body.
+type ContentionSummary struct {
+	MutexFraction int              `json:"mutex_fraction"` // 0 = off
+	BlockRateNS   int              `json:"block_rate_ns"`  // 0 = off
+	Mutex         []ContentionSite `json:"mutex"`
+	Block         []ContentionSite `json:"block"`
+}
+
+// ContentionHandler serves the /debug/contention summary: the top-N
+// (default 10, ?n=) mutex- and block-profile stacks by sampled wait
+// cycles. With profiling off the lists are empty and the rates report 0,
+// so the endpoint is always safe to scrape.
+func ContentionHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 10
+		if v, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && v > 0 {
+			n = v
+		}
+		sum := ContentionSummary{
+			MutexFraction: int(mutexFraction.Load()),
+			BlockRateNS:   int(blockRate.Load()),
+			Mutex:         topContention(runtime.MutexProfile, n),
+			Block:         topContention(runtime.BlockProfile, n),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(sum)
+	})
+}
+
+// topContention snapshots one of the runtime's contention profiles
+// (runtime.MutexProfile or runtime.BlockProfile) and returns the top n
+// stacks by cycles.
+func topContention(profile func([]runtime.BlockProfileRecord) (int, bool), n int) []ContentionSite {
+	recs := make([]runtime.BlockProfileRecord, 64)
+	for {
+		cnt, ok := profile(recs)
+		if ok {
+			recs = recs[:cnt]
+			break
+		}
+		recs = make([]runtime.BlockProfileRecord, cnt+cnt/2+8)
+	}
+	var total int64
+	for i := range recs {
+		total += recs[i].Cycles
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Cycles > recs[j].Cycles })
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	out := make([]ContentionSite, 0, len(recs))
+	for i := range recs {
+		site := ContentionSite{Count: recs[i].Count, Cycles: recs[i].Cycles}
+		if total > 0 {
+			site.SharePct = float64(recs[i].Cycles) / float64(total) * 100
+		}
+		site.Site, site.Stack = symbolize(recs[i].Stack())
+		out = append(out, site)
+	}
+	return out
+}
+
+// symbolize renders a profile stack: every frame as "func file:line"
+// (capped at 6), and the site as the deepest frame outside the runtime
+// and sync packages — the application code holding the lock.
+func symbolize(pcs []uintptr) (site string, stack []string) {
+	frames := runtime.CallersFrames(pcs)
+	for len(stack) < 6 {
+		f, more := frames.Next()
+		if f.Function == "" {
+			if !more {
+				break
+			}
+			continue
+		}
+		short := f.Function
+		if i := strings.LastIndexByte(short, '/'); i >= 0 {
+			short = short[i+1:]
+		}
+		line := short + " " + trimPath(f.File) + ":" + strconv.Itoa(f.Line)
+		stack = append(stack, line)
+		if site == "" && !strings.HasPrefix(short, "runtime.") && !strings.HasPrefix(short, "sync.") {
+			site = line
+		}
+		if !more {
+			break
+		}
+	}
+	if site == "" && len(stack) > 0 {
+		site = stack[0]
+	}
+	return site, stack
+}
+
+// trimPath keeps the last two path elements of a source file, enough to
+// identify it without the build machine's GOPATH noise.
+func trimPath(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i < 0 {
+		return p
+	}
+	j := strings.LastIndexByte(p[:i], '/')
+	if j < 0 {
+		return p
+	}
+	return p[j+1:]
+}

@@ -74,6 +74,29 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records n observations of value v in one wait-free update —
+// the bulk-transfer path the runtime collector uses to fold
+// runtime/metrics bucket deltas into a registry histogram without n
+// individual Observe calls.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
 // ObserveExemplar records one value and, when traceID is non-empty,
 // keeps it as the bucket's exemplar if it is the slowest observation the
 // bucket has seen — so every bucket points at the trace of its worst

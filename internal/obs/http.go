@@ -18,6 +18,9 @@ import (
 //	                  registry snapshot under "obs")
 //	/debug/pprof/     the full net/http/pprof suite (profile, heap,
 //	                  goroutine, trace, ...)
+//	/debug/contention JSON summary of the top mutex/block profile sites
+//	                  (empty until profiling is enabled with -prof-mutex
+//	                  / -prof-block, see SetContentionProfiling)
 //
 // Handlers registered with Handle (e.g. the tracer's /debug/traces) are
 // mounted as well.
@@ -34,6 +37,7 @@ func NewMux(reg *Registry) *http.ServeMux {
 		_ = reg.WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/contention", ContentionHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRuntimeCollectorRegisters asserts the collector's metric families
+// land in the registry under their documented names with live values.
+func TestRuntimeCollectorRegisters(t *testing.T) {
+	reg := NewRegistry()
+	c := StartRuntimeCollector(reg, time.Hour) // loop effectively idle; constructor polls once
+	defer c.Close()
+
+	names := map[string]bool{}
+	for _, n := range reg.Names() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"go_goroutines", "go_gomaxprocs", "go_heap_live_bytes",
+		"go_heap_goal_bytes", "go_heap_objects", "go_gc_cycles_total",
+		"go_gc_cpu_seconds_total", "go_cpu_seconds_total",
+		"go_mutex_wait_seconds_total", "go_gc_pause_seconds",
+		"go_sched_latency_seconds", "build_info",
+		"process_num_cpu", "process_uptime_seconds",
+		"process_start_time_seconds", "process_rss_bytes",
+	} {
+		if !names[want] {
+			t.Errorf("collector did not register %q", want)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if g := snap.Gauges["go_goroutines"]; g < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", g)
+	}
+	if g := snap.Gauges["go_gomaxprocs"]; g != float64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("go_gomaxprocs = %v, want %d", g, runtime.GOMAXPROCS(0))
+	}
+	if g := snap.Gauges["process_num_cpu"]; g != float64(runtime.NumCPU()) {
+		t.Errorf("process_num_cpu = %v, want %d", g, runtime.NumCPU())
+	}
+	key := `build_info{goversion="` + runtime.Version() + `"}`
+	if snap.Gauges[key] != 1 {
+		t.Errorf("%s = %v, want 1", key, snap.Gauges[key])
+	}
+}
+
+// TestRuntimeCollectorObservesGC forces GC cycles and checks the pause
+// histogram accumulates observations across polls (the bucket-delta
+// fold), not just the cumulative runtime totals.
+func TestRuntimeCollectorObservesGC(t *testing.T) {
+	reg := NewRegistry()
+	c := StartRuntimeCollector(reg, time.Hour)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	c.Poll()
+	m, ok := reg.Lookup("go_gc_pause_seconds")
+	if !ok {
+		t.Fatal("go_gc_pause_seconds not registered")
+	}
+	if h := m.(*Histogram); h.Count() == 0 {
+		t.Error("no GC pauses folded into go_gc_pause_seconds after runtime.GC")
+	}
+	if g := reg.Snapshot().Gauges["go_gc_cycles_total"]; g < 3 {
+		t.Errorf("go_gc_cycles_total = %v, want >= 3", g)
+	}
+}
+
+// TestRuntimeCollectorCloseStopsLoop proves Close terminates the poll
+// loop: after Close returns, the poll count stays frozen. Close is also
+// required to be idempotent.
+func TestRuntimeCollectorCloseStopsLoop(t *testing.T) {
+	reg := NewRegistry()
+	c := StartRuntimeCollector(reg, time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Polls() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Polls() < 3 {
+		t.Fatal("poll loop never ran")
+	}
+	c.Close()
+	n := c.Polls()
+	time.Sleep(20 * time.Millisecond)
+	if got := c.Polls(); got != n {
+		t.Errorf("polls advanced after Close: %d -> %d", n, got)
+	}
+	c.Close() // idempotent
+}
+
+// TestObserveN checks the bulk observation path agrees with repeated
+// Observe calls on count, sum, and bucket placement.
+func TestObserveN(t *testing.T) {
+	a := NewHistogram([]float64{1, 10})
+	b := NewHistogram([]float64{1, 10})
+	a.ObserveN(5, 3)
+	a.ObserveN(0.5, 2)
+	for i := 0; i < 3; i++ {
+		b.Observe(5)
+	}
+	for i := 0; i < 2; i++ {
+		b.Observe(0.5)
+	}
+	if a.Count() != b.Count() || a.Sum() != b.Sum() {
+		t.Errorf("ObserveN mismatch: count %d vs %d, sum %v vs %v", a.Count(), b.Count(), a.Sum(), b.Sum())
+	}
+	ac, bc := a.BucketCounts(), b.BucketCounts()
+	for i := range ac {
+		if ac[i] != bc[i] {
+			t.Errorf("bucket %d: %d vs %d", i, ac[i], bc[i])
+		}
+	}
+	a.ObserveN(99, 0) // no-op
+	if a.Count() != 5 {
+		t.Errorf("ObserveN(_, 0) changed count to %d", a.Count())
+	}
+}
+
+// TestContentionEndpoint enables mutex profiling, manufactures
+// contention, and checks /debug/contention reports it as valid JSON with
+// the configured rates.
+func TestContentionEndpoint(t *testing.T) {
+	SetContentionProfiling(1, -1)
+	defer SetContentionProfiling(0, -1)
+
+	// Hammer one mutex from several goroutines so the profiler has
+	// something to sample.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				mu.Lock()
+				for j := 0; j < 100; j++ {
+					_ = j
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	rec := httptest.NewRecorder()
+	ContentionHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/contention?n=5", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var sum ContentionSummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &sum); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if sum.MutexFraction != 1 {
+		t.Errorf("mutex_fraction = %d, want 1", sum.MutexFraction)
+	}
+	if len(sum.Mutex) > 5 {
+		t.Errorf("asked for n=5, got %d sites", len(sum.Mutex))
+	}
+	for _, s := range sum.Mutex {
+		if s.Site == "" || s.Count <= 0 {
+			t.Errorf("malformed site: %+v", s)
+		}
+	}
+	// The hammered mutex above should be visible at this sampling rate.
+	found := false
+	for _, s := range sum.Mutex {
+		for _, fr := range s.Stack {
+			if strings.Contains(fr, "TestContentionEndpoint") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Logf("contended test mutex not in top sites (scheduling-dependent); sites: %+v", sum.Mutex)
+	}
+}
+
+// TestContentionEndpointOff checks the endpoint is safe to scrape with
+// profiling disabled.
+func TestContentionEndpointOff(t *testing.T) {
+	SetContentionProfiling(0, 0)
+	rec := httptest.NewRecorder()
+	ContentionHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/contention", nil))
+	var sum ContentionSummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &sum); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if sum.MutexFraction != 0 || sum.BlockRateNS != 0 {
+		t.Errorf("rates not reported as off: %+v", sum)
+	}
+}
