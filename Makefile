@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench chaos api benchscale benchscale-smoke
+.PHONY: check vet build test test-race bench benchdiff chaos api benchscale benchscale-smoke
 
 check: vet build test-race
 
@@ -24,6 +24,12 @@ test-race:
 # (detect, obs, trace, chaos, api); CI uploads those as an artifact.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# Rerun the serving + detection benchmarks and diff their JSON against
+# the committed copies at HEAD, warning on >20% regressions (advisory;
+# BENCHDIFF_STRICT=1 to fail, BENCHDIFF_SKIP_REGEN=1 to diff only).
+benchdiff:
+	sh scripts/benchdiff.sh
 
 # Fault-injection suite under the race detector: the chaos package's
 # determinism proofs, server fault/drain tests, resolver hardening under

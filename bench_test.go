@@ -20,6 +20,7 @@ import (
 	"net/url"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -513,14 +514,17 @@ func apiBenchPaths(b *testing.B, idx *api.Index) []string {
 // BenchmarkAPIServe measures the serving layer's single-threaded request
 // cost under two key distributions (Zipf-skewed, as production query
 // logs are, and uniform as the adversarial cache-hostile case) with the
-// response cache on and off. Results are persisted to
-// results/BENCH_api.json with the cache's speedup per distribution.
+// response cache on and off, plus the query observatory's overhead on
+// the cached /v1/domain hot path (acceptance: <= 5%). Results are
+// persisted to results/BENCH_api.json with the cache's speedup per
+// distribution and the observatory's overhead percentage.
 func BenchmarkAPIServe(b *testing.B) {
 	idx := apiIndex(b)
 	paths := apiBenchPaths(b, idx)
 	secPerOp := map[string]float64{}
-	run := func(b *testing.B, key string, cacheEntries int, pick func(i int) string) {
-		srv := api.NewServer(idx, api.Config{CacheEntries: cacheEntries, MaxInflight: 64})
+	run := func(b *testing.B, key string, cfg api.Config, pick func(i int) string) {
+		cfg.MaxInflight = 64
+		srv := api.NewServer(idx, cfg)
 		h := srv.Handler()
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -541,10 +545,62 @@ func BenchmarkAPIServe(b *testing.B) {
 	uniformPick := func() func(i int) string {
 		return func(i int) string { return paths[i%len(paths)] }
 	}
-	b.Run("zipf/cache", func(b *testing.B) { run(b, "zipf_cache", 4096, zipfPick()) })
-	b.Run("zipf/nocache", func(b *testing.B) { run(b, "zipf_nocache", -1, zipfPick()) })
-	b.Run("uniform/cache", func(b *testing.B) { run(b, "uniform_cache", 4096, uniformPick()) })
-	b.Run("uniform/nocache", func(b *testing.B) { run(b, "uniform_nocache", -1, uniformPick()) })
+	b.Run("zipf/cache", func(b *testing.B) { run(b, "zipf_cache", api.Config{CacheEntries: 4096}, zipfPick()) })
+	b.Run("zipf/nocache", func(b *testing.B) { run(b, "zipf_nocache", api.Config{CacheEntries: -1}, zipfPick()) })
+	b.Run("uniform/cache", func(b *testing.B) { run(b, "uniform_cache", api.Config{CacheEntries: 4096}, uniformPick()) })
+	b.Run("uniform/nocache", func(b *testing.B) { run(b, "uniform_nocache", api.Config{CacheEntries: -1}, uniformPick()) })
+	// Observatory overhead on the hot path: cached Zipf-skewed /v1/domain
+	// traffic with the full recording pipeline (windowed histogram,
+	// slowlog floor check, heavy-hitter sketch) on vs off. The two
+	// servers are measured in alternating batches over the same request
+	// sequence so clock-speed drift during the run cancels out of the
+	// ratio — sequential sub-benchmarks proved noisier than the ~4%
+	// effect being measured.
+	var domains []string
+	for _, p := range paths {
+		if strings.HasPrefix(p, "/v1/domain/") {
+			domains = append(domains, p)
+		}
+	}
+	b.Run("domain/overhead", func(b *testing.B) {
+		srvObs := api.NewServer(idx, api.Config{CacheEntries: 4096, MaxInflight: 64})
+		srvOff := api.NewServer(idx, api.Config{CacheEntries: 4096, MaxInflight: 64, ObservatoryOff: true})
+		hObs, hOff := srvObs.Handler(), srvOff.Handler()
+		z := rand.NewZipf(rand.New(rand.NewSource(2)), 1.2, 1, uint64(len(domains)-1))
+		serve := func(h http.Handler, batch []string) time.Duration {
+			start := time.Now()
+			for _, p := range batch {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, p, nil))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("%s: status %d", p, rec.Code)
+				}
+			}
+			return time.Since(start)
+		}
+		const batchSize = 512
+		batch := make([]string, 0, batchSize)
+		var tObs, tOff time.Duration
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; done += batchSize {
+			n := batchSize
+			if left := b.N - done; left < n {
+				n = left
+			}
+			batch = batch[:0]
+			for i := 0; i < n; i++ {
+				batch = append(batch, domains[z.Uint64()])
+			}
+			tObs += serve(hObs, batch)
+			tOff += serve(hOff, batch)
+		}
+		b.StopTimer()
+		secPerOp["domain_obs"] = tObs.Seconds() / float64(b.N)
+		secPerOp["domain_noobs"] = tOff.Seconds() / float64(b.N)
+		overhead := (tObs.Seconds() - tOff.Seconds()) / tOff.Seconds() * 100
+		b.ReportMetric(overhead, "overhead_%")
+	})
 	writeAPIBench(b, secPerOp, len(paths))
 }
 
@@ -567,6 +623,12 @@ func writeAPIBench(b *testing.B, secPerOp map[string]float64, keys int) {
 		"cache_speedup_zipf_x":    secPerOp["zipf_nocache"] / secPerOp["zipf_cache"],
 		"cache_speedup_uniform_x": secPerOp["uniform_nocache"] / secPerOp["uniform_cache"],
 	}
+	if secPerOp["domain_noobs"] > 0 {
+		doc["qps_domain_observatory"] = qps("domain_obs")
+		doc["qps_domain_no_observatory"] = qps("domain_noobs")
+		doc["window_overhead_pct_domain"] = (secPerOp["domain_obs"] - secPerOp["domain_noobs"]) /
+			secPerOp["domain_noobs"] * 100
+	}
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -581,6 +643,9 @@ func writeAPIBench(b *testing.B, secPerOp map[string]float64, keys int) {
 	}
 	b.Logf("wrote results/BENCH_api.json (zipf: %.0f q/s cached, %.1fx speedup)",
 		qps("zipf_cache"), secPerOp["zipf_nocache"]/secPerOp["zipf_cache"])
+	if ov, ok := doc["window_overhead_pct_domain"].(float64); ok {
+		b.Logf("observatory overhead on cached /v1/domain: %.2f%%", ov)
+	}
 }
 
 // detectBench collects the numbers both detection benchmarks produce so

@@ -1,0 +1,223 @@
+// Command benchdiff compares two results/BENCH_*.json files and reports
+// per-metric deltas, flagging regressions beyond a threshold. It is the
+// comparison half of the perf-trajectory loop: the root benchmarks write
+// machine-readable numbers, benchdiff tells you whether a change moved
+// them.
+//
+// Both files are flattened to dotted numeric paths (nested objects and
+// arrays included, so the detect sweep's row-per-cell schema works), and
+// each shared path is classified by name: throughput-like metrics
+// (qps_*, *_per_sec, speedup, utilization, efficiency) regress when they
+// drop; cost-like metrics (ns/op, allocs, seconds, overhead, slowdown)
+// regress when they rise. Paths present in only one file are listed but
+// never flagged. The exit status is advisory (0) unless -strict is set,
+// so a noisy laptop run cannot fail CI; regressions print as WARN lines
+// either way.
+//
+// Usage:
+//
+//	benchdiff [-threshold 20] [-strict] [-all] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 20, "regression percentage that triggers a WARN")
+		strict    = flag.Bool("strict", false, "exit 1 when any metric regresses past -threshold")
+		all       = flag.Bool("all", false, "print every shared metric, not just changed ones")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-strict] [-all] OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldM, err := loadFlat(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newM, err := loadFlat(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	paths := make([]string, 0, len(oldM))
+	for p := range oldM {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	regressions := 0
+	for _, p := range paths {
+		ov := oldM[p]
+		nv, ok := newM[p]
+		if !ok {
+			fmt.Printf("GONE  %-44s old=%s\n", p, num(ov))
+			continue
+		}
+		delta := pctChange(ov, nv)
+		dir := direction(p)
+		regressed := false
+		switch dir {
+		case lowerBetter:
+			regressed = delta > *threshold
+		case higherBetter:
+			regressed = delta < -*threshold
+		}
+		switch {
+		case regressed:
+			regressions++
+			fmt.Printf("WARN  %-44s old=%-14s new=%-14s %+.1f%% (%s regressed > %.0f%%)\n",
+				p, num(ov), num(nv), delta, dirName(dir), *threshold)
+		case *all || math.Abs(delta) > 0.5:
+			tag := "  ok"
+			if dir == neutral {
+				tag = "info"
+			}
+			fmt.Printf("%s  %-44s old=%-14s new=%-14s %+.1f%%\n", tag, p, num(ov), num(nv), delta)
+		}
+	}
+	newOnly := make([]string, 0)
+	for p := range newM {
+		if _, ok := oldM[p]; !ok {
+			newOnly = append(newOnly, p)
+		}
+	}
+	sort.Strings(newOnly)
+	for _, p := range newOnly {
+		fmt.Printf("NEW   %-44s new=%s\n", p, num(newM[p]))
+	}
+
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d metric(s) regressed more than %.0f%%\n", regressions, *threshold)
+		if *strict {
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println("benchdiff: no regressions past threshold")
+	}
+}
+
+// loadFlat reads a JSON document and flattens every numeric leaf to a
+// dotted path ("rates.loss_1pct.queries", "sweep.2.rows_per_sec").
+func loadFlat(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", doc, out)
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			flatten(join(prefix, k), child, out)
+		}
+	case []any:
+		for i, child := range t {
+			flatten(join(prefix, fmt.Sprintf("%d", i)), child, out)
+		}
+	case float64:
+		out[prefix] = t
+	case bool:
+		if t {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
+func join(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+type metricDir int
+
+const (
+	neutral metricDir = iota
+	lowerBetter
+	higherBetter
+)
+
+// direction classifies a metric path by its name. Lower-is-better
+// substrings are checked first so "overhead_pct" and "sec_per_resolve"
+// are not misread as throughput; genuinely directionless metrics
+// (counts, iterations, configuration echoes) stay neutral and are never
+// flagged.
+func direction(path string) metricDir {
+	p := strings.ToLower(path)
+	if strings.HasSuffix(p, "_s") || strings.HasSuffix(p, "_ms") {
+		return lowerBetter // unit-suffixed latencies: query_p99_s, timeout_ms
+	}
+	for _, s := range []string{
+		"ns_op", "ns_per_op", "allocs", "overhead", "slowdown",
+		"seconds", "sec_per", "pause",
+	} {
+		if strings.Contains(p, s) {
+			return lowerBetter
+		}
+	}
+	for _, s := range []string{
+		"qps", "per_sec", "speedup", "utilization", "efficiency",
+	} {
+		if strings.Contains(p, s) {
+			return higherBetter
+		}
+	}
+	return neutral
+}
+
+func dirName(d metricDir) string {
+	switch d {
+	case lowerBetter:
+		return "cost"
+	case higherBetter:
+		return "throughput"
+	}
+	return "neutral"
+}
+
+func pctChange(before, after float64) float64 {
+	if before == 0 {
+		if after == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (after - before) / math.Abs(before) * 100
+}
+
+func num(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

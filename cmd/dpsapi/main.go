@@ -10,7 +10,10 @@
 // the go_*/process_* runtime gauges and build_info), expvar /debug/vars,
 // pprof profiles and the /debug/contention JSON summary; -prof-mutex and
 // -prof-block arm the runtime's contention profilers behind the latter
-// two. Admission control is layered: -qps
+// two. The query observatory adds /debug/slo (rolling-window SLO burn
+// scorecard), /debug/slowlog (N slowest requests per route), and
+// /debug/topk (heavy-hitter domains and providers); its final scorecard
+// is logged on drain. Admission control is layered: -qps
 // rate-limits with a token bucket (429 beyond it), -max-inflight bounds
 // concurrency (503 when the gate stays full past the deadline), and
 // -timeout caps every request. SIGINT/SIGTERM drain gracefully: the
@@ -103,6 +106,10 @@ func main() {
 		Timeout:      *timeout,
 		CacheEntries: *cacheSize,
 	})
+	// The query observatory re-evaluates its SLO scorecard periodically,
+	// keeping the slo_* gauges fresh and logging status transitions.
+	stopEval := srv.Observatory().StartEvaluator(10 * time.Second)
+	defer stopEval()
 	// One listener for everything: the API routes share the mux with
 	// /metrics, /debug/vars, /debug/pprof and /debug/contention so
 	// operators scrape the serving-path counters from the same port they
@@ -119,7 +126,7 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	log.Info("serving", "addr", ln.Addr().String(),
-		"routes", "/v1/domain/{name} /v1/provider/{name}/series /v1/day/{date} /v1/stats /metrics")
+		"routes", "/v1/domain/{name} /v1/provider/{name}/series /v1/day/{date} /v1/stats /metrics /debug/slo /debug/slowlog /debug/topk")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -139,8 +146,23 @@ func main() {
 			log.Warn("drain incomplete, closing", "err", err)
 			_ = httpSrv.Close()
 		}
+		logFinalScorecard(log, srv.Observatory())
 		log.Info("drained; bye")
 	}
+}
+
+// logFinalScorecard leaves a one-line SLO record when the process exits,
+// so even short-lived runs document how they served.
+func logFinalScorecard(log *slog.Logger, o *obs.Observatory) {
+	if o == nil {
+		return
+	}
+	sc := o.Publish()
+	ok, warn, breach := sc.CountStatus()
+	worst, burn := sc.Worst()
+	log.Info("final slo scorecard",
+		"objectives", len(sc.Objectives), "ok", ok, "warn", warn, "breach", breach,
+		"worst", worst, "worst_burn", fmt.Sprintf("%.2f", burn))
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -48,4 +49,21 @@ func (b *tokenBucket) allow() bool {
 		return true
 	}
 	return false
+}
+
+// retryAfterSeconds estimates how long until the bucket holds a full
+// token again, rounded up to whole seconds (RFC 9110 Retry-After wants
+// an integer) with a floor of 1 so clients never busy-loop.
+func (b *tokenBucket) retryAfterSeconds() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	need := 1 - b.tokens
+	if need <= 0 || b.rate <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(need / b.rate))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }

@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -58,6 +59,14 @@ type Config struct {
 	// Tracer, when enabled, opens a sampled root span per request and
 	// links latency histogram buckets to trace IDs via exemplars.
 	Tracer *trace.Tracer
+	// Observatory overrides the windowed query observatory (rolling
+	// latency/error windows, SLO scorecard, slow-query log, heavy-hitter
+	// sketches). Nil builds a default one with DefaultSLOs on the
+	// process registry; set ObservatoryOff to run without one.
+	Observatory *obs.Observatory
+	// ObservatoryOff disables the observatory entirely (benchmarks use
+	// this to measure the hot path's windowing overhead).
+	ObservatoryOff bool
 }
 
 // Server answers the /v1 routes from an immutable Index.
@@ -69,6 +78,11 @@ type Server struct {
 	bucket *tokenBucket // nil when unlimited
 	gate   chan struct{}
 	mux    *http.ServeMux
+	obsv   *obs.Observatory // nil when ObservatoryOff
+	// Heavy-hitter sketches, resolved once at construction so finish
+	// skips the per-request dimension lookup.
+	topkDomain   *obs.TopK
+	topkProvider *obs.TopK
 
 	// testHook, when set by tests, runs inside the concurrency gate
 	// before the handler — it simulates slow handlers for shed tests.
@@ -105,6 +119,14 @@ func NewServer(idx *Index, cfg Config) *Server {
 	if cfg.QPS > 0 {
 		s.bucket = newTokenBucket(cfg.QPS, cfg.Burst)
 	}
+	if !cfg.ObservatoryOff {
+		s.obsv = cfg.Observatory
+		if s.obsv == nil {
+			s.obsv = newDefaultObservatory()
+		}
+		s.topkDomain = s.obsv.Sketch("domain")
+		s.topkProvider = s.obsv.Sketch("provider")
+	}
 	s.mux = http.NewServeMux()
 	s.Register(s.mux)
 	return s
@@ -117,7 +139,16 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.Handle("GET /v1/provider/{name}/series", s.route("series", s.handleSeries))
 	mux.Handle("GET /v1/day/{date}", s.route("day", s.handleDay))
 	mux.Handle("GET /v1/stats", s.route("stats", s.handleStats))
+	if s.obsv != nil {
+		mux.Handle("GET /debug/slo", s.obsv.SLOHandler())
+		mux.Handle("GET /debug/slowlog", s.obsv.SlowLogHandler())
+		mux.Handle("GET /debug/topk", s.obsv.TopKHandler())
+	}
 }
+
+// Observatory returns the server's query observatory (nil when
+// disabled).
+func (s *Server) Observatory() *obs.Observatory { return s.obsv }
 
 // Handler returns the server's own mux (API routes only).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -129,7 +160,9 @@ func (s *Server) route(name string, fn func(r *http.Request) cached) http.Handle
 		start := time.Now()
 		if s.bucket != nil && !s.bucket.allow() {
 			mRateLimited.Inc()
-			s.finish(w, name, start, nil, errResponse(http.StatusTooManyRequests, "rate limit exceeded"))
+			w.Header().Set("Retry-After", strconv.Itoa(s.bucket.retryAfterSeconds()))
+			s.finish(w, r, name, start, nil, errResponse(http.StatusTooManyRequests, "rate limit exceeded"),
+				obs.RequestOutcome{Admission: obs.AdmissionRateLimited})
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
@@ -144,7 +177,8 @@ func (s *Server) route(name string, fn func(r *http.Request) cached) http.Handle
 			case s.gate <- struct{}{}:
 			case <-ctx.Done():
 				mShed.Inc()
-				s.finish(w, name, start, nil, errResponse(http.StatusServiceUnavailable, "server overloaded"))
+				s.finish(w, r, name, start, nil, errResponse(http.StatusServiceUnavailable, "server overloaded"),
+					obs.RequestOutcome{Admission: obs.AdmissionShed})
 				return
 			}
 		}
@@ -161,15 +195,17 @@ func (s *Server) route(name string, fn func(r *http.Request) cached) http.Handle
 		if s.testHook != nil {
 			s.testHook(name)
 		}
-		s.finish(w, name, start, sp, s.respond(name, r, fn))
+		val, hit, shared := s.respond(name, r, fn)
+		s.finish(w, r, name, start, sp, val, obs.RequestOutcome{CacheHit: hit, Coalesced: shared})
 	})
 }
 
-// respond resolves a request through cache and singleflight.
-func (s *Server) respond(route string, r *http.Request, fn func(r *http.Request) cached) cached {
+// respond resolves a request through cache and singleflight, reporting
+// how it was satisfied for the observatory.
+func (s *Server) respond(route string, r *http.Request, fn func(r *http.Request) cached) (val cached, hit, shared bool) {
 	key := route + " " + r.URL.RequestURI()
 	if s.cache == nil {
-		val, shared := s.flight.do(key, func() cached {
+		val, shared = s.flight.do(key, func() cached {
 			if s.flightHook != nil {
 				s.flightHook()
 			}
@@ -178,14 +214,14 @@ func (s *Server) respond(route string, r *http.Request, fn func(r *http.Request)
 		if shared {
 			mCoalesced.Inc()
 		}
-		return val
+		return val, false, shared
 	}
 	if val, ok := s.cache.get(key); ok {
 		mCacheHits.Inc()
-		return val
+		return val, true, false
 	}
 	mCacheMisses.Inc()
-	val, shared := s.flight.do(key, func() cached {
+	val, shared = s.flight.do(key, func() cached {
 		if s.flightHook != nil {
 			s.flightHook()
 		}
@@ -201,23 +237,46 @@ func (s *Server) respond(route string, r *http.Request, fn func(r *http.Request)
 	if shared {
 		mCoalesced.Inc()
 	}
-	return val
+	return val, false, shared
 }
 
-// finish writes the response and records metrics, the span status, and
-// the latency exemplar.
-func (s *Server) finish(w http.ResponseWriter, route string, start time.Time, sp *trace.Span, val cached) {
+// finish writes the response and records metrics, the span status, the
+// latency exemplar, and the observatory's windowed/slowlog/heavy-hitter
+// views.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, route string, start time.Time, sp *trace.Span, val cached, out obs.RequestOutcome) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(val.status)
 	_, _ = w.Write(val.body)
 	mRequests.With(fmt.Sprintf("%s:%d", route, val.status)).Inc()
-	sec := time.Since(start).Seconds()
+	elapsed := time.Since(start)
+	sec := elapsed.Seconds()
 	h := mLatency.With(route)
 	if sp != nil {
 		sp.SetAttr(trace.Int("status", int64(val.status)))
-		h.ObserveExemplar(sec, sp.TraceID().String())
+		out.TraceID = sp.TraceID().String()
+		h.ObserveExemplar(sec, out.TraceID)
 	} else {
 		h.Observe(sec)
+	}
+	if s.obsv != nil {
+		// Detail only matters if the slow log will retain this request;
+		// skip the URI build for the common fast one.
+		if s.obsv.WouldRetain(route, sec) {
+			out.Detail = r.URL.RequestURI()
+		}
+		s.obsv.RecordRequestAt(start.Add(elapsed), route, sec, val.status, out)
+		// Heavy-hitter dimensions: which domains and providers the query
+		// mix concentrates on, normalized the way the handlers match.
+		switch route {
+		case "domain":
+			if name := strings.ToLower(strings.TrimSuffix(r.PathValue("name"), ".")); name != "" && len(name) <= maxDomainName {
+				s.topkDomain.Offer(name)
+			}
+		case "series":
+			if name := strings.ToLower(r.PathValue("name")); name != "" {
+				s.topkProvider.Offer(name)
+			}
+		}
 	}
 }
 
@@ -281,10 +340,17 @@ func (s *Server) handleDay(r *http.Request) cached {
 type StatsResponse struct {
 	Stats
 	Process obs.ProcessInfo `json:"process"`
+	// Observatory digests the rolling windows, SLO statuses, and
+	// heavy-hitter heads; omitted when the observatory is disabled.
+	Observatory *obs.ObservatorySummary `json:"observatory,omitempty"`
 }
 
 func (s *Server) handleStats(r *http.Request) cached {
-	val := jsonResponse(http.StatusOK, StatsResponse{Stats: s.idx.Stats(), Process: obs.ReadProcessInfo()})
+	val := jsonResponse(http.StatusOK, StatsResponse{
+		Stats:       s.idx.Stats(),
+		Process:     obs.ReadProcessInfo(),
+		Observatory: s.obsv.Summary(),
+	})
 	val.volatile = true
 	return val
 }

@@ -1,0 +1,263 @@
+package api
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpsadopt/internal/obs"
+)
+
+// stepClock is a hand-advanced time source for deterministic window
+// tests.
+type stepClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newStepClock() *stepClock { return &stepClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *stepClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// observedServer builds a fixture server whose observatory runs on an
+// injected clock and a private registry, isolated from other tests.
+func observedServer(t *testing.T, clk *stepClock, cfg Config) *Server {
+	t.Helper()
+	cfg.Observatory = obs.NewObservatory(obs.ObservatoryConfig{
+		Clock: clk.Now,
+		SLOs:  DefaultSLOs(),
+	})
+	return fixtureServer(t, cfg)
+}
+
+func TestRetryAfterOn429(t *testing.T) {
+	srv := fixtureServer(t, Config{QPS: 0.5, Burst: 1})
+	h := srv.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/domain/alpha.com", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first request: %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/domain/alpha.com", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", rec.Code)
+	}
+	ra := rec.Header().Get("Retry-After")
+	if ra == "" {
+		t.Fatalf("429 without Retry-After header")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer >= 1", ra)
+	}
+	// One token at 0.5/s is two seconds out; allow one second of slack
+	// for refill between the two requests.
+	if secs > 2 {
+		t.Fatalf("Retry-After = %d, want <= 2 at rate 0.5", secs)
+	}
+}
+
+func TestObservatoryRecordsRequests(t *testing.T) {
+	clk := newStepClock()
+	srv := observedServer(t, clk, Config{})
+	h := srv.Handler()
+
+	get(t, h, "/v1/domain/alpha.com")
+	get(t, h, "/v1/domain/alpha.com") // cache hit
+	get(t, h, "/v1/domain/gamma.com")
+	get(t, h, "/v1/provider/Akamai/series")
+	get(t, h, "/v1/domain/"+strings.Repeat("a", 300)) // 400, no heavy-hitter key
+
+	o := srv.Observatory()
+	snap := o.Route("domain").Latency.MergedAt(clk.Now(), obs.FastWindow)
+	if snap.Count != 4 {
+		t.Fatalf("domain window count = %d, want 4", snap.Count)
+	}
+
+	top := o.TopKDim("domain").Top(0)
+	if len(top) != 2 || top[0].Key != "alpha.com" || top[0].Count != 2 {
+		t.Fatalf("domain heavy hitters = %+v", top)
+	}
+	ptop := o.TopKDim("provider").Top(0)
+	if len(ptop) != 1 || ptop[0].Key != "akamai" {
+		t.Fatalf("provider heavy hitters = %+v", ptop)
+	}
+
+	entries := o.SlowLog().Entries("domain")
+	if len(entries) != 4 {
+		t.Fatalf("slowlog entries = %d, want 4", len(entries))
+	}
+	sawHit := false
+	for _, e := range entries {
+		if e.Admission != obs.AdmissionOK {
+			t.Fatalf("admission = %q", e.Admission)
+		}
+		if e.CacheHit {
+			sawHit = true
+		}
+	}
+	if !sawHit {
+		t.Fatalf("no cache-hit entry in slowlog: %+v", entries)
+	}
+}
+
+func TestObservatoryWindowedP99Deterministic(t *testing.T) {
+	clk := newStepClock()
+	o := obs.NewObservatory(obs.ObservatoryConfig{Clock: clk.Now, SLOs: DefaultSLOs()})
+	// Drive the observatory directly with synthetic latencies: the p99
+	// over the fast window must be exactly the interpolated bucket
+	// value, and advancing the clock must age it out.
+	for i := 0; i < 99; i++ {
+		o.RecordRequest("domain", 0.0008, 200, obs.RequestOutcome{})
+	}
+	o.RecordRequest("domain", 0.05, 200, obs.RequestOutcome{})
+
+	snap := o.Route("domain").Latency.MergedAt(clk.Now(), obs.FastWindow)
+	if got := snap.Quantile(0.99); got != 0.001 {
+		t.Fatalf("windowed p99 = %v, want exactly 0.001", got)
+	}
+	sc := o.Scorecard()
+	for _, obj := range sc.Objectives {
+		if obj.Route == "domain" && obj.Kind == obs.KindLatency {
+			if obj.Fast.Total != 100 || obj.Fast.Bad != 1 {
+				t.Fatalf("latency objective fast = %+v", obj.Fast)
+			}
+		}
+	}
+
+	clk.Advance(6 * time.Minute)
+	if got := o.Route("domain").Latency.MergedAt(clk.Now(), obs.FastWindow).Count; got != 0 {
+		t.Fatalf("fast window after aging = %d, want 0", got)
+	}
+}
+
+func TestDebugSLOEndpoint(t *testing.T) {
+	clk := newStepClock()
+	srv := observedServer(t, clk, Config{})
+	h := srv.Handler()
+	get(t, h, "/v1/domain/alpha.com")
+
+	code, body := get(t, h, "/debug/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slo: %d", code)
+	}
+	sc := decodeAs[obs.Scorecard](t, body)
+	if len(sc.Objectives) != len(DefaultSLOs()) {
+		t.Fatalf("objectives = %d, want %d", len(sc.Objectives), len(DefaultSLOs()))
+	}
+	for _, obj := range sc.Objectives {
+		if obj.Status != "ok" {
+			t.Fatalf("%s status = %q on healthy traffic", obj.Name, obj.Status)
+		}
+	}
+}
+
+func TestDebugSlowLogEndpoint(t *testing.T) {
+	clk := newStepClock()
+	srv := observedServer(t, clk, Config{})
+	h := srv.Handler()
+	get(t, h, "/v1/domain/alpha.com")
+	get(t, h, "/v1/day/2016-02-01") // 404 still logged
+
+	code, body := get(t, h, "/debug/slowlog")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slowlog: %d", code)
+	}
+	resp := decodeAs[struct {
+		PerRouteCapacity int                        `json:"per_route_capacity"`
+		Routes           map[string][]obs.SlowQuery `json:"routes"`
+	}](t, body)
+	if resp.PerRouteCapacity != obs.DefaultSlowLogSize {
+		t.Fatalf("capacity = %d", resp.PerRouteCapacity)
+	}
+	if len(resp.Routes["domain"]) != 1 || resp.Routes["domain"][0].Detail != "/v1/domain/alpha.com" {
+		t.Fatalf("domain slowlog = %+v", resp.Routes["domain"])
+	}
+	if len(resp.Routes["day"]) != 1 || resp.Routes["day"][0].Status != http.StatusNotFound {
+		t.Fatalf("day slowlog = %+v", resp.Routes["day"])
+	}
+}
+
+func TestDebugTopKEndpoint(t *testing.T) {
+	clk := newStepClock()
+	srv := observedServer(t, clk, Config{})
+	h := srv.Handler()
+	get(t, h, "/v1/domain/alpha.com")
+	get(t, h, "/v1/domain/alpha.com")
+	get(t, h, "/v1/domain/beta.com")
+	get(t, h, "/v1/provider/Akamai/series")
+
+	code, body := get(t, h, "/debug/topk")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/topk: %d", code)
+	}
+	resp := decodeAs[map[string]struct {
+		K          int             `json:"k"`
+		Total      uint64          `json:"total"`
+		ErrorBound uint64          `json:"error_bound"`
+		Top        []obs.TopKEntry `json:"top"`
+	}](t, body)
+	dom := resp["domain"]
+	if dom.Total != 3 || len(dom.Top) != 2 || dom.Top[0].Key != "alpha.com" || dom.Top[0].Count != 2 {
+		t.Fatalf("domain topk = %+v", dom)
+	}
+	if resp["provider"].Top[0].Key != "akamai" {
+		t.Fatalf("provider topk = %+v", resp["provider"])
+	}
+}
+
+func TestStatsEmbedsObservatory(t *testing.T) {
+	clk := newStepClock()
+	srv := observedServer(t, clk, Config{})
+	h := srv.Handler()
+	get(t, h, "/v1/domain/alpha.com")
+
+	_, body := get(t, h, "/v1/stats")
+	resp := decodeAs[StatsResponse](t, body)
+	if resp.Observatory == nil {
+		t.Fatalf("stats missing observatory digest")
+	}
+	if resp.Observatory.Routes["domain"].Requests5m != 1 {
+		t.Fatalf("observatory route digest = %+v", resp.Observatory.Routes)
+	}
+	if len(resp.Observatory.SLOStatus) != len(DefaultSLOs()) {
+		t.Fatalf("slo statuses = %+v", resp.Observatory.SLOStatus)
+	}
+}
+
+func TestObservatoryOff(t *testing.T) {
+	srv := fixtureServer(t, Config{ObservatoryOff: true})
+	h := srv.Handler()
+	if srv.Observatory() != nil {
+		t.Fatalf("observatory present despite ObservatoryOff")
+	}
+	code, _ := get(t, h, "/v1/domain/alpha.com")
+	if code != http.StatusOK {
+		t.Fatalf("serving broken without observatory: %d", code)
+	}
+	if code, _ := get(t, h, "/debug/slo"); code != http.StatusNotFound {
+		t.Fatalf("/debug/slo mounted despite ObservatoryOff: %d", code)
+	}
+	_, body := get(t, h, "/v1/stats")
+	resp := decodeAs[StatsResponse](t, body)
+	if resp.Observatory != nil {
+		t.Fatalf("stats carries observatory despite ObservatoryOff")
+	}
+}

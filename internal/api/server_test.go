@@ -355,8 +355,9 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		"/v1/day/" + simtime.Day(1).String(),
 		"/v1/stats",
 	}
-	// /v1/stats embeds live process state (uptime, RSS) and is volatile
-	// by design; strip it so the comparison covers the dataset facts.
+	// /v1/stats embeds live process state (uptime, RSS) and the rolling
+	// observatory digest, both volatile by design; strip them so the
+	// comparison covers the dataset facts.
 	stable := func(p, body string) string {
 		if p != "/v1/stats" {
 			return body
@@ -367,6 +368,7 @@ func TestConcurrentMixedKeys(t *testing.T) {
 			return body
 		}
 		delete(m, "process")
+		delete(m, "observatory")
 		out, _ := json.Marshal(m)
 		return string(out)
 	}

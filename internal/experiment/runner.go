@@ -269,6 +269,7 @@ func (r *Runner) Run(ctx context.Context) error {
 			return err
 		}
 		day := r.window.Start + simtime.Day(i)
+		dayStart := time.Now()
 		dctx, sp := trace.Default().StartRoot(ctx, "experiment.day",
 			trace.Str("day", day.String()),
 			trace.Int("index", int64(i+1)), trace.Int("total", int64(total)))
@@ -333,6 +334,7 @@ func (r *Runner) Run(ctx context.Context) error {
 		sp.SetAttr(trace.Int("rows", dayRows), trace.Int("detected", int64(detected)))
 		sp.End()
 		mDaysCompleted.Set(float64(i + 1))
+		mDayWindow.Observe(time.Since(dayStart).Seconds())
 		mRowsSeen.Add(dayRows)
 		mDetected.Set(float64(detected))
 		mQueriesLost.Add(net.Lost)

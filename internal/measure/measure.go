@@ -369,6 +369,7 @@ func (p *Pipeline) runSource(ctx context.Context, day simtime.Day, source string
 				if ctx.Err() != nil {
 					break // cancelled: commit what this worker has
 				}
+				resolveStart := time.Now()
 				if p.Cfg.Mode == ModeDirect {
 					n += p.measureDirect(writer, t.dom, day, table)
 				} else {
@@ -376,6 +377,7 @@ func (p *Pipeline) runSource(ctx context.Context, day simtime.Day, source string
 					// the active span into the resolver.
 					n += p.measureWire(trace.ForDomain(ctx, t.dom.Name), writer, resolver, t.dom, table)
 				}
+				mResolveWindow.Observe(time.Since(resolveStart).Seconds())
 			}
 			commitStart := time.Now()
 			_, sp3 := trace.StartSpan(ctx, "measure.stage3",

@@ -22,6 +22,14 @@ var (
 		"measurement days completed")
 	mDomainsPerSec = obs.Default().Gauge("measure_domains_per_second",
 		"throughput of the most recently completed day")
+	// Rolling per-domain resolve latency: unlike measure_stage_seconds
+	// (cumulative, per-day stages), this ages out, so a long run's
+	// /metrics shows the *current* resolve tail rather than the
+	// whole-run average. Default windows (5m/1h) and query-latency
+	// bounds: a single domain resolves in microseconds (direct) to
+	// seconds (wire with retries).
+	mResolveWindow = obs.Default().WindowHistogram("measure_resolve_window_seconds",
+		"rolling per-domain resolve latency over 5m and 1h windows", nil, 0, 0)
 )
 
 const (

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // WritePrometheus renders every registered metric in the Prometheus text
@@ -44,10 +45,41 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			for _, val := range m.sortedValues() {
 				writeHistogram(&b, e.name, fmt.Sprintf("%s=%q,", m.label, escapeLabel(val)), m.With(val))
 			}
+		case *WindowedCounter:
+			for _, wd := range exposeWindows(m.Span()) {
+				fmt.Fprintf(&b, "%s{window=%q} %d\n", e.name, wd.label, m.Total(wd.d))
+			}
+		case *WindowedHistogram:
+			for _, wd := range exposeWindows(m.Span()) {
+				s := m.Merged(wd.d)
+				writeHistogramSeries(&b, e.name, fmt.Sprintf("window=%q,", wd.label), s.Bounds, s.Counts, s.Count, s.Sum, nil)
+			}
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// exposeWindow pairs a window label with its duration for exposition.
+type exposeWindow struct {
+	label string
+	d     time.Duration
+}
+
+// exposeWindows lists the standard windows a ring of the given span can
+// answer; rings narrower than FastWindow expose their full span.
+func exposeWindows(span time.Duration) []exposeWindow {
+	out := make([]exposeWindow, 0, 2)
+	if FastWindow <= span {
+		out = append(out, exposeWindow{"5m", FastWindow})
+	}
+	if SlowWindow <= span {
+		out = append(out, exposeWindow{"1h", SlowWindow})
+	}
+	if len(out) == 0 {
+		out = append(out, exposeWindow{span.String(), span})
+	}
+	return out
 }
 
 // writeHistogram emits the _bucket/_sum/_count series for one histogram;
@@ -56,23 +88,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // (`# {trace_id="..."} value`), linking the bucket to the trace of its
 // slowest observation.
 func writeHistogram(b *strings.Builder, name, labelPrefix string, h *Histogram) {
-	counts := h.BucketCounts()
-	exemplars := h.Exemplars()
-	bounds := h.bounds
+	writeHistogramSeries(b, name, labelPrefix, h.bounds, h.BucketCounts(), h.Count(), h.Sum(), h.Exemplars())
+}
+
+// writeHistogramSeries renders the series from raw bucket data, so both
+// cumulative histograms and merged window snapshots share one emitter;
+// exemplars may be nil.
+func writeHistogramSeries(b *strings.Builder, name, labelPrefix string, bounds []float64, counts []uint64, count uint64, sum float64, exemplars []*Exemplar) {
+	ex := func(i int) string {
+		if exemplars == nil {
+			return ""
+		}
+		return exemplarSuffix(exemplars[i])
+	}
 	var cum uint64
 	for i, bound := range bounds {
 		cum += counts[i]
-		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d%s\n", name, labelPrefix, formatFloat(bound), cum, exemplarSuffix(exemplars[i]))
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d%s\n", name, labelPrefix, formatFloat(bound), cum, ex(i))
 	}
 	cum += counts[len(bounds)]
-	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d%s\n", name, labelPrefix, cum, exemplarSuffix(exemplars[len(bounds)]))
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d%s\n", name, labelPrefix, cum, ex(len(bounds)))
 	if labelPrefix == "" {
-		fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(h.Sum()))
-		fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+		fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(sum))
+		fmt.Fprintf(b, "%s_count %d\n", name, count)
 	} else {
 		lp := strings.TrimSuffix(labelPrefix, ",")
-		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, lp, formatFloat(h.Sum()))
-		fmt.Fprintf(b, "%s_count{%s} %d\n", name, lp, h.Count())
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, lp, formatFloat(sum))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, lp, count)
 	}
 }
 
@@ -158,6 +200,21 @@ func (r *Registry) Snapshot() Snapshot {
 		case *HistogramVec:
 			for _, val := range m.sortedValues() {
 				snap.Histograms[childKey(e.name, m.label, val)] = histSnap(m.With(val))
+			}
+		case *WindowedCounter:
+			for _, wd := range exposeWindows(m.Span()) {
+				snap.Gauges[childKey(e.name, "window", wd.label)] = float64(m.Total(wd.d))
+			}
+		case *WindowedHistogram:
+			for _, wd := range exposeWindows(m.Span()) {
+				s := m.Merged(wd.d)
+				snap.Histograms[childKey(e.name, "window", wd.label)] = HistogramSnapshot{
+					Count: s.Count,
+					Sum:   s.Sum,
+					P50:   s.Quantile(0.50),
+					P90:   s.Quantile(0.90),
+					P99:   s.Quantile(0.99),
+				}
 			}
 		}
 	}

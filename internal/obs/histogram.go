@@ -59,11 +59,7 @@ func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i].Add(1)
+	h.counts[bucketIndex(h.bounds, v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -82,11 +78,7 @@ func (h *Histogram) ObserveN(v float64, n uint64) {
 	if n == 0 {
 		return
 	}
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i].Add(n)
+	h.counts[bucketIndex(h.bounds, v)].Add(n)
 	h.count.Add(n)
 	for {
 		old := h.sumBits.Load()
@@ -106,10 +98,7 @@ func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if traceID == "" {
 		return
 	}
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
+	i := bucketIndex(h.bounds, v)
 	nw := &Exemplar{Value: v, TraceID: traceID}
 	for {
 		old := h.exemplars[i].Load()
@@ -157,44 +146,5 @@ func (h *Histogram) BucketCounts() []uint64 {
 // estimate for ranks landing in the overflow bucket is the largest finite
 // bound (the histogram cannot resolve beyond it).
 func (h *Histogram) Quantile(q float64) float64 {
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	counts := h.BucketCounts()
-	var total uint64
-	for _, c := range counts {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := q * float64(total)
-	var cum uint64
-	for i, c := range counts {
-		prev := float64(cum)
-		cum += c
-		if float64(cum) < rank || c == 0 {
-			continue
-		}
-		if i == len(h.bounds) {
-			// Overflow bucket: saturate at the largest finite bound.
-			return h.bounds[len(h.bounds)-1]
-		}
-		lo := 0.0
-		if i > 0 {
-			lo = h.bounds[i-1]
-		}
-		hi := h.bounds[i]
-		frac := (rank - prev) / float64(c)
-		if frac < 0 {
-			frac = 0
-		} else if frac > 1 {
-			frac = 1
-		}
-		return lo + (hi-lo)*frac
-	}
-	return h.bounds[len(h.bounds)-1]
+	return quantileFromCounts(h.bounds, h.BucketCounts(), q)
 }

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric. The zero value is ready
@@ -87,15 +88,19 @@ const (
 	kindCounterVec
 	kindGaugeVec
 	kindHistogramVec
+	kindWindowCounter
+	kindWindowHistogram
 )
 
 func (k metricKind) String() string {
 	switch k {
 	case kindCounter, kindCounterVec:
 		return "counter"
-	case kindGauge, kindGaugeVec:
+	case kindGauge, kindGaugeVec, kindWindowCounter:
+		// Windowed counters age out old buckets, so the exposed
+		// per-window totals can go down: a gauge, not a counter.
 		return "gauge"
-	case kindHistogram, kindHistogramVec:
+	case kindHistogram, kindHistogramVec, kindWindowHistogram:
 		return "histogram"
 	}
 	return "untyped"
@@ -195,8 +200,40 @@ func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *His
 	}).(*HistogramVec)
 }
 
+// WindowCounter registers (or fetches) a rolling windowed counter; its
+// trailing-window totals are exposed as gauges with a window label. Zero
+// step/span use DefaultWindowStep / SlowWindow.
+func (r *Registry) WindowCounter(name, help string, step, span time.Duration) *WindowedCounter {
+	return r.register(name, help, kindWindowCounter, func() any {
+		return NewWindowedCounter(step, span, nil)
+	}).(*WindowedCounter)
+}
+
+// WindowHistogram registers (or fetches) a rolling windowed histogram;
+// the trailing fast/slow windows are exposed as histogram series with a
+// window label. Nil bounds use DefBuckets.
+func (r *Registry) WindowHistogram(name, help string, bounds []float64, step, span time.Duration) *WindowedHistogram {
+	return r.register(name, help, kindWindowHistogram, func() any {
+		return NewWindowedHistogram(bounds, step, span, nil)
+	}).(*WindowedHistogram)
+}
+
+// RegisterWindowCounter adopts an already-constructed windowed counter
+// (e.g. one built with an injected clock) under name. If the name is
+// already registered the existing counter wins and is returned, so
+// concurrent components share one series.
+func (r *Registry) RegisterWindowCounter(name, help string, w *WindowedCounter) *WindowedCounter {
+	return r.register(name, help, kindWindowCounter, func() any { return w }).(*WindowedCounter)
+}
+
+// RegisterWindowHistogram adopts an already-constructed windowed
+// histogram under name; an existing registration wins and is returned.
+func (r *Registry) RegisterWindowHistogram(name, help string, w *WindowedHistogram) *WindowedHistogram {
+	return r.register(name, help, kindWindowHistogram, func() any { return w }).(*WindowedHistogram)
+}
+
 // Lookup returns the registered metric (a *Counter, *Gauge, *Histogram,
-// or vec) by name.
+// a windowed type, or vec) by name.
 func (r *Registry) Lookup(name string) (any, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultTopK is the default number of keys a TopK sketch tracks.
+const DefaultTopK = 64
+
+// TopK is a SpaceSaving heavy-hitter sketch (Metwally, Agrawal, El
+// Abbadi 2005): it tracks at most k keys in O(k) memory over an
+// unbounded key stream. When a new key arrives with the sketch full, it
+// takes over the minimum-count entry, inheriting its count plus one and
+// recording that count as the entry's maximum overcount.
+//
+// Guarantees (with N total offers): every reported count is an upper
+// bound on the true count; the overcount of any entry is at most its
+// recorded MaxOvercount, itself at most N/k; and any key whose true
+// count exceeds N/k is guaranteed to be tracked. For the Zipf-like
+// query mixes the API serves, the head of the distribution is therefore
+// exact or near-exact while the memory stays constant.
+//
+// Entries live in flat parallel slices with a key->slot index; a
+// takeover rewrites a slot in place, so the steady-state tail (untracked
+// key evicts the minimum) allocates nothing and scans a contiguous
+// count array rather than chasing pointers. This sits on the serving
+// hot path, so those constants matter.
+type TopK struct {
+	mu     sync.Mutex
+	k      int
+	total  uint64
+	idx    map[string]int
+	keys   []string
+	counts []uint64
+	overs  []uint64
+}
+
+// TopKEntry is one reported heavy hitter.
+type TopKEntry struct {
+	Key string `json:"key"`
+	// Count is the estimated count — an upper bound on the true count.
+	Count uint64 `json:"count"`
+	// MaxOvercount bounds Count's overestimate: true count >= Count -
+	// MaxOvercount.
+	MaxOvercount uint64 `json:"max_overcount"`
+}
+
+// NewTopK creates a sketch tracking at most k keys (<=0 uses
+// DefaultTopK).
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	return &TopK{
+		k:      k,
+		idx:    make(map[string]int, k),
+		keys:   make([]string, 0, k),
+		counts: make([]uint64, 0, k),
+		overs:  make([]uint64, 0, k),
+	}
+}
+
+// K returns the sketch capacity.
+func (t *TopK) K() int { return t.k }
+
+// Offer counts one occurrence of key.
+func (t *TopK) Offer(key string) { t.OfferN(key, 1) }
+
+// OfferN counts n occurrences of key.
+func (t *TopK) OfferN(key string, n uint64) {
+	if n == 0 || key == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total += n
+	if i, ok := t.idx[key]; ok {
+		t.counts[i] += n
+		return
+	}
+	if len(t.keys) < t.k {
+		t.idx[key] = len(t.keys)
+		t.keys = append(t.keys, key)
+		t.counts = append(t.counts, n)
+		t.overs = append(t.overs, 0)
+		return
+	}
+	// SpaceSaving takeover: the new key replaces the minimum-count
+	// entry, inheriting its count as the worst-case overestimate.
+	// Ties break toward the lexicographically smallest key so the
+	// sketch is deterministic under identical streams.
+	min := 0
+	for i := 1; i < len(t.counts); i++ {
+		if t.counts[i] < t.counts[min] ||
+			(t.counts[i] == t.counts[min] && t.keys[i] < t.keys[min]) {
+			min = i
+		}
+	}
+	delete(t.idx, t.keys[min])
+	t.idx[key] = min
+	t.keys[min] = key
+	t.overs[min] = t.counts[min]
+	t.counts[min] += n
+}
+
+// Total returns the number of offers seen (exact).
+func (t *TopK) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// ErrorBound returns the sketch-wide overcount bound N/k: no reported
+// count exceeds its true count by more than this.
+func (t *TopK) ErrorBound() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total / uint64(t.k)
+}
+
+// Top returns the n highest-count entries, count descending with key
+// ascending as the deterministic tie-break.
+func (t *TopK) Top(n int) []TopKEntry {
+	t.mu.Lock()
+	out := make([]TopKEntry, 0, len(t.keys))
+	for i, key := range t.keys {
+		out = append(out, TopKEntry{Key: key, Count: t.counts[i], MaxOvercount: t.overs[i]})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

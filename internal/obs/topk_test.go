@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestTopKSkewedWorkload checks the SpaceSaving guarantees against exact
+// counts on a synthetic Zipf-like workload: estimates are upper bounds,
+// the per-entry overcount bound holds and never exceeds total/k, and
+// every key with true count above total/k is tracked.
+func TestTopKSkewedWorkload(t *testing.T) {
+	const k = 16
+	sketch := NewTopK(k)
+	exact := make(map[string]uint64)
+
+	// 1/rank frequency over 200 keys, offered in seeded-shuffled order
+	// so heavy hitters interleave with the long tail.
+	var stream []string
+	for rank := 1; rank <= 200; rank++ {
+		key := fmt.Sprintf("key%03d", rank)
+		for i := 0; i < 2000/rank; i++ {
+			stream = append(stream, key)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	for _, key := range stream {
+		sketch.Offer(key)
+		exact[key]++
+	}
+
+	total := sketch.Total()
+	if total != uint64(len(stream)) {
+		t.Fatalf("total = %d, want %d", total, len(stream))
+	}
+	bound := sketch.ErrorBound()
+	if bound != total/uint64(k) {
+		t.Fatalf("error bound = %d, want %d", bound, total/uint64(k))
+	}
+
+	entries := sketch.Top(0)
+	if len(entries) != k {
+		t.Fatalf("tracked %d keys, want %d", len(entries), k)
+	}
+	tracked := make(map[string]TopKEntry, len(entries))
+	for _, e := range entries {
+		tracked[e.Key] = e
+		truth := exact[e.Key]
+		if e.Count < truth {
+			t.Fatalf("%s: estimate %d below true count %d", e.Key, e.Count, truth)
+		}
+		if e.Count-truth > e.MaxOvercount {
+			t.Fatalf("%s: overcount %d exceeds recorded bound %d", e.Key, e.Count-truth, e.MaxOvercount)
+		}
+		if e.MaxOvercount > bound {
+			t.Fatalf("%s: recorded bound %d exceeds sketch-wide bound %d", e.Key, e.MaxOvercount, bound)
+		}
+	}
+	for key, truth := range exact {
+		if truth > bound {
+			if _, ok := tracked[key]; !ok {
+				t.Fatalf("heavy hitter %s (true %d > bound %d) not tracked", key, truth, bound)
+			}
+		}
+	}
+}
+
+func TestTopKSmallStreamExact(t *testing.T) {
+	sketch := NewTopK(8)
+	for i := 0; i < 5; i++ {
+		sketch.Offer("a")
+	}
+	sketch.Offer("b")
+	sketch.OfferN("c", 3)
+	top := sketch.Top(2)
+	if len(top) != 2 || top[0].Key != "a" || top[0].Count != 5 || top[0].MaxOvercount != 0 {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[1].Key != "c" || top[1].Count != 3 {
+		t.Fatalf("top = %+v", top)
+	}
+	// Under capacity every count is exact.
+	if sketch.ErrorBound() != 9/8 {
+		t.Fatalf("error bound = %d", sketch.ErrorBound())
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	sketch := NewTopK(4)
+	for _, key := range []string{"b", "a", "d", "c"} {
+		sketch.Offer(key)
+	}
+	top := sketch.Top(0)
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if top[i].Key != want {
+			t.Fatalf("tie-break order = %+v", top)
+		}
+	}
+	// Eviction at equal counts removes the lexicographically smallest,
+	// deterministically.
+	sketch.Offer("e")
+	top = sketch.Top(0)
+	if top[0].Key != "e" || top[0].Count != 2 || top[0].MaxOvercount != 1 {
+		t.Fatalf("takeover entry = %+v", top)
+	}
+}
+
+func TestTopKIgnoresEmpty(t *testing.T) {
+	sketch := NewTopK(4)
+	sketch.Offer("")
+	sketch.OfferN("x", 0)
+	if sketch.Total() != 0 || len(sketch.Top(0)) != 0 {
+		t.Fatalf("empty/zero offers counted")
+	}
+}

@@ -73,6 +73,27 @@ case "$HITS" in
 esac
 echo "-- api_cache_hits_total = $HITS"
 
+echo "== query observatory debug endpoints"
+curl -sf "$BASE/debug/slo" >"$WORK/slo.json"
+grep -q '"objectives"' "$WORK/slo.json" || { echo "api_smoke: /debug/slo missing objectives" >&2; exit 1; }
+grep -q '"burn_rate"' "$WORK/slo.json" || { echo "api_smoke: /debug/slo missing burn rates" >&2; exit 1; }
+curl -sf "$BASE/debug/slowlog" >"$WORK/slowlog.json"
+grep -q '"route": "domain"' "$WORK/slowlog.json" ||
+    { echo "api_smoke: /debug/slowlog empty for the domain route after traffic" >&2; exit 1; }
+curl -sf "$BASE/debug/topk" >"$WORK/topk.json"
+grep -q "\"key\": \"$DOMAIN\"" "$WORK/topk.json" ||
+    { echo "api_smoke: /debug/topk missing queried domain $DOMAIN" >&2; exit 1; }
+curl -sf "$BASE/v1/stats" >"$WORK/stats2.json"
+grep -q '"observatory"' "$WORK/stats2.json" ||
+    { echo "api_smoke: /v1/stats missing observatory digest" >&2; exit 1; }
+# When SMOKE_ARTIFACTS names a directory (CI does), keep the scorecard
+# so the run's SLO posture is inspectable after the fact.
+if [ -n "${SMOKE_ARTIFACTS:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACTS"
+    cp "$WORK/slo.json" "$SMOKE_ARTIFACTS/slo-scorecard.json"
+    echo "-- scorecard saved to $SMOKE_ARTIFACTS/slo-scorecard.json"
+fi
+
 echo "== graceful drain on SIGTERM"
 kill -TERM "$SRV_PID"
 i=0
