@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench benchdiff chaos api benchscale benchscale-smoke
+.PHONY: check vet build test test-race bench benchdiff chaos api benchscale benchscale-smoke coord coord-smoke
 
 check: vet build test-race
 
@@ -37,7 +37,20 @@ benchdiff:
 # integration tests. Seeds are fixed in the tests, so failures reproduce.
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Degraded|Loss|Trunc|Rotation|Health|Breaker|Budget|Scenario|Interpolate|SmoothMasked|StopDrains' \
-		./internal/chaos/ ./internal/dnsserver/ ./internal/dnsclient/ ./internal/analysis/ ./internal/experiment/
+		./internal/chaos/ ./internal/dnsserver/ ./internal/dnsclient/ ./internal/analysis/ ./internal/experiment/ ./internal/coord/
+
+# Coordination-plane suite under the race detector: lease fencing,
+# journal replay/torn tails, exactly-once commits, the chaos scenario
+# runs, and the coordinator-vs-RunDay integration identity, plus the
+# crash-safe store tests the spool layer leans on.
+coord:
+	$(GO) test -race ./internal/coord/ ./internal/store/
+
+# Real-process smoke of the coordination plane: dpscoord with 3 workers
+# under worker-crash (exactly-once ledger assertion) and torn-write
+# (CRC quarantine assertion). Mirrors the CI coord-smoke job.
+coord-smoke:
+	sh scripts/coord_smoke.sh
 
 # Serving-layer suite: the api package's handler/cache/admission tests
 # and the store partition-directory tests under the race detector, then

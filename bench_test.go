@@ -11,6 +11,7 @@ package dpsadopt
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -28,6 +29,7 @@ import (
 	"dpsadopt/internal/api"
 	"dpsadopt/internal/benchfmt"
 	"dpsadopt/internal/chaos"
+	"dpsadopt/internal/coord"
 	"dpsadopt/internal/core"
 	"dpsadopt/internal/dnsclient"
 	"dpsadopt/internal/dnswire"
@@ -829,4 +831,184 @@ func BenchmarkWorldDay(b *testing.B) {
 			_ = w.StateFor(d, quietDay)
 		}
 	}
+}
+
+// BenchmarkCoordinator drives the same (source, day) partition set
+// through the internal/coord plane fault-free and under the seeded
+// worker-crash scenario: one cell per phase with exactly-once
+// accounting, end-to-end slowdown, and the re-lease latency abandoned
+// partitions waited before another worker adopted them. Both cells are
+// persisted to results/BENCH_coord.json (schema coord/v1) as the
+// coordination robustness baseline.
+func BenchmarkCoordinator(b *testing.B) {
+	world, err := worldsim.New(worldsim.DefaultConfig(400_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const coordDays = 3
+	probe := measure.New(world, store.New(), measure.Config{Mode: measure.ModeDirect, Workers: 1})
+	var parts []coord.Partition
+	for d := 0; d < coordDays; d++ {
+		day := world.Cfg.Window.Start + simtime.Day(d)
+		for _, src := range probe.DaySources(day) {
+			parts = append(parts, coord.Partition{Source: src, Day: day})
+		}
+	}
+	work := func(ctx context.Context, p coord.Partition, attempt int) (*store.Store, error) {
+		s := store.New()
+		pipe := measure.New(world, s, measure.Config{Mode: measure.ModeDirect, Workers: 1})
+		if err := pipe.RunPartition(ctx, p.Source, p.Day); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	const (
+		coordWorkers   = 3
+		coordLeaseTTL  = 150 * time.Millisecond
+		coordHeartbeat = 30 * time.Millisecond
+	)
+	phases := []struct {
+		key      string
+		scenario string
+		seed     uint64
+	}{
+		{"clean", "", 0},
+		{"worker_crash", "worker-crash", 11},
+	}
+	cells := map[string]benchfmt.CoordCell{}
+	for _, ph := range phases {
+		b.Run(ph.key, func(b *testing.B) {
+			var cell benchfmt.CoordCell
+			for i := 0; i < b.N; i++ {
+				cell = runCoordPhase(b, parts, work, ph.scenario, ph.seed,
+					coordWorkers, coordLeaseTTL, coordHeartbeat)
+			}
+			b.ReportMetric(cell.PartitionsPerSec, "partitions/s")
+			if cell.ReleaseCount > 0 {
+				b.ReportMetric(cell.ReleaseMeanSecs*1000, "release-ms")
+			}
+			cells[ph.key] = cell
+		})
+	}
+	writeCoordBench(b, cells, coordDays, coordLeaseTTL, coordHeartbeat)
+}
+
+// runCoordPhase runs one full coordinated pass over parts and reduces
+// it to a benchfmt.CoordCell, diffing the process-wide coord metrics
+// around the run to isolate this phase's lease-recovery numbers.
+func runCoordPhase(b *testing.B, parts []coord.Partition, work coord.WorkFunc,
+	scenario string, seed uint64, workers int, ttl, heartbeat time.Duration) benchfmt.CoordCell {
+	b.Helper()
+	var faults *chaos.CoordFaults
+	if scenario != "" {
+		sc, err := chaos.Scenario(scenario)
+		if err != nil {
+			b.Fatal(err)
+		}
+		faults = chaos.NewCoordFaults(sc, seed)
+	}
+	cfg := coord.Config{
+		Dir:            b.TempDir(),
+		Workers:        workers,
+		LeaseTTL:       ttl,
+		HeartbeatEvery: heartbeat,
+		MaxAttempts:    10,
+		RetryBackoff:   5 * time.Millisecond,
+		Work:           work,
+		Faults:         faults,
+		Seed:           seed,
+	}
+	before := obs.Default().Snapshot()
+	start := time.Now()
+	var c *coord.Coordinator
+	restarts := 0
+	for {
+		var err error
+		c, err = coord.New(cfg, parts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = c.Run(context.Background())
+		if errors.Is(err, coord.ErrRestart) {
+			restarts++
+			continue
+		}
+		if err != nil {
+			b.Fatalf("Run(%q): %v", scenario, err)
+		}
+		break
+	}
+	wall := time.Since(start)
+	after := obs.Default().Snapshot()
+	stats := c.Stats()
+	if stats.Committed != len(parts) {
+		b.Fatalf("phase %q committed %d of %d partitions", scenario, stats.Committed, len(parts))
+	}
+	retried := 0
+	for _, row := range c.Ledger() {
+		if row.Attempts > 1 {
+			retried++
+		}
+	}
+	_, damaged, err := c.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	relBefore := before.Histogram("coord_release_latency_seconds")
+	relAfter := after.Histogram("coord_release_latency_seconds")
+	relCount := int64(relAfter.Count) - int64(relBefore.Count)
+	relMean := 0.0
+	if relCount > 0 {
+		relMean = (relAfter.Sum - relBefore.Sum) / float64(relCount)
+	}
+	counterDelta := func(name string) int64 {
+		return after.Counter(name) - before.Counter(name)
+	}
+	return benchfmt.CoordCell{
+		Scenario:          scenario,
+		Workers:           workers,
+		Seed:              seed,
+		Partitions:        len(parts),
+		Committed:         stats.Committed,
+		Retried:           retried,
+		Restarts:          restarts,
+		WallSeconds:       wall.Seconds(),
+		PartitionsPerSec:  float64(stats.Committed) / wall.Seconds(),
+		ReleaseCount:      relCount,
+		ReleaseMeanSecs:   relMean,
+		RecoveredSpools:   counterDelta("coord_recovered_spools_total"),
+		DupCommits:        counterDelta("coord_dup_commits_total"),
+		FencedCommits:     counterDelta("coord_fenced_commits_total"),
+		JournalReplays:    counterDelta("coord_journal_replays_total"),
+		ReplayedRequeues:  counterDelta("coord_replay_requeues_total"),
+		QuarantinedSpools: len(damaged),
+	}
+}
+
+// writeCoordBench persists the clean/worker-crash comparison, mirroring
+// writeChaosBench's role as a machine-readable robustness trajectory.
+func writeCoordBench(b *testing.B, cells map[string]benchfmt.CoordCell, days int, ttl, heartbeat time.Duration) {
+	b.Helper()
+	clean, haveClean := cells["clean"]
+	crash, haveCrash := cells["worker_crash"]
+	if !haveClean || !haveCrash {
+		b.Log("BENCH_coord.json not written: a phase was filtered out")
+		return
+	}
+	doc := &benchfmt.CoordDoc{
+		NumCPU:           runtime.NumCPU(),
+		GoVersion:        runtime.Version(),
+		World:            fmt.Sprintf("synthetic scale=1:400000 days=%d", days),
+		LeaseTTLSeconds:  ttl.Seconds(),
+		HeartbeatSeconds: heartbeat.Seconds(),
+		Cells:            []benchfmt.CoordCell{clean, crash},
+	}
+	doc.FillSlowdown()
+	if err := doc.Write("results/BENCH_coord.json"); err != nil {
+		b.Logf("BENCH_coord.json not written: %v", err)
+		return
+	}
+	b.Logf("wrote results/BENCH_coord.json (worker-crash %.2fx slower, %d retried, re-lease mean %.0fms)",
+		crash.SlowdownX, crash.Retried, crash.ReleaseMeanSecs*1000)
 }

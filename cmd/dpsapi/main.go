@@ -79,7 +79,11 @@ func main() {
 
 	t0 := time.Now()
 	s, err := store.Load(*data)
-	if err != nil {
+	var partial *store.PartialLoadError
+	if errors.As(err, &partial) {
+		log.Warn("dataset loaded degraded; damaged partitions quarantined",
+			"path", *data, "quarantined", len(partial.Quarantined), "detail", partial.Error())
+	} else if err != nil {
 		fatal(err)
 	}
 	log.Info("dataset loaded", "path", *data, "elapsed", time.Since(t0).Round(time.Millisecond).String())

@@ -26,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -154,7 +155,10 @@ func main() {
 func dataset(data string, scale, days int) (*store.Store, string, error) {
 	if data != "" {
 		s, err := store.Load(data)
-		if err != nil {
+		var partial *store.PartialLoadError
+		if errors.As(err, &partial) {
+			fmt.Fprintf(os.Stderr, "dpsbench: warning: %v; benchmarking the salvaged dataset\n", partial)
+		} else if err != nil {
 			return nil, "", err
 		}
 		return s, "data=" + data, nil

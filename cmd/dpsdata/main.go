@@ -56,7 +56,10 @@ func main() {
 	}
 
 	s, err := store.Load(*data)
-	if err != nil {
+	var partial *store.PartialLoadError
+	if errors.As(err, &partial) {
+		fmt.Fprintf(os.Stderr, "dpsdata: warning: %v; continuing with salvaged partitions\n", partial)
+	} else if err != nil {
 		fatal(err)
 	}
 

@@ -33,9 +33,18 @@
 // days whose failure rate exceeds the threshold are committed as
 // degraded; the run ends with a per-day degraded ledger.
 //
+// Coordination: -coord-workers N > 0 replaces the classic day loop with
+// the internal/coord plane — (source, day) partitions leased to N
+// workers with crash-safe, exactly-once commits — and makes the
+// coordination chaos scenarios (worker-crash, coord-restart, torn-write,
+// ...) usable without -mode wire; -coord-dir persists the journal and
+// spools so an interrupted run resumes where it stopped. cmd/dpscoord is
+// the same plane as a standalone tool with ledger output.
+//
 // Usage:
 //
 //	dpsmeasure [-scale 100000] [-days 3] [-mode direct|wire] [-workers N]
+//	           [-coord-workers 3] [-coord-dir coordrun]
 //	           [-fault-scenario flaky-1pct] [-fault-seed 7] [-wire-timeout 100]
 //	           [-metrics-addr :9090] [-prof-mutex 5] [-prof-block 0]
 //	           [-quiet] [-log-json] [-v]
@@ -55,6 +64,7 @@ import (
 	"time"
 
 	"dpsadopt/internal/chaos"
+	"dpsadopt/internal/coord"
 	"dpsadopt/internal/experiment"
 	"dpsadopt/internal/measure"
 	"dpsadopt/internal/obs"
@@ -85,6 +95,9 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 0, "seed pinning the fault pattern; same scenario+seed = same faults")
 		wireTimeout = flag.Int("wire-timeout", 0, "wire-mode resolver timeout in ms (0 = dnsclient default; lower it under chaos so losses cost ms, not s)")
 
+		coordWorkers = flag.Int("coord-workers", 0, "run the days through the coordination plane with this many leased workers (0 = classic sequential day loop)")
+		coordDir     = flag.String("coord-dir", "", "coordination directory for journal + spools (default: a temp dir); rerun with the same dir to resume")
+
 		profMutex = flag.Int("prof-mutex", 0, "mutex profiling fraction (runtime.SetMutexProfileFraction; 0 = off); served at /debug/pprof/mutex and /debug/contention")
 		profBlock = flag.Int("prof-block", 0, "block profiling rate in ns (runtime.SetBlockProfileRate; 0 = off); served at /debug/pprof/block and /debug/contention")
 	)
@@ -111,12 +124,18 @@ func main() {
 
 	var faultCfg chaos.Config
 	if *faultScenario != "" {
-		if cfg.Mode != measure.ModeWire {
-			fatal(fmt.Errorf("-fault-scenario requires -mode wire: only wire days have datagrams to lose"))
-		}
 		fc, err := chaos.Scenario(*faultScenario)
 		if err != nil {
 			fatal(err)
+		}
+		// Network/server faults need wire days (only they have datagrams
+		// to lose); coordination-plane faults need the coordination
+		// plane. A scenario may carry either or both.
+		if (fc.Active() || fc.ServerActive()) && cfg.Mode != measure.ModeWire {
+			fatal(fmt.Errorf("-fault-scenario %s requires -mode wire: only wire days have datagrams to lose", *faultScenario))
+		}
+		if fc.CoordActive() && *coordWorkers <= 0 {
+			fatal(fmt.Errorf("-fault-scenario %s injects coordination-plane faults: set -coord-workers (or use dpscoord)", *faultScenario))
 		}
 		faultCfg = fc
 		// Mirror experiment.Runner's chaos wiring: a fresh day-seeded
@@ -196,7 +215,10 @@ func main() {
 	prev := reg.Snapshot()
 	interrupted := false
 	var ledger []experiment.DayAccounting
-	for d := 0; d < *days; d++ {
+	if *coordWorkers > 0 {
+		interrupted = runCoordinated(ctx, w, s, cfg, *days, *coordWorkers, *coordDir, faultCfg, uint64(*faultSeed))
+	}
+	for d := 0; *coordWorkers == 0 && d < *days; d++ {
 		day := w.Cfg.Window.Start + simtime.Day(d)
 		t0 := time.Now()
 		dctx, sp := tracer.StartRoot(ctx, "experiment.day",
@@ -257,8 +279,14 @@ func main() {
 		"interrupted", interrupted,
 	)
 
-	if *faultScenario != "" && !*quiet {
-		fmt.Printf("\ndegraded-day ledger (scenario %s, seed %d):\n", *faultScenario, *faultSeed)
+	// The per-day network ledger always flushes — on interrupts too, so
+	// an aborted run still shows which committed days were degraded.
+	if len(ledger) > 0 && !*quiet {
+		scenario := *faultScenario
+		if scenario == "" {
+			scenario = "none"
+		}
+		fmt.Printf("\ndegraded-day ledger (scenario %s, seed %d):\n", scenario, *faultSeed)
 		fmt.Printf("%-12s %10s %8s %8s %8s %8s\n", "day", "queries", "lost", "gaveup", "rate", "status")
 		for _, a := range ledger {
 			status := "ok"
@@ -333,6 +361,79 @@ func buildTracer(outBase string, sample float64, slow time.Duration) (*trace.Tra
 		cfg.Exporters = []trace.Exporter{chrome, trace.NewJSONL(jf)}
 	}
 	return trace.New(cfg), nil
+}
+
+// runCoordinated measures the day range through the coordination plane
+// instead of the sequential day loop: (source, day) partitions are
+// leased to coordWorkers workers, committed spools are assembled back
+// into s, and chaos-injected coordinator crashes are survived by the
+// journal-replay driver loop. Returns whether the run was interrupted.
+func runCoordinated(ctx context.Context, w *worldsim.World, s *store.Store, mcfg measure.Config, days, coordWorkers int, dir string, faultCfg chaos.Config, seed uint64) bool {
+	log := obs.Logger()
+	if dir == "" {
+		td, err := os.MkdirTemp("", "dpsmeasure-coord-*")
+		if err != nil {
+			fatal(err)
+		}
+		dir = td
+	}
+	probe := measure.New(w, store.New(), measure.Config{Mode: measure.ModeDirect, Workers: 1})
+	var parts []coord.Partition
+	for d := 0; d < days; d++ {
+		day := w.Cfg.Window.Start + simtime.Day(d)
+		for _, src := range probe.DaySources(day) {
+			parts = append(parts, coord.Partition{Source: src, Day: day})
+		}
+	}
+	ccfg := coord.Config{
+		Dir:     dir,
+		Workers: coordWorkers,
+		Faults:  chaos.NewCoordFaults(faultCfg, seed),
+		Seed:    seed,
+		Work: func(ctx context.Context, p coord.Partition, attempt int) (*store.Store, error) {
+			spoolStore := store.New()
+			pipe := measure.New(w, spoolStore, mcfg)
+			if err := pipe.RunPartition(ctx, p.Source, p.Day); err != nil {
+				return nil, err
+			}
+			return spoolStore, nil
+		},
+	}
+	log.Info("coordination plane armed", "workers", coordWorkers, "partitions", len(parts), "dir", dir)
+	var (
+		c   *coord.Coordinator
+		err error
+	)
+	for {
+		c, err = coord.New(ccfg, parts)
+		if err != nil {
+			fatal(err)
+		}
+		err = c.Run(ctx)
+		if errors.Is(err, coord.ErrRestart) {
+			log.Warn("coordinator crashed (chaos); replaying journal")
+			continue
+		}
+		break
+	}
+	stats := c.Stats()
+	interrupted := err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil)
+	if err != nil && !interrupted {
+		fatal(err)
+	}
+	assembled, damaged, aerr := c.Assemble()
+	if aerr != nil {
+		fatal(aerr)
+	}
+	for _, d := range damaged {
+		log.Warn("spool torn at rest; partition quarantined",
+			"partition", d.Partition.String(), "quarantine", d.QuarantinePath, "err", d.Err)
+	}
+	s.Absorb(assembled)
+	log.Info("coordinated run assembled",
+		"partitions", stats.Partitions, "committed", stats.Committed,
+		"failed", stats.Failed, "quarantined", len(damaged), "interrupted", interrupted)
+	return interrupted
 }
 
 func fatal(err error) {

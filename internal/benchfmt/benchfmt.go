@@ -100,6 +100,91 @@ func (d *DetectDoc) FillEfficiency() {
 	}
 }
 
+// CoordSchema names the current BENCH_coord.json layout: one cell per
+// coordination scenario (clean baseline plus chaos phases) with
+// exactly-once accounting and lease-recovery latency.
+const CoordSchema = "coord/v1"
+
+// CoordCell is one coordination benchmark phase: the same partition set
+// driven through the internal/coord plane under one chaos scenario.
+type CoordCell struct {
+	// Scenario is "" for the fault-free baseline, otherwise a
+	// chaos.Scenario name (e.g. "worker-crash").
+	Scenario string `json:"scenario"`
+	Workers  int    `json:"workers"`
+	Seed     uint64 `json:"seed"`
+
+	Partitions int `json:"partitions"`
+	Committed  int `json:"committed"`
+	// Retried counts partitions that burned more than one lease before
+	// committing — the scenario's observable blast radius.
+	Retried  int `json:"retried"`
+	Restarts int `json:"restarts"`
+
+	WallSeconds      float64 `json:"wall_seconds"`
+	PartitionsPerSec float64 `json:"partitions_per_sec"`
+	// SlowdownX is WallSeconds over the clean cell's WallSeconds (1.0
+	// for the clean cell itself) — what the chaos costs end to end.
+	SlowdownX float64 `json:"slowdown_x"`
+
+	// ReleaseLatency tracks how long expired leases sat abandoned
+	// before a new worker picked the partition up (coord
+	// coord_release_latency_seconds deltas for this phase).
+	ReleaseCount      int64   `json:"release_count"`
+	ReleaseMeanSecs   float64 `json:"release_mean_seconds"`
+	RecoveredSpools   int64   `json:"recovered_spools"`
+	DupCommits        int64   `json:"dup_commits"`
+	FencedCommits     int64   `json:"fenced_commits"`
+	JournalReplays    int64   `json:"journal_replays"`
+	ReplayedRequeues  int64   `json:"replay_requeues"`
+	QuarantinedSpools int     `json:"quarantined_spools"`
+}
+
+// CoordDoc is results/BENCH_coord.json.
+type CoordDoc struct {
+	Bench     string `json:"bench"`  // always "coord"
+	Schema    string `json:"schema"` // always CoordSchema
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	// World describes the measured dataset (synthetic scale/days).
+	World string `json:"world"`
+	// LeaseTTLSeconds and HeartbeatSeconds pin the timing knobs the
+	// latency numbers depend on.
+	LeaseTTLSeconds  float64     `json:"lease_ttl_seconds"`
+	HeartbeatSeconds float64     `json:"heartbeat_seconds"`
+	Cells            []CoordCell `json:"cells"`
+}
+
+// FillSlowdown computes every cell's SlowdownX against the fault-free
+// cell (Scenario == ""); without one the field stays zero.
+func (d *CoordDoc) FillSlowdown() {
+	var clean float64
+	for _, c := range d.Cells {
+		if c.Scenario == "" {
+			clean = c.WallSeconds
+			break
+		}
+	}
+	if clean <= 0 {
+		return
+	}
+	for i := range d.Cells {
+		d.Cells[i].SlowdownX = d.Cells[i].WallSeconds / clean
+	}
+}
+
+// Write persists the document as indented JSON, creating the parent
+// directory if needed.
+func (d *CoordDoc) Write(path string) error {
+	if d.Bench == "" {
+		d.Bench = "coord"
+	}
+	if d.Schema == "" {
+		d.Schema = CoordSchema
+	}
+	return writeJSON(d, path)
+}
+
 // Write persists the document as indented JSON, creating the parent
 // directory if needed.
 func (d *DetectDoc) Write(path string) error {
@@ -109,7 +194,11 @@ func (d *DetectDoc) Write(path string) error {
 	if d.Schema == "" {
 		d.Schema = DetectSchema
 	}
-	raw, err := json.MarshalIndent(d, "", "  ")
+	return writeJSON(d, path)
+}
+
+func writeJSON(doc any, path string) error {
+	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return fmt.Errorf("benchfmt: %w", err)
 	}

@@ -80,6 +80,35 @@ type Config struct {
 	// ServerDrop is the probability an authoritative silently ignores a
 	// query (reads it, answers nothing).
 	ServerDrop float64
+
+	// --- coordination-plane faults (applied by CoordFaults) ---
+
+	// CrashBeforeSave is the probability a worker dies after measuring a
+	// partition but before its spool file hits disk — all work lost, the
+	// lease expires, another worker redoes the partition.
+	CrashBeforeSave float64
+	// CrashAfterSave is the probability a worker dies after durably
+	// saving its spool but before acking the commit — the dangerous
+	// window where naive coordinators double-count. Recovery must find
+	// the intact spool and commit it exactly once.
+	CrashAfterSave float64
+	// WorkerStall is the probability a worker freezes mid-partition for
+	// longer than the lease TTL: the coordinator must re-lease the
+	// partition, and when the stalled worker wakes up its stale commit
+	// must be fenced off.
+	WorkerStall float64
+	// DupCommit is the probability a worker replays its commit ack — a
+	// retried RPC in disguise. The second commit must be a no-op.
+	DupCommit float64
+	// CoordRestart is the probability the coordinator itself crashes
+	// after a commit, forcing a journal replay that must requeue leased
+	// partitions and skip committed ones.
+	CoordRestart float64
+	// TornWrite is the probability a committed spool file is torn at
+	// rest (truncated to a random fraction) after the fact — silent
+	// storage corruption the CRC layer must catch at assembly, feeding
+	// the damaged partition into quarantine and the degraded-day ledger.
+	TornWrite float64
 }
 
 // Active reports whether the config injects any network-level fault.
@@ -91,6 +120,13 @@ func (c Config) Active() bool {
 // ServerActive reports whether the config injects any server-level fault.
 func (c Config) ServerActive() bool {
 	return c.Servfail > 0 || c.Slow > 0 || c.Truncate > 0 || c.ServerDrop > 0
+}
+
+// CoordActive reports whether the config injects any coordination-plane
+// fault.
+func (c Config) CoordActive() bool {
+	return c.CrashBeforeSave > 0 || c.CrashAfterSave > 0 || c.WorkerStall > 0 ||
+		c.DupCommit > 0 || c.CoordRestart > 0 || c.TornWrite > 0
 }
 
 // scenarios is the named-scenario registry. Keep parameters modest: a
@@ -140,6 +176,46 @@ var scenarios = map[string]Config{
 		// budget for a visible share of resolutions.
 		Loss:       0.45,
 		ServerDrop: 0.20,
+	},
+
+	// --- coordination-plane scenarios ---
+
+	"worker-crash": {
+		// Workers die around the commit point: before the spool is
+		// saved (work lost, partition re-leased) and in the
+		// crash-after-save window (spool intact, must be committed
+		// exactly once on recovery).
+		CrashBeforeSave: 0.15,
+		CrashAfterSave:  0.25,
+	},
+	"worker-stall": {
+		// Workers freeze past the lease TTL; the coordinator re-leases
+		// and the late commit from the original holder must be fenced.
+		WorkerStall: 0.3,
+	},
+	"dup-commit": {
+		// Commit acks are replayed; the second ack must be a no-op.
+		DupCommit: 0.5,
+	},
+	"coord-restart": {
+		// The coordinator crashes after commits and replays its
+		// journal: committed partitions skipped, leased ones requeued.
+		CoordRestart: 0.25,
+	},
+	"torn-write": {
+		// Committed spool files are torn at rest; the CRC layer must
+		// quarantine them at assembly and mark the day degraded.
+		TornWrite: 0.5,
+	},
+	"coord-havoc": {
+		// The whole coordination crash matrix at moderate rates in a
+		// single run. Torn writes are kept separate (torn-write) so a
+		// havoc run still assembles an undamaged dataset.
+		CrashBeforeSave: 0.08,
+		CrashAfterSave:  0.10,
+		WorkerStall:     0.10,
+		DupCommit:       0.15,
+		CoordRestart:    0.10,
 	},
 }
 

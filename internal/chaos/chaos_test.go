@@ -24,7 +24,7 @@ func TestScenarioRegistry(t *testing.T) {
 		if cfg.Name != name {
 			t.Errorf("Scenario(%q).Name = %q", name, cfg.Name)
 		}
-		if !cfg.Active() && !cfg.ServerActive() {
+		if !cfg.Active() && !cfg.ServerActive() && !cfg.CoordActive() {
 			t.Errorf("scenario %q injects nothing", name)
 		}
 		if cfg.Reorder > 0 && cfg.ReorderDelay == 0 {

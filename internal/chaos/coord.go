@@ -1,0 +1,114 @@
+package chaos
+
+// Coordination-plane fault decisions. Unlike the datagram layer, the
+// unit of failure here is a (source, day, attempt) work item: whether a
+// worker crashes before or after saving its spool, stalls past its
+// lease, replays a commit, whether the coordinator restarts after a
+// commit, and whether a committed spool file is torn at rest. Every
+// decision is a pure hash of (seed, source, day, attempt, salt) — never
+// a shared PRNG — so the same scenario and seed produce the same fault
+// schedule regardless of how workers interleave, and a retried attempt
+// (attempt+1) rolls fresh decisions instead of failing forever.
+
+// Salts separating the per-attempt decision streams.
+const (
+	saltCrashBeforeSave = 0xc0de_0001
+	saltCrashAfterSave  = 0xc0de_0002
+	saltWorkerStall     = 0xc0de_0003
+	saltDupCommit       = 0xc0de_0004
+	saltCoordRestart    = 0xc0de_0005
+	saltTornWrite       = 0xc0de_0006
+	saltTornFrac        = 0xc0de_0007
+)
+
+// CoordFaults makes deterministic coordination-plane fault decisions
+// for one run. A nil *CoordFaults injects nothing, so callers can hold
+// one unconditionally.
+type CoordFaults struct {
+	cfg  Config
+	seed uint64
+}
+
+// NewCoordFaults builds the decision-maker for a scenario. Returns nil
+// (inject nothing) when the config has no coordination faults.
+func NewCoordFaults(cfg Config, seed uint64) *CoordFaults {
+	if !cfg.CoordActive() {
+		return nil
+	}
+	return &CoordFaults{cfg: cfg, seed: seed}
+}
+
+// decide hashes one (source, day, attempt, salt) coordinate into [0,1).
+func (c *CoordFaults) decide(source string, day int64, attempt int, salt uint64) float64 {
+	h := mix2(c.seed, hashString(source))
+	h = mix2(h, uint64(day))
+	h = mix2(h, uint64(attempt))
+	h = mix2(h, salt)
+	return unit(h)
+}
+
+// CrashBeforeSave reports whether this attempt dies before its spool
+// file is saved: all measured rows are lost and the lease must expire.
+func (c *CoordFaults) CrashBeforeSave(source string, day int64, attempt int) bool {
+	if c == nil || c.cfg.CrashBeforeSave <= 0 {
+		return false
+	}
+	return c.decide(source, day, attempt, saltCrashBeforeSave) < c.cfg.CrashBeforeSave
+}
+
+// CrashAfterSave reports whether this attempt dies after durably saving
+// its spool but before acking the commit — the exactly-once window.
+func (c *CoordFaults) CrashAfterSave(source string, day int64, attempt int) bool {
+	if c == nil || c.cfg.CrashAfterSave <= 0 {
+		return false
+	}
+	return c.decide(source, day, attempt, saltCrashAfterSave) < c.cfg.CrashAfterSave
+}
+
+// WorkerStall reports whether this attempt freezes mid-partition for
+// longer than the lease TTL, forcing a re-lease and fencing the
+// stalled holder's eventual commit.
+func (c *CoordFaults) WorkerStall(source string, day int64, attempt int) bool {
+	if c == nil || c.cfg.WorkerStall <= 0 {
+		return false
+	}
+	return c.decide(source, day, attempt, saltWorkerStall) < c.cfg.WorkerStall
+}
+
+// DupCommit reports whether this attempt replays its commit ack after
+// the first one succeeds.
+func (c *CoordFaults) DupCommit(source string, day int64, attempt int) bool {
+	if c == nil || c.cfg.DupCommit <= 0 {
+		return false
+	}
+	return c.decide(source, day, attempt, saltDupCommit) < c.cfg.DupCommit
+}
+
+// CoordRestart reports whether the coordinator crashes right after
+// committing this partition, forcing a journal replay.
+func (c *CoordFaults) CoordRestart(source string, day int64, attempt int) bool {
+	if c == nil || c.cfg.CoordRestart <= 0 {
+		return false
+	}
+	return c.decide(source, day, attempt, saltCoordRestart) < c.cfg.CoordRestart
+}
+
+// TornWrite reports whether this partition's committed spool file is
+// torn at rest, and if so to what fraction of its length the file is
+// truncated (in (0,1), never empty so the tear is a genuine torn tail
+// rather than a missing file).
+func (c *CoordFaults) TornWrite(source string, day int64) (frac float64, torn bool) {
+	if c == nil || c.cfg.TornWrite <= 0 {
+		return 0, false
+	}
+	// Torn-at-rest damage is a property of the partition, not of any
+	// particular attempt: attempt 0 keys the decision.
+	if c.decide(source, day, 0, saltTornWrite) >= c.cfg.TornWrite {
+		return 0, false
+	}
+	f := c.decide(source, day, 0, saltTornFrac)
+	// Clamp into (0.05, 0.95) so the tear neither empties the file nor
+	// leaves it effectively whole.
+	frac = 0.05 + 0.9*f
+	return frac, true
+}

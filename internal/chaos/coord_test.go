@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestScenarioNamesSorted(t *testing.T) {
+	names := ScenarioNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("ScenarioNames() not sorted: %v", names)
+	}
+	// The coordination-plane scenarios are registered.
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"worker-crash", "worker-stall", "dup-commit", "coord-restart", "torn-write", "coord-havoc"} {
+		if !have[want] {
+			t.Errorf("scenario %q not registered", want)
+		}
+		cfg, err := Scenario(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.CoordActive() {
+			t.Errorf("scenario %q has no coordination faults", want)
+		}
+	}
+}
+
+func TestCoordFaultsNilSafe(t *testing.T) {
+	if f := NewCoordFaults(Config{Loss: 0.5}, 1); f != nil {
+		t.Error("network-only config produced a coord injector")
+	}
+	var f *CoordFaults
+	if f.CrashBeforeSave("com", 0, 0) || f.CrashAfterSave("com", 0, 0) ||
+		f.WorkerStall("com", 0, 0) || f.DupCommit("com", 0, 0) ||
+		f.CoordRestart("com", 0, 0) {
+		t.Error("nil injector made a fault decision")
+	}
+	if _, torn := f.TornWrite("com", 0); torn {
+		t.Error("nil injector tore a write")
+	}
+}
+
+func TestCoordFaultsDeterministic(t *testing.T) {
+	cfg, err := Scenario("coord-havoc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		source  string
+		day     int64
+		attempt int
+	}
+	sample := func(seed uint64) map[key][5]bool {
+		f := NewCoordFaults(cfg, seed)
+		out := map[key][5]bool{}
+		for _, src := range []string{"com", "net", "nl"} {
+			for day := int64(0); day < 20; day++ {
+				for attempt := 0; attempt < 3; attempt++ {
+					out[key{src, day, attempt}] = [5]bool{
+						f.CrashBeforeSave(src, day, attempt),
+						f.CrashAfterSave(src, day, attempt),
+						f.WorkerStall(src, day, attempt),
+						f.DupCommit(src, day, attempt),
+						f.CoordRestart(src, day, attempt),
+					}
+				}
+			}
+		}
+		return out
+	}
+	a, b, c := sample(7), sample(7), sample(8)
+	anyFault, differ := false, false
+	for k, va := range a {
+		if va != b[k] {
+			t.Fatalf("%+v: decision differs between identically-seeded injectors", k)
+		}
+		if va != c[k] {
+			differ = true
+		}
+		for _, bit := range va {
+			anyFault = anyFault || bit
+		}
+	}
+	if !anyFault {
+		t.Error("coord-havoc injected no faults across 180 work items")
+	}
+	if !differ {
+		t.Error("seeds 7 and 8 produced identical fault schedules")
+	}
+	// Decisions vary with the attempt number, so a retried partition is
+	// not doomed to fail forever.
+	varies := false
+	for _, src := range []string{"com", "net", "nl"} {
+		for day := int64(0); day < 20; day++ {
+			if a[key{src, day, 0}] != a[key{src, day, 1}] {
+				varies = true
+			}
+		}
+	}
+	if !varies {
+		t.Error("fault decisions never vary with attempt number")
+	}
+}
+
+func TestTornWriteFraction(t *testing.T) {
+	cfg, err := Scenario("torn-write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewCoordFaults(cfg, 3)
+	torn, whole := 0, 0
+	for day := int64(0); day < 100; day++ {
+		frac, ok := f.TornWrite("com", day)
+		if !ok {
+			whole++
+			continue
+		}
+		torn++
+		if frac <= 0 || frac >= 1 {
+			t.Fatalf("day %d: torn fraction %v outside (0,1)", day, frac)
+		}
+		// Same decision on re-ask: torn-at-rest damage is a property of
+		// the partition, not of when it is inspected.
+		frac2, ok2 := f.TornWrite("com", day)
+		if !ok2 || frac2 != frac {
+			t.Fatalf("day %d: torn decision not stable (%v/%v vs %v/%v)", day, frac, ok, frac2, ok2)
+		}
+	}
+	if torn == 0 || whole == 0 {
+		t.Fatalf("torn-write at 0.5 produced torn=%d whole=%d over 100 days", torn, whole)
+	}
+}

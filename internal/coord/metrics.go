@@ -1,0 +1,45 @@
+package coord
+
+import "dpsadopt/internal/obs"
+
+// Coordination-plane metrics. The fencing/duplicate counters are the
+// interesting ones under chaos: fenced commits prove stale workers were
+// locked out, dup commits prove replayed acks were absorbed, and the
+// re-lease latency histogram bounds how long an abandoned partition
+// waited before another worker picked it up.
+var (
+	mLeases = obs.Default().Counter("coord_leases_total",
+		"partition leases granted to workers")
+	mCommits = obs.Default().Counter("coord_commits_total",
+		"partitions durably committed (journal fsync'd before ack)")
+	mDupCommits = obs.Default().Counter("coord_dup_commits_total",
+		"replayed commit acks absorbed as no-ops")
+	mFencedCommits = obs.Default().Counter("coord_fenced_commits_total",
+		"commits rejected because the lease had been fenced off")
+	mLeaseExpiries = obs.Default().Counter("coord_lease_expiries_total",
+		"leases expired by the supervisor after missed heartbeats")
+	mRequeues = obs.Default().Counter("coord_requeues_total",
+		"partitions returned to the pending queue (expiry or worker error)")
+	mFailures = obs.Default().Counter("coord_failures_total",
+		"partitions failed permanently after MaxAttempts")
+	mRecoveredSpools = obs.Default().Counter("coord_recovered_spools_total",
+		"intact spool files adopted without re-measuring (crash-after-save recovery)")
+	mRestarts = obs.Default().Counter("coord_restarts_total",
+		"coordinator restarts (chaos-injected crashes after commit)")
+	mJournalReplays = obs.Default().Counter("coord_journal_replays_total",
+		"journal replays performed at coordinator start")
+	mJournalRecords = obs.Default().Counter("coord_journal_records_replayed_total",
+		"journal records applied during replay")
+	mJournalTornTails = obs.Default().Counter("coord_journal_torn_tails_total",
+		"torn journal tails truncated during replay")
+	mReplayRequeues = obs.Default().Counter("coord_replay_requeues_total",
+		"partitions found leased in the journal and requeued on replay")
+	mPartitions = obs.Default().Gauge("coord_partitions",
+		"partitions tracked in the coordinator ledger")
+	mPending = obs.Default().Gauge("coord_pending_partitions",
+		"partitions waiting to be leased")
+	mWorkers = obs.Default().Gauge("coord_workers",
+		"workers currently running under the coordinator")
+	mReleaseLatency = obs.Default().Histogram("coord_release_latency_seconds",
+		"delay between a lease expiring and the partition being re-leased", nil)
+)

@@ -8,6 +8,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -276,6 +277,14 @@ func (r *Runner) Run(ctx context.Context) error {
 		if err := r.pipeline.RunDay(dctx, day); err != nil {
 			sp.SetAttr(trace.Str("error", err.Error()))
 			sp.End()
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// A cancelled day is incomplete: drop its partial
+				// partitions so the surviving store and accounting hold
+				// only fully committed days.
+				for _, src := range r.Store.Sources() {
+					r.Store.DropDay(src, day)
+				}
+			}
 			return fmt.Errorf("experiment: day %s: %w", day, err)
 		}
 		var dayRows int64

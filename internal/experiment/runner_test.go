@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"dpsadopt/internal/measure"
@@ -315,5 +316,43 @@ func TestRunnerFullWindowTiny(t *testing.T) {
 	}
 	if g := g5.AdoptionGrowth(); g < 1.0 || g > 1.6 {
 		t.Errorf("adoption growth = %.3f (coarse scale tolerance)", g)
+	}
+}
+
+// TestRunnerCancellationDropsPartialDay: a SIGTERM-style cancellation
+// mid-run surfaces a wrapped context error, keeps the accounting ledger
+// for the days that committed, and leaves no partial-day partitions in
+// the store.
+func TestRunnerCancellationDropsPartialDay(t *testing.T) {
+	r, err := New(Config{Scale: 200000, Workers: 2, Days: 6, KeepStore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	committed := 0
+	r.Cfg.OnProgress = func(done, total int) {
+		committed = done
+		if done == 2 {
+			cancel()
+		}
+	}
+	err = r.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want wrapped context.Canceled", err)
+	}
+	if committed == 0 || committed >= 6 {
+		t.Fatalf("committed %d days before cancel, want partial progress", committed)
+	}
+	if got := len(r.Accounting()); got != committed {
+		t.Fatalf("accounting has %d rows, want %d (committed days only)", got, committed)
+	}
+	// No partition survives past the last committed day.
+	lastCommitted := r.Window().Start + simtime.Day(committed) - 1
+	for _, src := range r.Store.Sources() {
+		for _, day := range r.Store.Days(src) {
+			if day > lastCommitted {
+				t.Errorf("%s/%s: partial-day partition survived cancellation", src, day)
+			}
+		}
 	}
 }

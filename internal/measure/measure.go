@@ -291,6 +291,78 @@ func (p *Pipeline) RunDay(ctx context.Context, day simtime.Day) error {
 	return nil
 }
 
+// DaySources lists the sources that have a non-empty measurement list
+// on the given day, sorted — the partition axis the coordination plane
+// leases over.
+func (p *Pipeline) DaySources(day simtime.Day) []string {
+	lists := p.stageOneLists(day)
+	out := make([]string, 0, len(lists))
+	for source, tasks := range lists {
+		if len(tasks) > 0 {
+			out = append(out, source)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunPartition measures exactly one (source, day) partition into the
+// store — the unit of work leased by the coordination plane. It is the
+// single-source slice of RunDay: the same Stage I list, the same pfx2as
+// snapshot, the same worker fan-out, so measuring a day partition by
+// partition yields the same rows as RunDay (asserted by
+// TestRunPartitionEquivalent).
+func (p *Pipeline) RunPartition(ctx context.Context, source string, day simtime.Day) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, sp1 := trace.StartSpan(ctx, "measure.stage1",
+		trace.Str("day", day.String()), trace.Str("source", source))
+	lists := p.stageOneLists(day)
+	sp1.End()
+	tasks := lists[source]
+	if len(tasks) == 0 {
+		return fmt.Errorf("measure: no partition %s/%s", source, day)
+	}
+	rib := p.World.RIBForDay(day)
+	entries, err := pfx2as.Parse(strings.NewReader(rib.Snapshot()))
+	if err != nil {
+		return fmt.Errorf("measure: pfx2as snapshot: %w", err)
+	}
+	table := pfx2as.NewWalk(entries)
+
+	var wire *worldsim.Wire
+	var network transport.Network
+	if p.Cfg.Mode == ModeWire {
+		if p.Cfg.WireNetwork != nil {
+			network = p.Cfg.WireNetwork(day)
+		} else {
+			network = transport.NewMem(int64(day) ^ 0x3f3f)
+		}
+		_, spw := trace.StartSpan(ctx, "measure.wirebuild")
+		wire, err = p.World.BuildWire(day, network)
+		spw.End()
+		if err != nil {
+			return fmt.Errorf("measure: wire build: %w", err)
+		}
+		defer wire.Close()
+		if p.Cfg.OnWire != nil {
+			p.Cfg.OnWire(day, wire, network)
+		}
+	}
+
+	sctx, sp2 := trace.StartSpan(ctx, "measure.stage2",
+		trace.Str("source", source), trace.Int("domains", int64(len(tasks))))
+	n, err := p.runSource(sctx, day, source, tasks, table, wire, network)
+	sp2.SetAttr(trace.Int("rows", int64(n)))
+	sp2.End()
+	if err != nil {
+		return err
+	}
+	mDomains.Add(int64(len(tasks)))
+	return nil
+}
+
 // RunRange measures every day in [r.Start, r.End).
 func (p *Pipeline) RunRange(ctx context.Context, r simtime.Range) error {
 	for day := r.Start; day < r.End; day++ {

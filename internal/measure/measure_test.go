@@ -3,6 +3,7 @@ package measure
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -374,5 +375,52 @@ func TestWireSurvivesPacketLoss(t *testing.T) {
 		if got < want*95/100 {
 			t.Errorf("%s: only %d/%d rows under 10%% loss", src, got, want)
 		}
+	}
+}
+
+// TestRunPartitionEquivalent: measuring a day partition by partition
+// through the coordination plane's unit of work yields exactly the rows
+// RunDay produces, and DaySources enumerates exactly the sources RunDay
+// would populate.
+func TestRunPartitionEquivalent(t *testing.T) {
+	w := midWorld(t)
+	day := w.Cfg.NLWindow.Start // nl + alexa + gTLDs all active
+
+	whole := store.New()
+	pd := New(w, whole, Config{Mode: ModeDirect, Workers: 4})
+	if err := pd.RunDay(context.Background(), day); err != nil {
+		t.Fatal(err)
+	}
+
+	parts := store.New()
+	pp := New(w, parts, Config{Mode: ModeDirect, Workers: 4})
+	sources := pp.DaySources(day)
+	if len(sources) != len(whole.Sources()) {
+		t.Fatalf("DaySources = %v, RunDay populated %v", sources, whole.Sources())
+	}
+	for _, src := range sources {
+		if err := pp.RunPartition(context.Background(), src, day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := parts.Sources(), whole.Sources(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sources = %v, want %v", got, want)
+	}
+	for _, src := range sources {
+		want := collectRows(whole, src, day)
+		got := collectRows(parts, src, day)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s/%s: partition rows differ from RunDay (%d vs %d rows)", src, day, len(got), len(want))
+		}
+	}
+	// Unknown partitions are rejected.
+	if err := pp.RunPartition(context.Background(), "no-such-source", day); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	// Cancellation is honoured before any work happens.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := pp.RunPartition(ctx, "com", day); err == nil {
+		t.Fatal("cancelled partition ran")
 	}
 }

@@ -14,4 +14,11 @@ var (
 		"(source, day) partitions currently resident in memory")
 	mResidentRows = obs.Default().Gauge("store_resident_rows",
 		"rows currently resident across partitions (falls when days are dropped)")
+	// Crash-safety counters for the v4 checksummed format: CRC failures
+	// count detected torn writes / corruption at rest, quarantines count
+	// partitions (or whole spool files) moved aside by salvaging loads.
+	mCRCFailures = obs.Default().Counter("store_crc_failures_total",
+		"partition/dictionary/directory checksum mismatches detected at load")
+	mQuarantined = obs.Default().Counter("store_quarantined_partitions_total",
+		"damaged partitions moved into quarantine/ by salvaging loads")
 )

@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"dpsadopt/internal/simtime"
@@ -30,8 +32,24 @@ import (
 //	  offset u64 | length u64      (byte range of the partition)
 //	footer: directory offset u64 | magic "DPSD"
 //
+// Version 4 makes the file crash-evident: each directory entry carries a
+// CRC32 (IEEE) of its partition's byte range, and the footer grows two
+// checksums covering the remaining sections:
+//
+//	directory entry: ... | offset u64 | length u64 | crc u32
+//	footer: directory offset u64 | dict crc u32 | dir crc u32 | "DPSD"
+//
+// The dict checksum covers [8, first partition offset) — the dictionary
+// plus the partition-count word — and the dir checksum covers
+// [directory offset, footer start). Together with the per-partition
+// checksums every byte between header and footer is covered, so a torn
+// write or bit flip anywhere is detected at load instead of surfacing as
+// silently wrong data. Loads degrade gracefully: a damaged partition is
+// quarantined (see PartialLoadError) while the surviving partitions
+// still load.
+//
 // Version 2 readers that stop after the partition count are unaffected
-// (the directory is trailing data), and version 3 readers fall back to a
+// (the directory is trailing data), and version 4 readers fall back to a
 // full sequential decode on version 2 files, which have no directory.
 //
 // All integers are little-endian. Partitions are written in sorted
@@ -40,10 +58,19 @@ import (
 
 const (
 	persistMagic   = "DPSA"
-	persistVersion = 3
+	persistVersion = 4
 	dirMagic       = "DPSD"
-	footerSize     = 8 + 4 // directory offset + dirMagic
+	footerSizeV3   = 8 + 4     // directory offset + dirMagic
+	footerSizeV4   = 8 + 8 + 4 // directory offset + dict/dir CRCs + dirMagic
 )
+
+// footerSize returns the trailing footer length for a format version.
+func footerSize(version uint32) int64 {
+	if version >= 4 {
+		return footerSizeV4
+	}
+	return footerSizeV3
+}
 
 // ErrNoDirectory reports a dataset written before the partition
 // directory existed (version 2); callers fall back to a full Load.
@@ -55,17 +82,57 @@ type PartitionInfo struct {
 	Source string
 	Day    simtime.Day
 	Rows   int
+	// CRC is the partition byte range's CRC32 (IEEE); zero on version 3
+	// files, which predate checksums.
+	CRC uint32
 
 	offset, length uint64
 }
 
-// Save writes the store to path atomically (via a temp file + rename).
+// QuarantinedPartition records one damaged partition that a salvaging
+// load moved aside instead of returning as silently wrong data.
+type QuarantinedPartition struct {
+	Source string
+	Day    simtime.Day
+	// Path is the quarantine file holding the partition's raw bytes
+	// (empty when writing the quarantine file itself failed).
+	Path string
+	// Err is the descriptive load failure (checksum mismatch, truncated
+	// column, out-of-range ID, ...).
+	Err string
+}
+
+// PartialLoadError reports a salvaged load: the store returned alongside
+// it holds every surviving partition, and the damaged ones listed here
+// were quarantined into a quarantine/ directory next to the dataset.
+// Callers that can tolerate partial data (degraded-day accounting masks
+// the missing days downstream) should errors.As for this type and
+// continue with the returned store.
+type PartialLoadError struct {
+	Quarantined []QuarantinedPartition
+}
+
+func (e *PartialLoadError) Error() string {
+	if len(e.Quarantined) == 1 {
+		q := e.Quarantined[0]
+		return fmt.Sprintf("store: partition %s/%s quarantined: %s", q.Source, q.Day, q.Err)
+	}
+	return fmt.Sprintf("store: %d partitions quarantined (first: %s/%s: %s)",
+		len(e.Quarantined), e.Quarantined[0].Source, e.Quarantined[0].Day, e.Quarantined[0].Err)
+}
+
+// Save writes the store to path atomically and durably: the bytes go to
+// a temp file in the target directory, are fsynced, and only then
+// renamed over path (followed by a directory fsync), so a crash at any
+// instant leaves either the old complete file or the new complete file —
+// never a torn .dpsa.
 func (s *Store) Save(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	w := bufio.NewWriterSize(f, 1<<20)
 	if err := s.encode(w); err != nil {
 		f.Close()
@@ -77,14 +144,44 @@ func (s *Store) Save(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	// The data must be durable before the rename publishes it: a rename
+	// surviving a crash that the data did not would be a torn file with
+	// a valid name.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
 }
 
-// Load reads a store written by Save (any supported version).
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Load reads a store written by Save (any supported version), verifying
+// checksums on version 4 files. Damaged partitions do not fail the whole
+// load: they are quarantined into a quarantine/ directory next to path
+// and reported via a *PartialLoadError, while every surviving partition
+// is returned in the store. Errors that predate the directory (header,
+// dictionary, directory, footer corruption) are unrecoverable and return
+// a nil store.
 func Load(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -95,28 +192,178 @@ func Load(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
+	if version < 3 {
+		// Legacy: no directory, no checksums — strict sequential decode.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		return decode(bufio.NewReaderSize(f, 1<<20))
 	}
-	s, err := decode(bufio.NewReaderSize(f, 1<<20))
+	meta, err := readFooter(f, version)
 	if err != nil {
 		return nil, err
 	}
-	// Version 3 files carry a directory + footer after the partitions;
-	// verifying it catches truncation that a sequential decode (which
-	// stops after the last partition) would let through.
-	if version >= 3 {
-		if _, err := readDirectory(f); err != nil {
+	dir, err := readDirectoryAt(f, meta)
+	if err != nil {
+		return nil, err
+	}
+	if version >= 4 {
+		if err := verifySharedSections(f, meta, dir); err != nil {
 			return nil, err
 		}
+	}
+	s := New()
+	if err := readDictAt(f, s); err != nil {
+		return nil, err
+	}
+	var quarantined []QuarantinedPartition
+	for i := range dir {
+		ent := &dir[i]
+		if err := loadDirPartition(f, version, ent, s); err != nil {
+			quarantined = append(quarantined, quarantinePartition(path, f, ent, err))
+		}
+	}
+	if len(quarantined) > 0 {
+		mQuarantined.Add(int64(len(quarantined)))
+		return s, &PartialLoadError{Quarantined: quarantined}
 	}
 	return s, nil
 }
 
+// loadDirPartition checks and decodes one directory-listed partition.
+func loadDirPartition(f *os.File, version uint32, ent *PartitionInfo, s *Store) error {
+	if version >= 4 {
+		got, err := sectionCRC(f, int64(ent.offset), int64(ent.length))
+		if err != nil {
+			return fmt.Errorf("reading partition bytes: %w", err)
+		}
+		if got != ent.CRC {
+			mCRCFailures.Inc()
+			return fmt.Errorf("checksum mismatch (want %08x, got %08x): torn write or corruption at rest", ent.CRC, got)
+		}
+	}
+	sec := io.NewSectionReader(f, int64(ent.offset), int64(ent.length))
+	if err := readPartition(bufio.NewReaderSize(sec, 1<<20), s); err != nil {
+		return err
+	}
+	return nil
+}
+
+// quarantinePartition copies a damaged partition's raw bytes into a
+// quarantine/ directory next to the dataset, with a .reason file
+// describing the failure. Quarantine I/O failures never fail the load;
+// the report then carries an empty Path.
+func quarantinePartition(path string, f *os.File, ent *PartitionInfo, cause error) QuarantinedPartition {
+	q := QuarantinedPartition{Source: ent.Source, Day: ent.Day, Err: cause.Error()}
+	qdir := filepath.Join(filepath.Dir(path), "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return q
+	}
+	base := filepath.Base(path)
+	dst := filepath.Join(qdir, fmt.Sprintf("%s.%s.%s.part", base, ent.Source, ent.Day))
+	out, err := os.Create(dst)
+	if err != nil {
+		return q
+	}
+	_, cpErr := io.Copy(out, io.NewSectionReader(f, int64(ent.offset), int64(ent.length)))
+	if closeErr := out.Close(); cpErr == nil {
+		cpErr = closeErr
+	}
+	if cpErr != nil {
+		os.Remove(dst)
+		return q
+	}
+	q.Path = dst
+	reason := fmt.Sprintf("dataset: %s\npartition: %s/%s\nbytes: [%d, %d)\nerror: %s\n",
+		path, ent.Source, ent.Day, ent.offset, ent.offset+ent.length, cause)
+	_ = os.WriteFile(dst+".reason", []byte(reason), 0o644)
+	return q
+}
+
+// QuarantineFile moves a whole damaged dataset file into a quarantine/
+// directory next to it, with a .reason file, and returns the new path.
+// Used when a file is unsalvageable (or is a single-partition spool).
+func QuarantineFile(path string, cause error) (string, error) {
+	qdir := filepath.Join(filepath.Dir(path), "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", err
+	}
+	dst := filepath.Join(qdir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		return "", err
+	}
+	reason := fmt.Sprintf("dataset: %s\nerror: %s\n", path, cause)
+	_ = os.WriteFile(dst+".reason", []byte(reason), 0o644)
+	mQuarantined.Inc()
+	return dst, nil
+}
+
+// Verify checks a dataset file's integrity without building a store: on
+// version 4 files it validates the footer, directory, and every section
+// checksum (dictionary, directory, each partition); on older versions it
+// falls back to a full structural decode. A nil return means a Load of
+// the same bytes cannot lose or invent data.
+func Verify(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	version, err := readHeader(f)
+	if err != nil {
+		return err
+	}
+	if version < 4 {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		if _, err := decode(bufio.NewReaderSize(f, 1<<20)); err != nil {
+			return err
+		}
+		if version >= 3 {
+			meta, err := readFooter(f, version)
+			if err != nil {
+				return err
+			}
+			if _, err := readDirectoryAt(f, meta); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	meta, err := readFooter(f, version)
+	if err != nil {
+		return err
+	}
+	dir, err := readDirectoryAt(f, meta)
+	if err != nil {
+		return err
+	}
+	if err := verifySharedSections(f, meta, dir); err != nil {
+		return err
+	}
+	for i := range dir {
+		ent := &dir[i]
+		got, err := sectionCRC(f, int64(ent.offset), int64(ent.length))
+		if err != nil {
+			return fmt.Errorf("store: partition %s/%s: %w", ent.Source, ent.Day, err)
+		}
+		if got != ent.CRC {
+			mCRCFailures.Inc()
+			return fmt.Errorf("store: partition %s/%s checksum mismatch (want %08x, got %08x)",
+				ent.Source, ent.Day, ent.CRC, got)
+		}
+	}
+	return nil
+}
+
 // LoadPartition decodes a single (source, day) partition from a dataset
 // file, plus the shared dictionary, without decoding any other day
-// block. On version 2 files (no directory) it falls back to a full
-// decode and prunes. The returned store contains exactly one partition.
+// block. Version 4 partition checksums are verified first; a corrupt
+// partition is quarantined next to the dataset and reported with a
+// descriptive error. On version 2 files (no directory) it falls back to
+// a full decode and prunes. The returned store contains exactly one
+// partition.
 func LoadPartition(path, source string, day simtime.Day) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -148,7 +395,11 @@ func LoadPartition(path, source string, day simtime.Day) (*Store, error) {
 		}
 		return s, nil
 	}
-	dir, err := readDirectory(f)
+	meta, err := readFooter(f, version)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := readDirectoryAt(f, meta)
 	if err != nil {
 		return nil, err
 	}
@@ -162,17 +413,14 @@ func LoadPartition(path, source string, day simtime.Day) (*Store, error) {
 	if ent == nil {
 		return nil, fmt.Errorf("store: no partition %s/%s in %s", source, day, path)
 	}
-	// The dictionary immediately follows the 8-byte header.
-	if _, err := f.Seek(8, io.SeekStart); err != nil {
-		return nil, err
-	}
 	s := New()
-	if err := readDict(bufio.NewReaderSize(f, 1<<20), s); err != nil {
+	if err := readDictAt(f, s); err != nil {
 		return nil, err
 	}
-	sec := io.NewSectionReader(f, int64(ent.offset), int64(ent.length))
-	if err := readPartition(bufio.NewReaderSize(sec, 1<<20), s); err != nil {
-		return nil, err
+	if err := loadDirPartition(f, version, ent, s); err != nil {
+		q := quarantinePartition(path, f, ent, err)
+		mQuarantined.Inc()
+		return nil, &PartialLoadError{Quarantined: []QuarantinedPartition{q}}
 	}
 	return s, nil
 }
@@ -192,7 +440,11 @@ func Directory(path string) ([]PartitionInfo, error) {
 	if version < 3 {
 		return nil, ErrNoDirectory
 	}
-	return readDirectory(f)
+	meta, err := readFooter(f, version)
+	if err != nil {
+		return nil, err
+	}
+	return readDirectoryAt(f, meta)
 }
 
 // readHeader validates the magic and returns the format version.
@@ -205,34 +457,63 @@ func readHeader(f *os.File) (uint32, error) {
 		return 0, fmt.Errorf("store: not a dataset file")
 	}
 	version := binary.LittleEndian.Uint32(hdr[4:])
-	if version != 2 && version != persistVersion {
+	if version < 2 || version > persistVersion {
 		return 0, fmt.Errorf("store: unsupported version %d", version)
 	}
 	return version, nil
 }
 
-// readDirectory parses the footer and partition directory of a v3 file.
-func readDirectory(f *os.File) ([]PartitionInfo, error) {
+// readDictAt seeks to the dictionary (it immediately follows the 8-byte
+// header) and decodes it into s.
+func readDictAt(f *os.File, s *Store) error {
+	if _, err := f.Seek(8, io.SeekStart); err != nil {
+		return err
+	}
+	return readDict(bufio.NewReaderSize(f, 1<<20), s)
+}
+
+// fileMeta is a v3+ file's footer, decoded.
+type fileMeta struct {
+	version uint32
+	size    int64
+	dirOff  uint64
+	// dictCRC/dirCRC are the v4 section checksums (zero on v3).
+	dictCRC, dirCRC uint32
+}
+
+// readFooter parses the trailing footer of a v3+ file.
+func readFooter(f *os.File, version uint32) (fileMeta, error) {
 	st, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return fileMeta{}, err
 	}
-	size := st.Size()
-	if size < footerSize {
-		return nil, fmt.Errorf("store: file too short for directory footer")
+	meta := fileMeta{version: version, size: st.Size()}
+	fs := footerSize(version)
+	if meta.size < fs {
+		return fileMeta{}, fmt.Errorf("store: file too short for directory footer")
 	}
-	var foot [footerSize]byte
-	if _, err := f.ReadAt(foot[:], size-footerSize); err != nil {
-		return nil, err
+	foot := make([]byte, fs)
+	if _, err := f.ReadAt(foot, meta.size-fs); err != nil {
+		return fileMeta{}, err
 	}
-	if string(foot[8:]) != dirMagic {
-		return nil, fmt.Errorf("store: directory footer missing or corrupt")
+	if string(foot[fs-4:]) != dirMagic {
+		return fileMeta{}, fmt.Errorf("store: directory footer missing or corrupt")
 	}
-	dirOff := binary.LittleEndian.Uint64(foot[:8])
-	if dirOff >= uint64(size-footerSize) {
-		return nil, fmt.Errorf("store: directory offset out of range")
+	meta.dirOff = binary.LittleEndian.Uint64(foot[:8])
+	if version >= 4 {
+		meta.dictCRC = binary.LittleEndian.Uint32(foot[8:12])
+		meta.dirCRC = binary.LittleEndian.Uint32(foot[12:16])
 	}
-	r := bufio.NewReader(io.NewSectionReader(f, int64(dirOff), size-footerSize-int64(dirOff)))
+	if meta.dirOff >= uint64(meta.size-fs) {
+		return fileMeta{}, fmt.Errorf("store: directory offset out of range")
+	}
+	return meta, nil
+}
+
+// readDirectoryAt parses the partition directory located by meta.
+func readDirectoryAt(f *os.File, meta fileMeta) ([]PartitionInfo, error) {
+	dirLen := meta.size - footerSize(meta.version) - int64(meta.dirOff)
+	r := bufio.NewReader(io.NewSectionReader(f, int64(meta.dirOff), dirLen))
 	count, err := readU32(r)
 	if err != nil {
 		return nil, err
@@ -262,7 +543,12 @@ func readDirectory(f *os.File) ([]PartitionInfo, error) {
 		}
 		ent.offset = binary.LittleEndian.Uint64(buf[:8])
 		ent.length = binary.LittleEndian.Uint64(buf[8:])
-		if ent.offset+ent.length > uint64(size) {
+		if meta.version >= 4 {
+			if ent.CRC, err = readU32(r); err != nil {
+				return nil, err
+			}
+		}
+		if ent.offset+ent.length > uint64(meta.size) || ent.offset+ent.length < ent.offset {
 			return nil, fmt.Errorf("store: directory entry out of range")
 		}
 		out = append(out, ent)
@@ -270,16 +556,64 @@ func readDirectory(f *os.File) ([]PartitionInfo, error) {
 	return out, nil
 }
 
+// verifySharedSections checks the v4 dictionary and directory checksums
+// — the sections every partition depends on. A mismatch there is
+// unsalvageable, so these fail the whole load.
+func verifySharedSections(f *os.File, meta fileMeta, dir []PartitionInfo) error {
+	// The dict section spans from the header to the first partition (or
+	// straight to the directory when the store is empty), including the
+	// partition-count word.
+	partsStart := meta.dirOff
+	for i := range dir {
+		if dir[i].offset < partsStart {
+			partsStart = dir[i].offset
+		}
+	}
+	got, err := sectionCRC(f, 8, int64(partsStart)-8)
+	if err != nil {
+		return err
+	}
+	if got != meta.dictCRC {
+		mCRCFailures.Inc()
+		return fmt.Errorf("store: dictionary checksum mismatch (want %08x, got %08x)", meta.dictCRC, got)
+	}
+	dirLen := meta.size - footerSize(meta.version) - int64(meta.dirOff)
+	got, err = sectionCRC(f, int64(meta.dirOff), dirLen)
+	if err != nil {
+		return err
+	}
+	if got != meta.dirCRC {
+		mCRCFailures.Inc()
+		return fmt.Errorf("store: directory checksum mismatch (want %08x, got %08x)", meta.dirCRC, got)
+	}
+	return nil
+}
+
+// sectionCRC computes the CRC32 (IEEE) of a byte range of f.
+func sectionCRC(f *os.File, off, length int64) (uint32, error) {
+	if length < 0 {
+		return 0, fmt.Errorf("store: negative section length")
+	}
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, io.NewSectionReader(f, off, length)); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
+}
+
 // offsetWriter tracks the byte offset of everything written through it,
-// so encode can record partition positions for the directory.
+// plus a running CRC32 that encode resets at section boundaries, so the
+// directory can record partition positions and checksums.
 type offsetWriter struct {
-	w io.Writer
-	n uint64
+	w   io.Writer
+	n   uint64
+	crc uint32
 }
 
 func (o *offsetWriter) Write(p []byte) (int, error) {
 	n, err := o.w.Write(p)
 	o.n += uint64(n)
+	o.crc = crc32.Update(o.crc, crc32.IEEETable, p[:n])
 	return n, err
 }
 
@@ -293,6 +627,7 @@ func (s *Store) encode(dst io.Writer) error {
 	if err := writeU32(w, persistVersion); err != nil {
 		return err
 	}
+	w.crc = 0 // dict section checksum starts after the header
 	// Dictionary.
 	s.dict.mu.RLock()
 	strs := s.dict.strs
@@ -320,6 +655,7 @@ func (s *Store) encode(dst io.Writer) error {
 	if err := writeU32(w, uint32(nParts)); err != nil {
 		return err
 	}
+	dictCRC := w.crc // covers dict + partition count word
 	dir := make([]PartitionInfo, 0, nParts)
 	for _, source := range sources {
 		days := make([]simtime.Day, 0, len(s.blocks[source]))
@@ -330,17 +666,19 @@ func (s *Store) encode(dst io.Writer) error {
 		for _, day := range days {
 			b := s.blocks[source][day]
 			start := w.n
+			w.crc = 0
 			if err := writePartition(w, source, day, b); err != nil {
 				return err
 			}
 			dir = append(dir, PartitionInfo{
-				Source: source, Day: day, Rows: b.rows(),
+				Source: source, Day: day, Rows: b.rows(), CRC: w.crc,
 				offset: start, length: w.n - start,
 			})
 		}
 	}
 	// Directory + footer.
 	dirOff := w.n
+	w.crc = 0
 	if err := writeU32(w, uint32(len(dir))); err != nil {
 		return err
 	}
@@ -360,10 +698,15 @@ func (s *Store) encode(dst io.Writer) error {
 		if _, err := w.Write(buf[:]); err != nil {
 			return err
 		}
+		if err := writeU32(w, ent.CRC); err != nil {
+			return err
+		}
 	}
-	var foot [footerSize]byte
+	var foot [footerSizeV4]byte
 	binary.LittleEndian.PutUint64(foot[:8], dirOff)
-	copy(foot[8:], dirMagic)
+	binary.LittleEndian.PutUint32(foot[8:12], dictCRC)
+	binary.LittleEndian.PutUint32(foot[12:16], w.crc)
+	copy(foot[16:], dirMagic)
 	_, err := w.Write(foot[:])
 	return err
 }
@@ -427,7 +770,7 @@ func decode(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != 2 && version != persistVersion {
+	if version < 2 || version > persistVersion {
 		return nil, fmt.Errorf("store: unsupported version %d", version)
 	}
 	s := New()
@@ -443,7 +786,7 @@ func decode(r io.Reader) (*Store, error) {
 			return nil, err
 		}
 	}
-	// Trailing directory + footer bytes (version 3) are intentionally
+	// Trailing directory + footer bytes (version 3+) are intentionally
 	// left unread: a full decode has no use for them.
 	return s, nil
 }

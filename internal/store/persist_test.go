@@ -70,12 +70,13 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
-// legacyV2File rewrites a saved v3 file into the version 2 format:
-// strip the trailing directory + footer and patch the version field.
+// legacyV2File rewrites a saved v4 file into the version 2 format:
+// strip the trailing directory + footer and patch the version field
+// (partition bytes are identical across versions).
 func legacyV2File(t *testing.T, s *Store) string {
 	t.Helper()
 	dir := t.TempDir()
-	path := filepath.Join(dir, "v3.dpsa")
+	path := filepath.Join(dir, "v4.dpsa")
 	if err := s.Save(path); err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func legacyV2File(t *testing.T, s *Store) string {
 	if got := string(data[len(data)-4:]); got != dirMagic {
 		t.Fatalf("footer magic = %q", got)
 	}
-	dirOff := binary.LittleEndian.Uint64(data[len(data)-footerSize : len(data)-4])
+	dirOff := binary.LittleEndian.Uint64(data[len(data)-footerSizeV4 : len(data)-footerSizeV4+8])
 	legacy := append([]byte(nil), data[:dirOff]...)
 	binary.LittleEndian.PutUint32(legacy[4:], 2)
 	out := filepath.Join(dir, "v2.dpsa")

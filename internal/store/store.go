@@ -398,6 +398,28 @@ func (s *Store) ForEachRow(source string, day simtime.Day, fn func(Row)) {
 	}
 }
 
+// Absorb copies every partition of o into s, re-interning strings
+// through s's dictionary. The coordinator's final assembly uses it to
+// fold per-partition spool files into one dataset; absorbing the same
+// partition twice duplicates its rows, so callers must dedupe at the
+// (source, day) level (the coordinator's exactly-once ledger does).
+func (s *Store) Absorb(o *Store) {
+	for _, src := range o.Sources() {
+		for _, day := range o.Days(src) {
+			w := s.NewWriter(src, day)
+			o.ForEachRow(src, day, func(r Row) {
+				switch r.Kind {
+				case KindWWWCNAME, KindNS:
+					w.AddStr(r.Domain, r.Kind, r.Str)
+				default:
+					w.AddAddr(r.Domain, r.Kind, r.Addr, r.ASNs)
+				}
+			})
+			w.Commit()
+		}
+	}
+}
+
 // Stats summarises a source for Table 1.
 type Stats struct {
 	Source     string

@@ -1,6 +1,6 @@
 #!/bin/sh
-# Compare freshly-run serving and detection benchmarks against the
-# committed results/BENCH_api.json and results/BENCH_detect.json, warning
+# Compare freshly-run serving, detection, and coordination benchmarks
+# against the committed results/BENCH_{api,detect,coord}.json, warning
 # on any metric that regressed more than 20%. Advisory by default (exit 0
 # even on regressions; set BENCHDIFF_STRICT=1 to fail); set
 # BENCHDIFF_SKIP_REGEN=1 to diff the working tree against HEAD without
@@ -16,12 +16,16 @@ git show HEAD:results/BENCH_api.json >"$WORK/base_api.json" 2>/dev/null ||
     { echo "benchdiff: no committed results/BENCH_api.json at HEAD" >&2; exit 1; }
 git show HEAD:results/BENCH_detect.json >"$WORK/base_detect.json" 2>/dev/null ||
     { echo "benchdiff: no committed results/BENCH_detect.json at HEAD" >&2; exit 1; }
+git show HEAD:results/BENCH_coord.json >"$WORK/base_coord.json" 2>/dev/null ||
+    { echo "benchdiff: no committed results/BENCH_coord.json at HEAD" >&2; exit 1; }
 
 if [ "${BENCHDIFF_SKIP_REGEN:-0}" != "1" ]; then
     echo "== regenerate serving benchmark (results/BENCH_api.json)"
     go test -run '^$' -bench '^BenchmarkAPIServe$' .
     echo "== regenerate detection benchmark (results/BENCH_detect.json)"
     go test -run '^$' -bench '^BenchmarkDetect(Day|Range)$' .
+    echo "== regenerate coordination benchmark (results/BENCH_coord.json)"
+    go test -run '^$' -bench '^BenchmarkCoordinator$' .
 fi
 
 STRICT=""
@@ -31,3 +35,5 @@ echo "== diff serving benchmark vs HEAD"
 go run ./cmd/benchdiff $STRICT "$WORK/base_api.json" results/BENCH_api.json
 echo "== diff detection benchmark vs HEAD"
 go run ./cmd/benchdiff $STRICT "$WORK/base_detect.json" results/BENCH_detect.json
+echo "== diff coordination benchmark vs HEAD"
+go run ./cmd/benchdiff $STRICT "$WORK/base_coord.json" results/BENCH_coord.json
