@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench benchdiff chaos api benchscale benchscale-smoke coord coord-smoke
+.PHONY: check vet build test test-race bench benchdiff chaos api benchscale benchscale-smoke coord coord-smoke follow follow-smoke
 
 check: vet build test-race
 
@@ -59,6 +59,20 @@ coord-smoke:
 api:
 	$(GO) test -race ./internal/api/ ./internal/store/
 	sh scripts/api_smoke.sh
+
+# Live-follower suite under the race detector: delta-apply equivalence,
+# publish/invalidation precision, stale-fill fencing, journal tailing,
+# and the follower e2e tests (coord feed, dataset feed, damaged-spool
+# skip, seeded boot).
+follow:
+	$(GO) test -race ./internal/follow/ ./internal/api/ ./internal/coord/
+
+# Real-process smoke of the live tier: dpsapi -follow boots empty,
+# dpscoord commits days into the followed directory, every probe during
+# catch-up must answer, the index converges (lag 0, last day queryable),
+# and dpsdata -ledger agrees. Mirrors the CI follow-smoke job.
+follow-smoke:
+	sh scripts/follow_smoke.sh
 
 # Full detection scaling sweep: GOMAXPROCS × workers over a generated
 # world, one row per cell into results/BENCH_detect.json, pprof mutex

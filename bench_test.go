@@ -815,6 +815,87 @@ func writeDetectBench(b *testing.B) {
 	}
 }
 
+// BenchmarkFollowApply is the live-follower headroom benchmark: folding
+// one freshly committed day into an 11-day serving index via the delta
+// path (core.DetectDay on the new partitions + api.Index.Apply) against
+// the full rebuild (api.NewIndex over the combined store) that the
+// follower replaces. The acceptance floor is 10x: a day must land at
+// least an order of magnitude cheaper than a cold rebuild, or live
+// serving degenerates into periodic restarts. Both costs and the ratio
+// are persisted to results/BENCH_follow.json (schema follow/v1).
+func BenchmarkFollowApply(b *testing.B) {
+	w, err := worldsim.New(worldsim.DefaultConfig(50_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const baseDays = 60
+	base := store.New()
+	p := measure.New(w, base, measure.Config{Mode: measure.ModeDirect, Workers: 4})
+	for day := simtime.Day(0); day < baseDays; day++ {
+		if err := p.RunDay(context.Background(), day); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The new day arrives as its own self-contained store, exactly the
+	// shape of a coordinator spool (or the tail of a grown dataset).
+	deltaStore := store.New()
+	pd := measure.New(w, deltaStore, measure.Config{Mode: measure.ModeDirect, Workers: 4})
+	if err := pd.RunDay(context.Background(), baseDays); err != nil {
+		b.Fatal(err)
+	}
+	refs := core.MustGroundTruth()
+	combined := store.New()
+	combined.Absorb(base)
+	combined.Absorb(deltaStore)
+	deltaParts := core.Partitions(deltaStore)
+	baseIdx := api.NewIndex(base, refs)
+
+	doc := &benchfmt.FollowDoc{
+		NumCPU:          runtime.NumCPU(),
+		GoVersion:       runtime.Version(),
+		World:           fmt.Sprintf("synthetic scale=1:50000 days=%d+1", baseDays),
+		BaseDays:        baseDays,
+		BasePartitions:  len(core.Partitions(base)),
+		DeltaPartitions: len(deltaParts),
+	}
+	b.Run("delta", func(b *testing.B) {
+		doc.ApplyNsOp, doc.ApplyAllocsOp = benchLoop(b, func() {
+			ups := make([]api.PartitionUpdate, 0, len(deltaParts))
+			for _, part := range deltaParts {
+				ups = append(ups, api.PartitionUpdate{
+					Source: part.Source,
+					Day:    part.Day,
+					Det:    core.DetectDay(deltaStore, part.Source, part.Day, refs),
+				})
+			}
+			next, delta := baseIdx.Apply(ups)
+			if len(next.Days()) != baseDays+1 || delta == nil {
+				b.Fatal("delta apply did not extend the index")
+			}
+			doc.DomainsTouched = len(delta.Domains)
+		})
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		doc.RebuildNsOp, doc.RebuildAllocsOp = benchLoop(b, func() {
+			idx := api.NewIndex(combined, refs)
+			if len(idx.Days()) != baseDays+1 {
+				b.Fatal("rebuild missing the new day")
+			}
+		})
+	})
+	doc.FillSpeedup()
+	if err := doc.Write("results/BENCH_follow.json"); err != nil {
+		b.Logf("BENCH_follow.json not written: %v", err)
+		return
+	}
+	b.ReportMetric(doc.SpeedupX, "speedup_x")
+	b.Logf("wrote results/BENCH_follow.json (delta %.2fms vs rebuild %.2fms: %.1fx, floor 10x)",
+		doc.ApplyNsOp/1e6, doc.RebuildNsOp/1e6, doc.SpeedupX)
+	if doc.SpeedupX < 10 {
+		b.Errorf("delta apply only %.1fx faster than rebuild, want >= 10x", doc.SpeedupX)
+	}
+}
+
 // BenchmarkWorldDay benchmarks computing one day of world state (every
 // domain's DNS configuration plus the day's RIB).
 func BenchmarkWorldDay(b *testing.B) {

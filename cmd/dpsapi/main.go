@@ -20,11 +20,21 @@
 // listener closes, in-flight requests finish (up to -drain), then the
 // process exits.
 //
+// With -follow the server goes live: it tails a feed of committed
+// (source, day) partitions — a dpscoord coordination directory (the
+// journal is the change feed) or a growing .dpsa re-saved atomically —
+// verifies each partition, detects it, and folds it into the serving
+// index via a copy-on-write delta publish with precise cache
+// invalidation. -data becomes optional: a follower may boot from an
+// empty index and converge on the feed. /v1/stats reports freshness
+// (mode, epoch, lag, skips) while following.
+//
 // Usage:
 //
 //	dpsapi -data world.dpsa [-addr :8080] [-qps 0] [-max-inflight 256]
 //	       [-timeout 2s] [-cache 4096] [-drain 5s] [-quiet] [-log-json]
 //	       [-prof-mutex 5] [-prof-block 0]
+//	dpsapi -follow coorddir/ [-data world.dpsa] [-poll 500ms] [...]
 package main
 
 import (
@@ -42,13 +52,17 @@ import (
 
 	"dpsadopt/internal/api"
 	"dpsadopt/internal/core"
+	"dpsadopt/internal/follow"
 	"dpsadopt/internal/obs"
 	"dpsadopt/internal/store"
 )
 
 func main() {
 	var (
-		data        = flag.String("data", "", "dataset file (.dpsa) to serve (required)")
+		data        = flag.String("data", "", "dataset file (.dpsa) to serve (required unless -follow)")
+		followTgt   = flag.String("follow", "", "live feed to tail: a dpscoord directory or a growing .dpsa")
+		poll        = flag.Duration("poll", 500*time.Millisecond, "feed polling interval (with -follow)")
+		followWk    = flag.Int("follow-workers", 4, "catch-up detection workers (with -follow)")
 		addr        = flag.String("addr", ":8080", "listen address for /v1 and /metrics")
 		qps         = flag.Float64("qps", 0, "admitted requests per second (0 = unlimited)")
 		burst       = flag.Int("burst", 0, "token bucket depth (default: qps)")
@@ -64,8 +78,8 @@ func main() {
 	)
 	flag.Parse()
 	obs.SetContentionProfiling(*profMutex, *profBlock)
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "dpsapi: -data FILE required")
+	if *data == "" && *followTgt == "" {
+		fmt.Fprintln(os.Stderr, "dpsapi: -data FILE required (or -follow TARGET)")
 		os.Exit(2)
 	}
 
@@ -77,18 +91,33 @@ func main() {
 	}
 	log := obs.Logger()
 
+	// Boot store: the -data file when given and present. A follower may
+	// start with nothing — an absent or omitted data file serves an empty
+	// index that converges on the feed.
 	t0 := time.Now()
-	s, err := store.Load(*data)
-	var partial *store.PartialLoadError
-	if errors.As(err, &partial) {
-		log.Warn("dataset loaded degraded; damaged partitions quarantined",
-			"path", *data, "quarantined", len(partial.Quarantined), "detail", partial.Error())
-	} else if err != nil {
-		fatal(err)
+	s := store.New()
+	if *data != "" {
+		loaded, err := store.Load(*data)
+		var partial *store.PartialLoadError
+		switch {
+		case errors.As(err, &partial):
+			log.Warn("dataset loaded degraded; damaged partitions quarantined",
+				"path", *data, "quarantined", len(partial.Quarantined), "detail", partial.Error())
+			s = loaded
+		case errors.Is(err, os.ErrNotExist) && *followTgt != "":
+			log.Info("data file absent; starting empty and following", "path", *data)
+		case err != nil:
+			fatal(err)
+		default:
+			s = loaded
+		}
+		log.Info("dataset loaded", "path", *data, "elapsed", time.Since(t0).Round(time.Millisecond).String())
+	} else {
+		log.Info("no -data; booting empty index from feed", "follow", *followTgt)
 	}
-	log.Info("dataset loaded", "path", *data, "elapsed", time.Since(t0).Round(time.Millisecond).String())
 
-	idx := api.NewIndex(s, core.MustGroundTruth())
+	refs := core.MustGroundTruth()
+	idx := api.NewIndex(s, refs)
 	st := idx.Stats()
 	partitions, buildTime := idx.BuildStats()
 	dst := idx.DetectStats()
@@ -110,6 +139,33 @@ func main() {
 		Timeout:      *timeout,
 		CacheEntries: *cacheSize,
 	})
+	// Live follow: tail the feed into the serving index for the process
+	// lifetime. The follower is seeded with the boot store's partitions
+	// so catch-up starts at the first partition the index has not seen.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var followDone chan struct{}
+	if *followTgt != "" {
+		fl, err := follow.New(follow.Config{
+			Target:  *followTgt,
+			Refs:    refs,
+			Sink:    srv,
+			Poll:    *poll,
+			Workers: *followWk,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fl.Seed(follow.Keys(s))
+		srv.SetFreshnessFunc(fl.Freshness)
+		followDone = make(chan struct{})
+		go func() {
+			defer close(followDone)
+			_ = fl.Run(ctx) // returns only on ctx cancellation
+		}()
+		log.Info("following feed", "target", *followTgt, "mode", string(fl.Mode()), "poll", poll.String())
+	}
+
 	// The query observatory re-evaluates its SLO scorecard periodically,
 	// keeping the slo_* gauges fresh and logging status transitions.
 	stopEval := srv.Observatory().StartEvaluator(10 * time.Second)
@@ -132,8 +188,6 @@ func main() {
 	log.Info("serving", "addr", ln.Addr().String(),
 		"routes", "/v1/domain/{name} /v1/provider/{name}/series /v1/day/{date} /v1/stats /metrics /debug/slo /debug/slowlog /debug/topk")
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
@@ -144,6 +198,9 @@ func main() {
 		}
 	case <-ctx.Done():
 		log.Info("signal received; draining", "deadline", drain.String())
+		if followDone != nil {
+			<-followDone // follower sees the same ctx; wait out any in-flight apply
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {

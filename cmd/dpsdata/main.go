@@ -9,10 +9,14 @@
 //	dpsdata -data FILE -detect          # per-day per-provider counts
 //	dpsdata -data FILE -grep cloudflare # rows whose strings match
 //	dpsdata -data FILE -domain x.com    # one domain's full detection history
+//	dpsdata -ledger DIR                 # a dpscoord directory's partition ledger
 //
 // -dump uses the dataset's partition directory (when present) to decode
 // only the requested day block; -domain answers from the internal/api
-// read index instead of scanning rows.
+// read index instead of scanning rows. -ledger replays a coordination
+// journal read-only (safe while a coordinator is live) and verifies each
+// committed spool's CRCs, so operators see at a glance which partitions
+// are committed, retrying, failed — and whether their spools are intact.
 package main
 
 import (
@@ -20,10 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"dpsadopt/internal/api"
+	"dpsadopt/internal/coord"
 	"dpsadopt/internal/core"
 	"dpsadopt/internal/simtime"
 	"dpsadopt/internal/store"
@@ -37,8 +43,15 @@ func main() {
 		grep   = flag.String("grep", "", "print rows whose NS/CNAME strings contain this substring")
 		domain = flag.String("domain", "", "print this domain's full detection history")
 		limit  = flag.Int("limit", 20, "max rows for -dump/-grep")
+		ledger = flag.String("ledger", "", "print a dpscoord coordination directory's partition ledger")
 	)
 	flag.Parse()
+	if *ledger != "" {
+		if err := printLedger(*ledger); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "dpsdata: -data FILE required")
 		os.Exit(2)
@@ -114,6 +127,50 @@ func main() {
 			fmt.Printf("%-8s %6d %10d %12d %13dB\n", src, st.Days, st.UniqueSLDs, st.DataPoints, st.CompressedBytes)
 		}
 	}
+}
+
+// printLedger replays a coordination journal read-only and renders each
+// partition's state, attempts, and — for committed partitions — whether
+// its spool still passes CRC verification. Unlike the coordinator's own
+// replay this never truncates a torn tail, so it is safe against a
+// directory a live coordinator is writing.
+func printLedger(dir string) error {
+	recs, err := coord.NewJournalReader(dir).Next()
+	if err != nil {
+		return err
+	}
+	if recs == nil {
+		return fmt.Errorf("no journal under %s", dir)
+	}
+	rows := coord.ReplayLedger(recs)
+	fmt.Printf("%-10s %-12s %-10s %8s  %s\n", "source", "day", "state", "attempts", "spool")
+	var committed, intact int
+	for _, r := range rows {
+		note := "-"
+		if r.State == coord.StateCommitted {
+			committed++
+			// The journal may record a path relative to the coordinator's
+			// working directory; prefer the layout-derived location.
+			spool := filepath.Join(dir, "spool", r.Source+"."+r.Day+".dpsa")
+			if _, serr := os.Stat(spool); serr != nil && r.Spool != "" {
+				spool = r.Spool
+			}
+			if verr := store.Verify(spool); verr != nil {
+				note = fmt.Sprintf("DAMAGED %s: %v", spool, verr)
+			} else {
+				intact++
+				note = "ok " + spool
+			}
+		} else if r.Err != "" {
+			note = r.Err
+		}
+		fmt.Printf("%-10s %-12s %-10s %8d  %s\n", r.Source, r.Day, r.State, r.Attempts, note)
+	}
+	fmt.Printf("%d partitions: %d committed (%d spools intact)\n", len(rows), committed, intact)
+	if intact < committed {
+		return fmt.Errorf("%d committed spool(s) fail verification", committed-intact)
+	}
+	return nil
 }
 
 // printDomainHistory renders one domain's detection record from the

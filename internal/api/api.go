@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dpsadopt/internal/obs"
@@ -69,9 +70,12 @@ type Config struct {
 	ObservatoryOff bool
 }
 
-// Server answers the /v1 routes from an immutable Index.
+// Server answers the /v1 routes from an immutable Index. The index is
+// held behind an atomic pointer so a follower can publish a successor
+// (Publish) without stopping the request flow: every request resolves
+// the pointer once and serves consistently from that snapshot.
 type Server struct {
-	idx    *Index
+	idx    atomic.Pointer[Index]
 	cfg    Config
 	cache  *shardedCache // nil when disabled
 	flight *flightGroup
@@ -91,6 +95,10 @@ type Server struct {
 	// leader's computation — it lets tests hold a flight open and count
 	// real index walks.
 	flightHook func()
+
+	// freshFn, when set (SetFreshnessFunc), contributes live follower
+	// freshness to /v1/stats. Holds a func() *Freshness.
+	freshFn atomic.Value
 }
 
 // NewServer builds a server for an index.
@@ -108,11 +116,11 @@ func NewServer(idx *Index, cfg Config) *Server {
 		cfg.CacheEntries = 4096
 	}
 	s := &Server{
-		idx:    idx,
 		cfg:    cfg,
 		flight: newFlightGroup(),
 		gate:   make(chan struct{}, cfg.MaxInflight),
 	}
+	s.idx.Store(idx)
 	if cfg.CacheEntries > 0 {
 		s.cache = newCache(cfg.CacheEntries, cfg.CacheShards)
 	}
@@ -221,16 +229,20 @@ func (s *Server) respond(route string, r *http.Request, fn func(r *http.Request)
 		return val, true, false
 	}
 	mCacheMisses.Inc()
+	// The cache generation is read before the handler resolves the index
+	// pointer: if a Publish lands in between, put rejects this (possibly
+	// stale) fill instead of resurrecting an invalidated key.
+	gen := s.cache.generation()
 	val, shared = s.flight.do(key, func() cached {
 		if s.flightHook != nil {
 			s.flightHook()
 		}
 		val := fn(r)
 		// Only successful and not-found answers are cacheable: both are
-		// immutable facts of the loaded dataset. Errors are not, and
-		// neither are volatile responses carrying live process state.
+		// immutable facts of the served index generation. Errors are not,
+		// and neither are volatile responses carrying live process state.
 		if !val.volatile && (val.status == http.StatusOK || val.status == http.StatusNotFound) {
-			s.cache.put(key, val)
+			s.cache.put(key, val, gen)
 		}
 		return val
 	})
@@ -302,7 +314,7 @@ func (s *Server) handleDomain(r *http.Request) cached {
 	if name == "" || len(name) > maxDomainName || strings.ContainsAny(name, " /\\") {
 		return errResponse(http.StatusBadRequest, "invalid domain name")
 	}
-	h, ok := s.idx.Domain(name)
+	h, ok := s.Index().Domain(name)
 	if !ok {
 		return errResponse(http.StatusNotFound, "domain has no recorded DPS references")
 	}
@@ -314,7 +326,7 @@ func (s *Server) handleSeries(r *http.Request) cached {
 	if name == "" {
 		return errResponse(http.StatusBadRequest, "invalid provider name")
 	}
-	series, ok := s.idx.Series(name)
+	series, ok := s.Index().Series(name)
 	if !ok {
 		return errResponse(http.StatusNotFound, "unknown provider")
 	}
@@ -326,7 +338,7 @@ func (s *Server) handleDay(r *http.Request) cached {
 	if err != nil {
 		return errResponse(http.StatusBadRequest, "invalid date, want YYYY-MM-DD")
 	}
-	info, ok := s.idx.Day(day)
+	info, ok := s.Index().Day(day)
 	if !ok {
 		return errResponse(http.StatusNotFound, "day not in dataset")
 	}
@@ -343,14 +355,21 @@ type StatsResponse struct {
 	// Observatory digests the rolling windows, SLO statuses, and
 	// heavy-hitter heads; omitted when the observatory is disabled.
 	Observatory *obs.ObservatorySummary `json:"observatory,omitempty"`
+	// Freshness reports the live-follow state; omitted when the server
+	// is not following a feed.
+	Freshness *Freshness `json:"freshness,omitempty"`
 }
 
 func (s *Server) handleStats(r *http.Request) cached {
-	val := jsonResponse(http.StatusOK, StatsResponse{
-		Stats:       s.idx.Stats(),
+	resp := StatsResponse{
+		Stats:       s.Index().Stats(),
 		Process:     obs.ReadProcessInfo(),
 		Observatory: s.obsv.Summary(),
-	})
+	}
+	if fn, ok := s.freshFn.Load().(func() *Freshness); ok {
+		resp.Freshness = fn()
+	}
+	val := jsonResponse(http.StatusOK, resp)
 	val.volatile = true
 	return val
 }

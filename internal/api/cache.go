@@ -3,6 +3,7 @@ package api
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // cached is one materialised response.
@@ -31,12 +32,16 @@ type lruEntry struct {
 	val cached
 }
 
-// shardedCache is a power-of-two-sharded LRU keyed by request key. The
-// dataset is immutable while served, so entries never expire — they only
-// fall off the cold end under capacity pressure.
+// shardedCache is a power-of-two-sharded LRU keyed by request key. Each
+// served index generation is immutable, so entries never expire on
+// their own — they fall off the cold end under capacity pressure, or
+// are removed by sweep when a Publish invalidates the keys a delta
+// touched. gen fences stale fills: a fill that began against an older
+// index generation is rejected rather than resurrecting a swept key.
 type shardedCache struct {
 	shards []*cacheShard
 	mask   uint64
+	gen    atomic.Uint64
 }
 
 // newCache builds a cache holding ~entries responses across shards
@@ -92,12 +97,23 @@ func (c *shardedCache) get(key string) (cached, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
+// generation returns the fence a fill must present to put. Read it
+// before resolving the index the response is computed from.
+func (c *shardedCache) generation() uint64 { return c.gen.Load() }
+
 // put inserts (or refreshes) a response, evicting the coldest entry of
-// the shard when full.
-func (c *shardedCache) put(key string, val cached) {
+// the shard when full. gen is the generation observed when the fill
+// began: if an invalidation bumped it since, the value may describe a
+// replaced index and is dropped. The check happens under the shard
+// lock, so it cannot race a concurrent sweep of the same key.
+func (c *shardedCache) put(key string, val cached, gen uint64) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if c.gen.Load() != gen {
+		mCacheStaleFills.Inc()
+		return
+	}
 	if el, ok := s.items[key]; ok {
 		el.Value.(*lruEntry).val = val
 		s.ll.MoveToFront(el)
@@ -111,6 +127,30 @@ func (c *shardedCache) put(key string, val cached) {
 		}
 	}
 	s.items[key] = s.ll.PushFront(&lruEntry{key: key, val: val})
+}
+
+// sweep bumps the generation (fencing off in-flight fills that started
+// against the previous index) and removes every resident entry the
+// match function selects, returning how many were dropped.
+func (c *shardedCache) sweep(match func(key string) bool) int {
+	c.gen.Add(1)
+	dropped := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		var doomed []*list.Element
+		for key, el := range s.items {
+			if match(key) {
+				doomed = append(doomed, el)
+			}
+		}
+		for _, el := range doomed {
+			s.ll.Remove(el)
+			delete(s.items, el.Value.(*lruEntry).key)
+			dropped++
+		}
+		s.mu.Unlock()
+	}
+	return dropped
 }
 
 // len reports the number of resident entries (test/diagnostic use).

@@ -13,13 +13,13 @@ func TestCacheLRUEviction(t *testing.T) {
 	// One shard, capacity 2: deterministic eviction order.
 	c := newCache(2, 1)
 	body := func(s string) cached { return cached{status: http.StatusOK, body: []byte(s)} }
-	c.put("a", body("A"))
-	c.put("b", body("B"))
+	c.put("a", body("A"), c.generation())
+	c.put("b", body("B"), c.generation())
 	// Touch "a" so "b" is the coldest, then overflow.
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a missing before eviction")
 	}
-	c.put("c", body("C"))
+	c.put("c", body("C"), c.generation())
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted (LRU)")
 	}
@@ -32,7 +32,7 @@ func TestCacheLRUEviction(t *testing.T) {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
 	// Refreshing an existing key replaces the value without growing.
-	c.put("a", body("A2"))
+	c.put("a", body("A2"), c.generation())
 	if v, _ := c.get("a"); string(v.body) != "A2" {
 		t.Fatalf("refresh lost: %q", v.body)
 	}
@@ -70,7 +70,7 @@ func TestCacheConcurrent(t *testing.T) {
 						return
 					}
 				} else {
-					c.put(k, cached{status: 200, body: []byte(k)})
+					c.put(k, cached{status: 200, body: []byte(k)}, c.generation())
 				}
 			}
 		}(g)

@@ -45,6 +45,7 @@ type Index struct {
 	anyUse   []int64     // [dayIdx] distinct domains using at least one provider
 
 	partitions  int
+	epoch       uint64 // bumped by every Apply; 0 for a fresh build
 	buildTime   time.Duration
 	detectStats core.RangeStats
 }
@@ -152,7 +153,14 @@ func NewIndex(s *store.Store, refs *core.References) *Index {
 // interval extends only across consecutive measured days with an
 // unchanged method set.
 func (x *Index) addDay(dom string, p int, m core.Method, day, prev simtime.Day) {
-	ivs := x.domains[dom]
+	x.domains[dom] = appendDetection(x.domains[dom], p, m, day, prev)
+}
+
+// appendDetection is the interval-packing step shared by the full build
+// and the delta repack: extend the provider's last interval if day is
+// the next consecutive measured day with the same methods, else start a
+// new interval.
+func appendDetection(ivs []interval, p int, m core.Method, day, prev simtime.Day) []interval {
 	for i := len(ivs) - 1; i >= 0; i-- {
 		if int(ivs[i].provider) != p {
 			continue
@@ -160,11 +168,11 @@ func (x *Index) addDay(dom string, p int, m core.Method, day, prev simtime.Day) 
 		if simtime.Day(ivs[i].last) == prev && ivs[i].methods == m {
 			ivs[i].last = int32(day)
 			ivs[i].days++
-			return
+			return ivs
 		}
 		break
 	}
-	x.domains[dom] = append(ivs, interval{
+	return append(ivs, interval{
 		provider: uint8(p),
 		methods:  m,
 		days:     1,
@@ -335,6 +343,7 @@ type Stats struct {
 	ExampleDomain     string   `json:"example_domain,omitempty"`
 	Providers         []string `json:"providers"`
 	IndexBuildMS      float64  `json:"index_build_ms"`
+	IndexEpoch        uint64   `json:"index_epoch"`
 }
 
 // Stats summarises the loaded dataset and index.
@@ -345,6 +354,7 @@ func (x *Index) Stats() Stats {
 		PartitionsIndexed: x.partitions,
 		DomainsDetected:   len(x.domains),
 		IndexBuildMS:      float64(x.buildTime.Microseconds()) / 1000,
+		IndexEpoch:        x.epoch,
 	}
 	if len(x.days) > 0 {
 		st.FirstDay = x.days[0].String()
@@ -374,6 +384,10 @@ func (x *Index) Domains() []string {
 
 // Days lists the indexed days, sorted.
 func (x *Index) Days() []simtime.Day { return append([]simtime.Day(nil), x.days...) }
+
+// Epoch is the index's version: 0 for a fresh NewIndex build, bumped by
+// one for every Apply. Readers use it to tell index generations apart.
+func (x *Index) Epoch() uint64 { return x.epoch }
 
 // BuildStats reports the detection fan-out the index build performed:
 // the (source, day) partitions classified and the wall time spent.

@@ -31,4 +31,12 @@ var (
 		"measured days resident in the read index")
 	mIndexBuildSeconds = obs.Default().Gauge("api_index_build_seconds",
 		"wall time spent building the read index at load")
+	mIndexSwaps = obs.Default().Counter("api_index_swaps_total",
+		"index generations published onto the serving pointer")
+	mIndexEpoch = obs.Default().Gauge("api_index_epoch",
+		"epoch of the currently served index (0 = initial build)")
+	mCacheInvalidated = obs.Default().Counter("api_cache_invalidated_total",
+		"cache entries removed by delta-targeted invalidation sweeps")
+	mCacheStaleFills = obs.Default().Counter("api_cache_stale_fills_total",
+		"cache fills rejected because an index publish fenced them off")
 )

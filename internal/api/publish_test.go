@@ -1,0 +1,191 @@
+package api
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/simtime"
+)
+
+// publishFixture builds a server over the base partitions with a
+// walk-counting flight hook, plus the updates to publish later.
+func publishFixture(t *testing.T, base, added []partKey) (*Server, []PartitionUpdate, *atomic.Int64) {
+	t.Helper()
+	refs := core.MustGroundTruth()
+	baseStore, _ := buildBoth(t, refs, base)
+	_, ups := buildBoth(t, refs, added)
+	srv := NewServer(NewIndex(baseStore, refs), Config{ObservatoryOff: true})
+	walks := &atomic.Int64{}
+	srv.flightHook = func() { walks.Add(1) }
+	return srv, ups, walks
+}
+
+// TestPublishInvalidationPrecision is the cache-precision contract:
+// after publishing a delta for day D, every cached response touching D
+// (or a touched domain, or any provider series) is recomputed, and
+// every other cached response survives as a hit.
+func TestPublishInvalidationPrecision(t *testing.T) {
+	// Base: com days 0-2. Delta: day 3 from com AND net — so day 3 is
+	// new, only-net.com flips 404→200, and day-0..2 aggregates are
+	// untouched.
+	srv, ups, walks := publishFixture(t,
+		[]partKey{{"com", 0}, {"com", 1}, {"com", 2}},
+		[]partKey{{"com", 3}, {"net", 3}})
+
+	cases := []struct {
+		name        string
+		path        string
+		invalidated bool
+	}{
+		{"touched domain", "/v1/domain/alpha.com", true},
+		{"touched domain, unnormalized key", "/v1/domain/Alpha.COM.", true},
+		{"touched 404 domain now detected", "/v1/domain/only-net.com", true},
+		{"unprotected domain 404", "/v1/domain/quiet.com", false},
+		{"unknown domain 404", "/v1/domain/nosuch.example", false},
+		{"untouched day", "/v1/day/2015-03-01", false},
+		{"untouched day (last old)", "/v1/day/2015-03-03", false},
+		{"new day 404 now indexed", "/v1/day/2015-03-04", true},
+		{"series (smoothing is global)", "/v1/provider/Akamai/series", true},
+		{"series of other provider", "/v1/provider/CloudFlare/series", true},
+	}
+
+	// Warm every key, then prove each is a cache hit: a second round of
+	// requests must not add index walks.
+	before := make(map[string]string)
+	for _, tc := range cases {
+		_, body := get(t, srv.Handler(), tc.path)
+		before[tc.path] = body
+	}
+	warmWalks := walks.Load()
+	for _, tc := range cases {
+		if _, body := get(t, srv.Handler(), tc.path); body != before[tc.path] {
+			t.Fatalf("%s: unstable body before publish", tc.path)
+		}
+	}
+	if walks.Load() != warmWalks {
+		t.Fatalf("warm round walked the index: %d → %d", warmWalks, walks.Load())
+	}
+
+	next, delta := srv.Index().Apply(ups)
+	srv.Publish(next, delta)
+
+	for _, tc := range cases {
+		w0 := walks.Load()
+		_, body := get(t, srv.Handler(), tc.path)
+		recomputed := walks.Load() > w0
+		if recomputed != tc.invalidated {
+			t.Errorf("%s (%s): recomputed=%v, want %v", tc.name, tc.path, recomputed, tc.invalidated)
+		}
+		if !tc.invalidated && body != before[tc.path] {
+			t.Errorf("%s (%s): surviving entry changed body", tc.name, tc.path)
+		}
+	}
+
+	// The transitions the delta promised actually happened.
+	if code, body := get(t, srv.Handler(), "/v1/domain/only-net.com"); code != http.StatusOK || !strings.Contains(body, "only-net.com") {
+		t.Fatalf("only-net.com after publish: %d %s", code, body)
+	}
+	if code, _ := get(t, srv.Handler(), "/v1/day/2015-03-04"); code != http.StatusOK {
+		t.Fatalf("day 3 after publish: %d", code)
+	}
+	if code, _ := get(t, srv.Handler(), "/v1/domain/quiet.com"); code != http.StatusNotFound {
+		t.Fatalf("quiet.com should remain 404: %d", code)
+	}
+}
+
+// TestPublishFencesStaleFills pins the fill/invalidate race: a flight
+// that began before a Publish must not install its response after the
+// sweep, even though it read the old cache generation.
+func TestPublishFencesStaleFills(t *testing.T) {
+	srv, ups, walks := publishFixture(t,
+		[]partKey{{"com", 0}, {"com", 1}},
+		[]partKey{{"com", 2}})
+
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	srv.flightHook = func() {
+		walks.Add(1)
+		once.Do(func() {
+			close(entered)
+			<-hold
+		})
+	}
+
+	// A leader starts resolving alpha.com and parks inside the flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		get(t, srv.Handler(), "/v1/domain/alpha.com")
+	}()
+	<-entered
+
+	// The publish lands while the leader is in flight.
+	next, delta := srv.Index().Apply(ups)
+	srv.Publish(next, delta)
+	close(hold)
+	<-done
+
+	// The leader's fill was fenced off: the next request must walk the
+	// index again instead of hitting a resurrected entry.
+	w0 := walks.Load()
+	get(t, srv.Handler(), "/v1/domain/alpha.com")
+	if walks.Load() == w0 {
+		t.Fatal("stale flight resurrected a swept cache key")
+	}
+	// And now it caches normally again.
+	w1 := walks.Load()
+	get(t, srv.Handler(), "/v1/domain/alpha.com")
+	if walks.Load() != w1 {
+		t.Fatal("post-publish fill did not cache")
+	}
+}
+
+// TestPublishUnderConcurrentLoad hammers all routes across several
+// sequential publishes; -race makes this the swap/sweep memory-safety
+// check, and the final state must reflect the last epoch.
+func TestPublishUnderConcurrentLoad(t *testing.T) {
+	refs := core.MustGroundTruth()
+	baseStore, _ := buildBoth(t, refs, []partKey{{"com", 0}})
+	srv := NewServer(NewIndex(baseStore, refs), Config{ObservatoryOff: true})
+
+	paths := []string{
+		"/v1/domain/alpha.com", "/v1/domain/gamma.com", "/v1/domain/quiet.com",
+		"/v1/provider/Akamai/series", "/v1/day/2015-03-01", "/v1/stats",
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				get(t, srv.Handler(), paths[(g+i)%len(paths)])
+			}
+		}(g)
+	}
+
+	for day := 1; day <= 4; day++ {
+		_, ups := buildBoth(t, refs, []partKey{{"com", simtime.Day(day)}})
+		next, delta := srv.Index().Apply(ups)
+		srv.Publish(next, delta)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := srv.Index().Epoch(); got != 4 {
+		t.Fatalf("final epoch = %d, want 4", got)
+	}
+	if _, ok := srv.Index().Day(4); !ok {
+		t.Fatal("last published day missing")
+	}
+}

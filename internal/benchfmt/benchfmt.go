@@ -185,6 +185,60 @@ func (d *CoordDoc) Write(path string) error {
 	return writeJSON(d, path)
 }
 
+// FollowSchema names the current BENCH_follow.json layout: the live
+// follower's delta-apply cost against the full index rebuild it
+// replaces, for a one-day catch-up batch.
+const FollowSchema = "follow/v1"
+
+// FollowDoc is results/BENCH_follow.json: what folding one day of new
+// partitions into the serving index costs via api.Index.Apply (detect
+// the new partitions + COW delta fold) versus rebuilding the whole
+// index from the combined store. SpeedupX is the live-serving headroom:
+// how many times faster a day lands via the delta path.
+type FollowDoc struct {
+	Bench     string `json:"bench"`  // always "follow"
+	Schema    string `json:"schema"` // always FollowSchema
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	// World describes the measured dataset (synthetic scale/days).
+	World string `json:"world"`
+
+	// BaseDays/BasePartitions describe the already-served index the
+	// delta lands on; DeltaPartitions is the one-day batch size.
+	BaseDays        int `json:"base_days"`
+	BasePartitions  int `json:"base_partitions"`
+	DeltaPartitions int `json:"delta_partitions"`
+	// DomainsTouched is how many domains the delta invalidated — the
+	// cache blast radius of one day.
+	DomainsTouched int `json:"domains_touched"`
+
+	ApplyNsOp       float64 `json:"apply_ns_op"`
+	ApplyAllocsOp   float64 `json:"apply_allocs_op"`
+	RebuildNsOp     float64 `json:"rebuild_ns_op"`
+	RebuildAllocsOp float64 `json:"rebuild_allocs_op"`
+	// SpeedupX is RebuildNsOp / ApplyNsOp (the acceptance floor is 10x).
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// FillSpeedup computes SpeedupX from the two per-op costs.
+func (d *FollowDoc) FillSpeedup() {
+	if d.ApplyNsOp > 0 {
+		d.SpeedupX = d.RebuildNsOp / d.ApplyNsOp
+	}
+}
+
+// Write persists the document as indented JSON, creating the parent
+// directory if needed.
+func (d *FollowDoc) Write(path string) error {
+	if d.Bench == "" {
+		d.Bench = "follow"
+	}
+	if d.Schema == "" {
+		d.Schema = FollowSchema
+	}
+	return writeJSON(d, path)
+}
+
 // Write persists the document as indented JSON, creating the parent
 // directory if needed.
 func (d *DetectDoc) Write(path string) error {

@@ -1,0 +1,174 @@
+package coord
+
+// The journal doubles as a change feed: every state transition of every
+// partition is one appended line, so a process that remembers its byte
+// offset and the last sequence number it saw can discover newly
+// committed partitions without talking to the coordinator at all. That
+// is exactly what the follower tier (internal/follow) does — it tails
+// journal.jsonl read-only while a live coordinator appends to it.
+//
+// The reader must never mutate the file: torn tails belong to the
+// coordinator's own replay (openJournal truncates them); a follower
+// simply stops in front of a torn or still-being-written line and picks
+// it up on the next poll once the append completes.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dpsadopt/internal/simtime"
+)
+
+// Exported journal record types, for consumers of the feed.
+const (
+	RecAdd     = recAdd
+	RecLease   = recLease
+	RecCommit  = recCommit
+	RecRequeue = recRequeue
+	RecFail    = recFail
+)
+
+// Record is one journal entry as seen through the feed. Commit records
+// carry the spool path of the committed partition.
+type Record struct {
+	Seq     uint64
+	Type    string
+	Source  string
+	Day     simtime.Day
+	Lease   uint64
+	Attempt int
+	Spool   string
+	Err     string
+}
+
+// Partition returns the (source, day) the record is about.
+func (r Record) Partition() Partition { return Partition{Source: r.Source, Day: r.Day} }
+
+// JournalPath is the journal file under a coordination directory.
+func JournalPath(dir string) string { return filepath.Join(dir, "journal.jsonl") }
+
+// JournalReader incrementally tails a coordination journal. It is
+// strictly read-only and tail-safe: a torn or in-flight final line is
+// left in place (never truncated, never delivered) until a later call
+// finds it completed. Not safe for concurrent use.
+type JournalReader struct {
+	path string
+	off  int64  // byte offset just past the last delivered record
+	seq  uint64 // sequence number of the last delivered record
+}
+
+// NewJournalReader tails the journal of the coordination directory dir.
+// The journal need not exist yet; Next returns nothing until it does.
+func NewJournalReader(dir string) *JournalReader {
+	return &JournalReader{path: JournalPath(dir)}
+}
+
+// Next returns the records appended since the previous call, in order.
+// It stops (without error) at a torn tail or a sequence discontinuity —
+// both mean "the rest isn't durable yet". If the file shrank below the
+// reader's offset (journal replaced by a fresh run), the reader resets
+// and re-delivers from the start; consumers must dedupe by partition.
+func (r *JournalReader) Next() ([]Record, error) {
+	data, err := os.ReadFile(r.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("coord: read journal feed: %w", err)
+	}
+	if int64(len(data)) < r.off {
+		r.off, r.seq = 0, 0
+	}
+	recs, good, _ := scanJournal(data[r.off:], r.seq)
+	r.off += int64(good)
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	r.seq = recs[len(recs)-1].Seq
+	out := make([]Record, len(recs))
+	for i, rec := range recs {
+		out[i] = Record{
+			Seq:     rec.Seq,
+			Type:    rec.Type,
+			Source:  rec.Source,
+			Day:     simtime.Day(rec.Day),
+			Lease:   rec.Lease,
+			Attempt: rec.Attempt,
+			Spool:   rec.Spool,
+			Err:     rec.Err,
+		}
+	}
+	return out, nil
+}
+
+// Offset reports the reader's position: the byte offset and sequence
+// number of the last delivered record (both zero before any delivery).
+func (r *JournalReader) Offset() (off int64, seq uint64) { return r.off, r.seq }
+
+// ReplayLedger folds a record stream into per-partition statuses — the
+// same state machine the coordinator runs on restart, minus the
+// conservative requeue of orphaned leases (a leased partition is
+// reported as leased: that is what the journal says, and for a ledger
+// dump the literal truth is more useful than the recovery action).
+// Statuses come back in (source, day) order.
+func ReplayLedger(recs []Record) []PartitionStatus {
+	type state struct {
+		PartitionStatus
+		day simtime.Day
+	}
+	parts := make(map[Partition]*state)
+	var order []Partition
+	for _, rec := range recs {
+		p := rec.Partition()
+		st := parts[p]
+		if st == nil {
+			st = &state{
+				PartitionStatus: PartitionStatus{
+					Source: p.Source,
+					Day:    p.Day.String(),
+					State:  StatePending,
+				},
+				day: p.Day,
+			}
+			parts[p] = st
+			order = append(order, p)
+		}
+		switch rec.Type {
+		case RecAdd:
+			// registration only
+		case RecLease:
+			st.State = StateLeased
+			st.Attempts = rec.Attempt
+		case RecCommit:
+			st.State = StateCommitted
+			st.Spool = rec.Spool
+			st.Err = ""
+		case RecRequeue:
+			st.State = StatePending
+			if rec.Attempt > st.Attempts {
+				st.Attempts = rec.Attempt
+			}
+			st.Err = rec.Err
+		case RecFail:
+			st.State = StateFailed
+			if rec.Attempt > st.Attempts {
+				st.Attempts = rec.Attempt
+			}
+			st.Err = rec.Err
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Day < b.Day
+	})
+	out := make([]PartitionStatus, 0, len(order))
+	for _, p := range order {
+		out = append(out, parts[p].PartitionStatus)
+	}
+	return out
+}

@@ -46,6 +46,34 @@ type journal struct {
 	path string
 }
 
+// scanJournal parses the intact prefix of journal bytes, expecting the
+// first record to carry sequence startSeq+1. good is the byte offset
+// just past the last intact record; torn reports whether a partial or
+// unparseable final line (or a sequence discontinuity) stopped the scan
+// early. Shared by the coordinator's replay (which truncates the torn
+// tail) and the read-only JournalReader feed (which must not).
+func scanJournal(data []byte, startSeq uint64) (recs []record, good int, torn bool) {
+	seq := startSeq
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return recs, good, true // partial final line: append died mid-write
+		}
+		line := data[off : off+nl]
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Seq != seq+1 {
+			// Unparseable or out-of-sequence: everything from here on is
+			// the torn tail of a crashed append.
+			return recs, good, true
+		}
+		seq = rec.Seq
+		recs = append(recs, rec)
+		off += nl + 1
+		good = off
+	}
+	return recs, good, false
+}
+
 // openJournal opens (or creates) the journal at path, replays its
 // records, and truncates any torn tail. It returns the journal ready
 // for appending plus the intact records in order.
@@ -55,30 +83,10 @@ func openJournal(path string) (*journal, []record, error) {
 		return nil, nil, fmt.Errorf("coord: read journal: %w", err)
 	}
 
-	var (
-		recs []record
-		good int // byte offset of the end of the last intact record
-		seq  uint64
-		torn bool
-	)
-	for off := 0; off < len(data); {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			torn = true // partial final line: append died mid-write
-			break
-		}
-		line := data[off : off+nl]
-		var rec record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Seq != seq+1 {
-			// Unparseable or out-of-sequence: everything from here on is
-			// the torn tail of a crashed append.
-			torn = true
-			break
-		}
-		seq = rec.Seq
-		recs = append(recs, rec)
-		off += nl + 1
-		good = off
+	recs, good, torn := scanJournal(data, 0)
+	var seq uint64
+	if len(recs) > 0 {
+		seq = recs[len(recs)-1].Seq
 	}
 	if torn {
 		mJournalTornTails.Inc()

@@ -1,0 +1,502 @@
+// Package follow is the live ingestion tier: it turns a batch-built
+// dpsapi into a continuously updated one. A Follower tails a feed of
+// committed (source, day) partitions — either a dpscoord coordination
+// directory (the journal doubles as a change feed, read via
+// coord.JournalReader) or a growing .dpsa dataset file (discovered via
+// the v3+ partition directory) — verifies each partition's CRCs, runs
+// ID-native detection on just the new partitions, and folds the results
+// into the serving index through api's copy-on-write delta path. The
+// publish is one atomic pointer swap plus a precise cache sweep, so the
+// service keeps answering at full rate while a freshly measured day
+// becomes queryable within one poll interval of its commit.
+//
+// The follower is strictly read-only toward its feed: it never
+// truncates the coordinator's journal and never moves its spools. A
+// partition that fails verification is logged, counted, and skipped
+// permanently (commits are terminal; a torn spool at rest will not
+// heal) — the day serves degraded rather than wedging the feed, exactly
+// like coord.Assemble's quarantine policy, and the operator sees it in
+// follow_partitions_skipped_total and /v1/stats freshness.
+package follow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dpsadopt/internal/api"
+	"dpsadopt/internal/coord"
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/obs"
+	"dpsadopt/internal/store"
+)
+
+// Sink is where applied deltas land. *api.Server satisfies it: Index
+// resolves the served snapshot, Publish swaps in its successor and
+// invalidates precisely the keys the delta touched.
+type Sink interface {
+	Index() *api.Index
+	Publish(*api.Index, *api.Delta)
+}
+
+// Mode says how a target is tailed.
+type Mode string
+
+const (
+	// ModeCoord tails a dpscoord coordination directory: the journal is
+	// the feed, spool files are the payload.
+	ModeCoord Mode = "coord"
+	// ModeDataset tails a .dpsa file that grows by atomic re-saves: the
+	// partition directory is diffed against the applied set.
+	ModeDataset Mode = "dataset"
+)
+
+// Config parameterises a follower.
+type Config struct {
+	// Target is the feed: a coordination directory or a .dpsa path. A
+	// not-yet-existing target is legal — the follower waits for it.
+	Target string
+	// Refs is the provider ground truth detection runs against; it must
+	// be the same References the sink's index was built with.
+	Refs *core.References
+	// Sink receives published index generations. Required.
+	Sink Sink
+	// Poll is the feed polling interval (default 500ms).
+	Poll time.Duration
+	// Workers bounds the catch-up detect concurrency (default 4).
+	Workers int
+	// MaxBatch bounds how many partitions one apply folds in: catch-up
+	// publishes every MaxBatch partitions instead of holding the first
+	// results hostage to the last (default 64).
+	MaxBatch int
+}
+
+// Status is a point-in-time snapshot of the follower, safe to read
+// while Run is live.
+type Status struct {
+	Mode      Mode      `json:"mode"`
+	Target    string    `json:"target"`
+	Epoch     uint64    `json:"epoch"`
+	Applied   int       `json:"partitions_applied"`
+	Skipped   int       `json:"partitions_skipped"`
+	Lag       int       `json:"lag_partitions"`
+	LastApply time.Time `json:"last_apply"`
+	LastErr   string    `json:"last_err,omitempty"`
+}
+
+// Follower tails one feed and drives one sink. Run (or Poll) must be
+// called from a single goroutine; Status and Freshness are safe from
+// any.
+type Follower struct {
+	cfg    Config
+	mode   Mode
+	reader *coord.JournalReader // coord mode
+
+	// Feed bookkeeping, owned by the polling goroutine.
+	pending map[store.PartitionKey]string // discovered, not yet applied (value: spool path, "" in dataset mode)
+	applied map[store.PartitionKey]bool
+	skipped map[store.PartitionKey]bool
+	// Dataset-mode change detection: the directory is re-read only when
+	// the file's (size, mtime) moved.
+	lastSize int64
+	lastMod  time.Time
+
+	mu sync.Mutex
+	st Status
+}
+
+// New builds a follower. The mode is inferred from the target: an
+// existing directory (or a path without a .dpsa suffix) is a
+// coordination directory, anything else a dataset file.
+func New(cfg Config) (*Follower, error) {
+	if cfg.Target == "" {
+		return nil, errors.New("follow: Config.Target required")
+	}
+	if cfg.Sink == nil {
+		return nil, errors.New("follow: Config.Sink required")
+	}
+	if cfg.Refs == nil {
+		return nil, errors.New("follow: Config.Refs required")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	mode := ModeDataset
+	if fi, err := os.Stat(cfg.Target); err == nil {
+		if fi.IsDir() {
+			mode = ModeCoord
+		}
+	} else if !strings.HasSuffix(cfg.Target, ".dpsa") {
+		mode = ModeCoord
+	}
+	f := &Follower{
+		cfg:     cfg,
+		mode:    mode,
+		pending: make(map[store.PartitionKey]string),
+		applied: make(map[store.PartitionKey]bool),
+		skipped: make(map[store.PartitionKey]bool),
+		st:      Status{Mode: mode, Target: cfg.Target},
+	}
+	if mode == ModeCoord {
+		f.reader = coord.NewJournalReader(cfg.Target)
+	}
+	return f, nil
+}
+
+// Seed marks partitions as already applied — the ones resident in the
+// sink's boot index — so the first poll does not re-fold them.
+func (f *Follower) Seed(keys []store.PartitionKey) {
+	for _, k := range keys {
+		f.applied[k] = true
+	}
+}
+
+// Mode reports how the target is tailed.
+func (f *Follower) Mode() Mode { return f.mode }
+
+// Run polls the feed until ctx is cancelled, draining all discovered
+// partitions batch by batch each tick. Transient errors are logged and
+// retried on the next tick; Run only returns ctx.Err().
+func (f *Follower) Run(ctx context.Context) error {
+	log := obs.Logger().With("component", "follow", "target", f.cfg.Target, "mode", string(f.mode))
+	log.Info("follower started", "poll", f.cfg.Poll.String())
+	tick := time.NewTicker(f.cfg.Poll)
+	defer tick.Stop()
+	for {
+		for {
+			n, err := f.Poll(ctx)
+			if err != nil {
+				mErrors.Inc()
+				log.Warn("poll failed; will retry", "err", err)
+				f.setErr(err)
+				break
+			}
+			if n > 0 {
+				st := f.Status()
+				log.Info("applied partitions", "applied", n, "epoch", st.Epoch, "lag", st.Lag)
+			}
+			if n < f.cfg.MaxBatch {
+				break // feed drained (or short batch): back to the ticker
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Poll runs one discover→verify→detect→apply→publish cycle of at most
+// MaxBatch partitions and returns how many were applied. It is the
+// synchronous unit Run loops over; tests drive it directly.
+func (f *Follower) Poll(ctx context.Context) (int, error) {
+	mPolls.Inc()
+	var err error
+	if f.mode == ModeCoord {
+		err = f.discoverCoord()
+	} else {
+		err = f.discoverDataset()
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(f.pending) == 0 {
+		f.setLag(0)
+		return 0, nil
+	}
+
+	// Oldest days first: catch-up replays history in order, so interval
+	// packing mostly extends instead of backfilling.
+	batch := make([]store.PartitionKey, 0, len(f.pending))
+	for k := range f.pending {
+		batch = append(batch, k)
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].Day != batch[j].Day {
+			return batch[i].Day < batch[j].Day
+		}
+		return batch[i].Source < batch[j].Source
+	})
+	if len(batch) > f.cfg.MaxBatch {
+		batch = batch[:f.cfg.MaxBatch]
+	}
+
+	start := time.Now()
+	var ups []api.PartitionUpdate
+	if f.mode == ModeCoord {
+		ups = f.loadCoordBatch(ctx, batch)
+	} else {
+		ups, err = f.loadDatasetBatch(ctx, batch)
+		if err != nil {
+			return 0, err
+		}
+	}
+	for _, u := range ups {
+		delete(f.pending, store.PartitionKey{Source: u.Source, Day: u.Day})
+		f.applied[store.PartitionKey{Source: u.Source, Day: u.Day}] = true
+	}
+	if len(ups) == 0 {
+		// Every partition in the batch was damaged; lag excludes them now.
+		f.setLag(len(f.pending))
+		return 0, nil
+	}
+
+	next, delta := f.cfg.Sink.Index().Apply(ups)
+	f.cfg.Sink.Publish(next, delta)
+
+	mApplied.Add(int64(len(ups)))
+	mApplySeconds.Observe(time.Since(start).Seconds())
+	f.mu.Lock()
+	f.st.Epoch = next.Epoch()
+	f.st.Applied += len(ups)
+	f.st.Skipped = len(f.skipped)
+	f.st.Lag = len(f.pending)
+	f.st.LastApply = time.Now()
+	f.st.LastErr = ""
+	f.mu.Unlock()
+	mLag.Set(float64(len(f.pending)))
+	return len(ups), nil
+}
+
+// discoverCoord folds newly journaled commits into the pending set.
+func (f *Follower) discoverCoord() error {
+	recs, err := f.reader.Next()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if rec.Type != coord.RecCommit {
+			continue
+		}
+		k := store.PartitionKey{Source: rec.Source, Day: rec.Day}
+		if f.applied[k] || f.skipped[k] {
+			continue
+		}
+		f.pending[k] = f.spoolPath(rec)
+	}
+	return nil
+}
+
+// spoolPath resolves a commit record's spool file. The journal records
+// the path the coordinator used (possibly relative to its own working
+// directory), so the layout-derived path under the followed directory
+// wins whenever it exists.
+func (f *Follower) spoolPath(rec coord.Record) string {
+	derived := filepath.Join(f.cfg.Target, "spool", fmt.Sprintf("%s.%s.dpsa", rec.Source, rec.Day))
+	if _, err := os.Stat(derived); err == nil {
+		return derived
+	}
+	return rec.Spool
+}
+
+// discoverDataset diffs the dataset's partition directory against the
+// applied set when the file changed. Saves are atomic whole-file
+// renames, so a directory read never sees a half-written dataset.
+func (f *Follower) discoverDataset() error {
+	fi, err := os.Stat(f.cfg.Target)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // not born yet: keep waiting
+		}
+		return err
+	}
+	if fi.Size() == f.lastSize && fi.ModTime().Equal(f.lastMod) {
+		return nil
+	}
+	dir, err := store.Directory(f.cfg.Target)
+	if err != nil {
+		return fmt.Errorf("follow: dataset directory: %w", err)
+	}
+	for _, ent := range dir {
+		k := ent.Key()
+		if !f.applied[k] && !f.skipped[k] {
+			f.pending[k] = ""
+		}
+	}
+	f.lastSize, f.lastMod = fi.Size(), fi.ModTime()
+	return nil
+}
+
+// loadCoordBatch verifies, loads and detects spool partitions with
+// bounded concurrency. Damaged spools are skipped permanently (and
+// counted); the survivors come back as updates.
+func (f *Follower) loadCoordBatch(ctx context.Context, batch []store.PartitionKey) []api.PartitionUpdate {
+	log := obs.Logger().With("component", "follow")
+	type result struct {
+		up   api.PartitionUpdate
+		ok   bool
+		fail string
+	}
+	results := make([]result, len(batch))
+	workers := f.cfg.Workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if ctx.Err() != nil {
+					continue
+				}
+				k := batch[i]
+				spool := f.pending[k]
+				if err := store.Verify(spool); err != nil {
+					results[i].fail = fmt.Sprintf("verify %s: %v", spool, err)
+					continue
+				}
+				st, err := store.Load(spool)
+				if err != nil {
+					results[i].fail = fmt.Sprintf("load %s: %v", spool, err)
+					continue
+				}
+				results[i] = result{
+					up: api.PartitionUpdate{
+						Source: k.Source,
+						Day:    k.Day,
+						Det:    core.DetectDay(st, k.Source, k.Day, f.cfg.Refs),
+					},
+					ok: true,
+				}
+			}
+		}()
+	}
+	for i := range batch {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	ups := make([]api.PartitionUpdate, 0, len(batch))
+	for i, r := range results {
+		switch {
+		case r.ok:
+			ups = append(ups, r.up)
+		case r.fail != "":
+			f.skip(batch[i], r.fail, log)
+		default:
+			// Cancelled before processing: leave pending for next poll.
+		}
+	}
+	return ups
+}
+
+// loadDatasetBatch loads a batch of partitions from the dataset file in
+// one pass and detects them through the shared DetectRange pool. A
+// salvaged load (PartialLoadError) skips the quarantined partitions and
+// applies the survivors; a wholesale failure retries next poll.
+func (f *Follower) loadDatasetBatch(ctx context.Context, batch []store.PartitionKey) ([]api.PartitionUpdate, error) {
+	log := obs.Logger().With("component", "follow")
+	st, err := store.LoadPartitions(f.cfg.Target, batch)
+	var ple *store.PartialLoadError
+	if err != nil {
+		if !errors.As(err, &ple) {
+			// The file may have been atomically replaced mid-discovery;
+			// force a directory rescan and retry next poll.
+			f.lastSize, f.lastMod = 0, time.Time{}
+			return nil, err
+		}
+		for _, q := range ple.Quarantined {
+			f.skip(store.PartitionKey{Source: q.Source, Day: q.Day},
+				fmt.Sprintf("quarantined: %s", q.Err), log)
+		}
+	}
+	var live []core.Partition
+	var keys []store.PartitionKey
+	for _, k := range batch {
+		if f.skipped[k] {
+			continue
+		}
+		live = append(live, core.Partition{Source: k.Source, Day: k.Day})
+		keys = append(keys, k)
+	}
+	dets := core.DetectRange(ctx, st, live, f.cfg.Refs, f.cfg.Workers)
+	ups := make([]api.PartitionUpdate, 0, len(live))
+	for i, k := range keys {
+		if dets[i] == nil {
+			continue // cancelled
+		}
+		ups = append(ups, api.PartitionUpdate{Source: k.Source, Day: k.Day, Det: dets[i]})
+	}
+	return ups, nil
+}
+
+// skip permanently abandons a damaged partition.
+func (f *Follower) skip(k store.PartitionKey, cause string, log interface {
+	Warn(string, ...any)
+}) {
+	f.skipped[k] = true
+	delete(f.pending, k)
+	mSkipped.Inc()
+	log.Warn("skipping damaged partition", "partition", k.String(), "cause", cause)
+}
+
+// Status returns a snapshot of the follower's progress.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// Freshness adapts Status to the /v1/stats freshness block; install it
+// with api.Server.SetFreshnessFunc.
+func (f *Follower) Freshness() *api.Freshness {
+	st := f.Status()
+	fr := &api.Freshness{
+		Following:  st.Target,
+		Mode:       string(st.Mode),
+		Epoch:      st.Epoch,
+		Partitions: st.Applied,
+		Lag:        st.Lag,
+		Skipped:    st.Skipped,
+	}
+	if !st.LastApply.IsZero() {
+		fr.LastApply = st.LastApply.UTC().Format(time.RFC3339)
+	}
+	return fr
+}
+
+func (f *Follower) setLag(n int) {
+	mLag.Set(float64(n))
+	f.mu.Lock()
+	f.st.Lag = n
+	f.st.Skipped = len(f.skipped)
+	f.mu.Unlock()
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.st.LastErr = err.Error()
+	f.mu.Unlock()
+}
+
+// Keys lists a store's (source, day) partitions — the seed for a
+// follower booted from an existing dataset.
+func Keys(s *store.Store) []store.PartitionKey {
+	var out []store.PartitionKey
+	for _, src := range s.Sources() {
+		for _, d := range s.Days(src) {
+			out = append(out, store.PartitionKey{Source: src, Day: d})
+		}
+	}
+	return out
+}

@@ -122,6 +122,63 @@ func BenchmarkStoreAppend(b *testing.B) {
 	}
 }
 
+// Directory-lookup micro-benchmark: the follower resolves requested
+// partitions against a dataset directory on every delta apply, so the
+// per-lookup cost is keyed (map) rather than a linear scan. The scan
+// variant is kept as the ablation baseline.
+
+func benchDirectory(n int) []PartitionInfo {
+	dir := make([]PartitionInfo, 0, n)
+	for i := 0; i < n; i++ {
+		dir = append(dir, PartitionInfo{
+			Source: fmt.Sprintf("src%02d", i%16),
+			Day:    simtime.Day(i / 16),
+			Rows:   i,
+		})
+	}
+	return dir
+}
+
+func BenchmarkDirectoryLookupKeyed(b *testing.B) {
+	dir := benchDirectory(8192)
+	byKey := IndexDirectory(dir)
+	keys := make([]PartitionKey, len(dir))
+	for i, ent := range dir {
+		keys[i] = ent.Key()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ent, ok := byKey[keys[i%len(keys)]]
+		if !ok || ent.Rows != i%len(keys) {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+func BenchmarkDirectoryLookupScan(b *testing.B) {
+	dir := benchDirectory(8192)
+	keys := make([]PartitionKey, len(dir))
+	for i, ent := range dir {
+		keys[i] = ent.Key()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		found := false
+		for j := range dir {
+			if dir[j].Source == k.Source && dir[j].Day == k.Day {
+				found = dir[j].Rows == i%len(keys)
+				break
+			}
+		}
+		if !found {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
 // BenchmarkStoreScanID is BenchmarkStoreScan in ID space: same rows, no
 // per-row string materialization.
 func BenchmarkStoreScanID(b *testing.B) {

@@ -89,6 +89,30 @@ type PartitionInfo struct {
 	offset, length uint64
 }
 
+// PartitionKey identifies one (source, day) partition — the map key for
+// keyed directory lookups and follower applied-set bookkeeping.
+type PartitionKey struct {
+	Source string
+	Day    simtime.Day
+}
+
+// Key returns the entry's map key.
+func (pi PartitionInfo) Key() PartitionKey { return PartitionKey{pi.Source, pi.Day} }
+
+func (k PartitionKey) String() string { return fmt.Sprintf("%s/%s", k.Source, k.Day) }
+
+// IndexDirectory builds a keyed lookup over a directory listing. Single
+// lookups through the map are O(1) where scanning the slice is O(n) —
+// the difference matters to the follower tier, which resolves partitions
+// against a (potentially large) directory on every delta apply.
+func IndexDirectory(dir []PartitionInfo) map[PartitionKey]PartitionInfo {
+	idx := make(map[PartitionKey]PartitionInfo, len(dir))
+	for _, ent := range dir {
+		idx[ent.Key()] = ent
+	}
+	return idx
+}
+
 // QuarantinedPartition records one damaged partition that a salvaging
 // load moved aside instead of returning as silently wrong data.
 type QuarantinedPartition struct {
@@ -365,6 +389,19 @@ func Verify(path string) error {
 // a full decode and prunes. The returned store contains exactly one
 // partition.
 func LoadPartition(path, source string, day simtime.Day) (*Store, error) {
+	return LoadPartitions(path, []PartitionKey{{source, day}})
+}
+
+// LoadPartitions decodes a set of (source, day) partitions — plus the
+// shared dictionary — from a dataset file in one pass: one open, one
+// directory read, one keyed lookup per requested partition. This is the
+// follower's catch-up path: a delta of K new partitions costs K seeks
+// into the day blocks, never a full-archive decode. A requested
+// partition missing from the directory fails the whole load; a damaged
+// partition is quarantined and reported via *PartialLoadError while the
+// surviving requested partitions still load. On version 2 files (no
+// directory) it falls back to a full decode and prunes.
+func LoadPartitions(path string, keys []PartitionKey) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -375,7 +412,8 @@ func LoadPartition(path, source string, day simtime.Day) (*Store, error) {
 		return nil, err
 	}
 	if version < 3 {
-		// Legacy: no directory to seek by. Decode everything, keep one.
+		// Legacy: no directory to seek by. Decode everything, keep the
+		// requested set.
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			return nil, err
 		}
@@ -383,12 +421,16 @@ func LoadPartition(path, source string, day simtime.Day) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		if s.blocks[source][day] == nil {
-			return nil, fmt.Errorf("store: no partition %s/%s in %s", source, day, path)
+		want := make(map[PartitionKey]bool, len(keys))
+		for _, k := range keys {
+			if s.blocks[k.Source][k.Day] == nil {
+				return nil, fmt.Errorf("store: no partition %s in %s", k, path)
+			}
+			want[k] = true
 		}
 		for _, src := range s.Sources() {
 			for _, d := range s.Days(src) {
-				if src != source || d != day {
+				if !want[PartitionKey{src, d}] {
 					s.DropDay(src, d)
 				}
 			}
@@ -403,24 +445,24 @@ func LoadPartition(path, source string, day simtime.Day) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	var ent *PartitionInfo
-	for i := range dir {
-		if dir[i].Source == source && dir[i].Day == day {
-			ent = &dir[i]
-			break
-		}
-	}
-	if ent == nil {
-		return nil, fmt.Errorf("store: no partition %s/%s in %s", source, day, path)
-	}
+	byKey := IndexDirectory(dir)
 	s := New()
 	if err := readDictAt(f, s); err != nil {
 		return nil, err
 	}
-	if err := loadDirPartition(f, version, ent, s); err != nil {
-		q := quarantinePartition(path, f, ent, err)
-		mQuarantined.Inc()
-		return nil, &PartialLoadError{Quarantined: []QuarantinedPartition{q}}
+	var quarantined []QuarantinedPartition
+	for _, k := range keys {
+		ent, ok := byKey[k]
+		if !ok {
+			return nil, fmt.Errorf("store: no partition %s in %s", k, path)
+		}
+		if err := loadDirPartition(f, version, &ent, s); err != nil {
+			quarantined = append(quarantined, quarantinePartition(path, f, &ent, err))
+		}
+	}
+	if len(quarantined) > 0 {
+		mQuarantined.Add(int64(len(quarantined)))
+		return s, &PartialLoadError{Quarantined: quarantined}
 	}
 	return s, nil
 }

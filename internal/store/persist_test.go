@@ -159,6 +159,58 @@ func TestLoadPartition(t *testing.T) {
 	}
 }
 
+func TestLoadPartitionsBatch(t *testing.T) {
+	s := populatedStore()
+	path := filepath.Join(t.TempDir(), "data.dpsa")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := Directory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All partitions in one pass: contents identical to the source store.
+	keys := make([]PartitionKey, 0, len(dir))
+	for _, ent := range dir {
+		keys = append(keys, ent.Key())
+	}
+	got, err := LoadPartitions(path, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if want, have := rowsOf(s, k.Source, k.Day), rowsOf(got, k.Source, k.Day); !reflect.DeepEqual(want, have) {
+			t.Fatalf("%s rows differ:\nwant %+v\ngot  %+v", k, want, have)
+		}
+	}
+	// A subset loads only the subset.
+	sub, err := LoadPartitions(path, keys[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, src := range sub.Sources() {
+		total += len(sub.Days(src))
+	}
+	if total != 1 {
+		t.Fatalf("subset load holds %d partitions, want 1", total)
+	}
+	// A missing key fails the whole batch with a descriptive error.
+	if _, err := LoadPartitions(path, []PartitionKey{keys[0], {"org", 99}}); err == nil {
+		t.Fatal("missing partition accepted in batch")
+	}
+	// The keyed index agrees with the listing.
+	byKey := IndexDirectory(dir)
+	if len(byKey) != len(dir) {
+		t.Fatalf("IndexDirectory has %d entries, want %d", len(byKey), len(dir))
+	}
+	for _, ent := range dir {
+		if byKey[ent.Key()].Rows != ent.Rows {
+			t.Fatalf("keyed entry %s disagrees with listing", ent.Key())
+		}
+	}
+}
+
 func TestLoadPartitionLegacyFallback(t *testing.T) {
 	s := populatedStore()
 	path := legacyV2File(t, s)

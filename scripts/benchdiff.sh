@@ -1,8 +1,8 @@
 #!/bin/sh
-# Compare freshly-run serving, detection, and coordination benchmarks
-# against the committed results/BENCH_{api,detect,coord}.json, warning
-# on any metric that regressed more than 20%. Advisory by default (exit 0
-# even on regressions; set BENCHDIFF_STRICT=1 to fail); set
+# Compare freshly-run serving, detection, coordination, and follower
+# benchmarks against the committed results/BENCH_{api,detect,coord,follow}.json,
+# warning on any metric that regressed more than 20%. Advisory by default
+# (exit 0 even on regressions; set BENCHDIFF_STRICT=1 to fail); set
 # BENCHDIFF_SKIP_REGEN=1 to diff the working tree against HEAD without
 # rerunning the benchmarks. Run via `make benchdiff`.
 set -eu
@@ -18,6 +18,8 @@ git show HEAD:results/BENCH_detect.json >"$WORK/base_detect.json" 2>/dev/null ||
     { echo "benchdiff: no committed results/BENCH_detect.json at HEAD" >&2; exit 1; }
 git show HEAD:results/BENCH_coord.json >"$WORK/base_coord.json" 2>/dev/null ||
     { echo "benchdiff: no committed results/BENCH_coord.json at HEAD" >&2; exit 1; }
+git show HEAD:results/BENCH_follow.json >"$WORK/base_follow.json" 2>/dev/null ||
+    { echo "benchdiff: no committed results/BENCH_follow.json at HEAD" >&2; exit 1; }
 
 if [ "${BENCHDIFF_SKIP_REGEN:-0}" != "1" ]; then
     echo "== regenerate serving benchmark (results/BENCH_api.json)"
@@ -26,6 +28,8 @@ if [ "${BENCHDIFF_SKIP_REGEN:-0}" != "1" ]; then
     go test -run '^$' -bench '^BenchmarkDetect(Day|Range)$' .
     echo "== regenerate coordination benchmark (results/BENCH_coord.json)"
     go test -run '^$' -bench '^BenchmarkCoordinator$' .
+    echo "== regenerate follower benchmark (results/BENCH_follow.json)"
+    go test -run '^$' -bench '^BenchmarkFollowApply$' .
 fi
 
 STRICT=""
@@ -37,3 +41,5 @@ echo "== diff detection benchmark vs HEAD"
 go run ./cmd/benchdiff $STRICT "$WORK/base_detect.json" results/BENCH_detect.json
 echo "== diff coordination benchmark vs HEAD"
 go run ./cmd/benchdiff $STRICT "$WORK/base_coord.json" results/BENCH_coord.json
+echo "== diff follower benchmark vs HEAD"
+go run ./cmd/benchdiff $STRICT "$WORK/base_follow.json" results/BENCH_follow.json
