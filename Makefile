@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench benchdiff chaos api benchscale benchscale-smoke coord coord-smoke follow follow-smoke
+.PHONY: check vet build test test-race bench benchdiff chaos api benchscale benchscale-smoke coord coord-smoke follow follow-smoke scale-smoke
 
 check: vet build test-race
 
@@ -87,3 +87,10 @@ benchscale:
 # carries the sweep/v2 schema. Mirrors the CI benchscale-smoke job.
 benchscale-smoke:
 	sh scripts/benchscale_smoke.sh
+
+# Out-of-core smoke: small dpsbench -scalesweep, asserting the scale/v1
+# schema, streaming-vs-full index parity, a bounded streaming:full peak
+# heap ratio, and an absolute streaming RSS ceiling. Mirrors the CI
+# scale-smoke job.
+scale-smoke:
+	sh scripts/scale_smoke.sh

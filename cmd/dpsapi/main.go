@@ -34,7 +34,13 @@
 //	dpsapi -data world.dpsa [-addr :8080] [-qps 0] [-max-inflight 256]
 //	       [-timeout 2s] [-cache 4096] [-drain 5s] [-quiet] [-log-json]
 //	       [-prof-mutex 5] [-prof-block 0]
-//	dpsapi -follow coorddir/ [-data world.dpsa] [-poll 500ms] [...]
+//	dpsapi -follow coorddir/ [-data world.dpsa] [-poll 500ms]
+//	       [-follow-cursor auto|off|PATH] [...]
+//
+// While following, the follower persists a restart cursor (journal
+// offset + applied-partition snapshot, -follow-cursor, default "auto")
+// so a restarted process resumes the feed instead of re-detecting the
+// whole history.
 package main
 
 import (
@@ -59,19 +65,20 @@ import (
 
 func main() {
 	var (
-		data        = flag.String("data", "", "dataset file (.dpsa) to serve (required unless -follow)")
-		followTgt   = flag.String("follow", "", "live feed to tail: a dpscoord directory or a growing .dpsa")
-		poll        = flag.Duration("poll", 500*time.Millisecond, "feed polling interval (with -follow)")
-		followWk    = flag.Int("follow-workers", 4, "catch-up detection workers (with -follow)")
-		addr        = flag.String("addr", ":8080", "listen address for /v1 and /metrics")
-		qps         = flag.Float64("qps", 0, "admitted requests per second (0 = unlimited)")
-		burst       = flag.Int("burst", 0, "token bucket depth (default: qps)")
-		maxInflight = flag.Int("max-inflight", 256, "max concurrently handled requests")
-		timeout     = flag.Duration("timeout", 2*time.Second, "per-request deadline")
-		cacheSize   = flag.Int("cache", 4096, "response cache entries (negative = disabled)")
-		drain       = flag.Duration("drain", 5*time.Second, "graceful shutdown deadline")
-		quiet       = flag.Bool("quiet", false, "suppress progress logging (warnings still shown)")
-		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON")
+		data         = flag.String("data", "", "dataset file (.dpsa) to serve (required unless -follow)")
+		followTgt    = flag.String("follow", "", "live feed to tail: a dpscoord directory or a growing .dpsa")
+		poll         = flag.Duration("poll", 500*time.Millisecond, "feed polling interval (with -follow)")
+		followWk     = flag.Int("follow-workers", 4, "catch-up detection workers (with -follow)")
+		followCursor = flag.String("follow-cursor", "auto", "restart cursor path for -follow (\"auto\" = derive from target, \"off\" = disabled)")
+		addr         = flag.String("addr", ":8080", "listen address for /v1 and /metrics")
+		qps          = flag.Float64("qps", 0, "admitted requests per second (0 = unlimited)")
+		burst        = flag.Int("burst", 0, "token bucket depth (default: qps)")
+		maxInflight  = flag.Int("max-inflight", 256, "max concurrently handled requests")
+		timeout      = flag.Duration("timeout", 2*time.Second, "per-request deadline")
+		cacheSize    = flag.Int("cache", 4096, "response cache entries (negative = disabled)")
+		drain        = flag.Duration("drain", 5*time.Second, "graceful shutdown deadline")
+		quiet        = flag.Bool("quiet", false, "suppress progress logging (warnings still shown)")
+		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON")
 
 		profMutex = flag.Int("prof-mutex", 0, "mutex profiling fraction (runtime.SetMutexProfileFraction; 0 = off); served at /debug/pprof/mutex and /debug/contention")
 		profBlock = flag.Int("prof-block", 0, "block profiling rate in ns (runtime.SetBlockProfileRate; 0 = off); served at /debug/pprof/block and /debug/contention")
@@ -91,33 +98,55 @@ func main() {
 	}
 	log := obs.Logger()
 
-	// Boot store: the -data file when given and present. A follower may
-	// start with nothing — an absent or omitted data file serves an empty
-	// index that converges on the feed.
+	// Boot: the -data file streams through store.Open + api.NewIndexReader
+	// — partitions are pread, detected, and released one at a time, so
+	// peak memory is bounded by the detection pool, not the dataset. A
+	// follower may start with nothing — an absent or omitted data file
+	// serves an empty index that converges on the feed.
 	t0 := time.Now()
-	s := store.New()
+	refs := core.MustGroundTruth()
+	var idx *api.Index
+	var bootKeys []store.PartitionKey
 	if *data != "" {
-		loaded, err := store.Load(*data)
-		var partial *store.PartialLoadError
+		r, err := store.Open(*data)
 		switch {
-		case errors.As(err, &partial):
-			log.Warn("dataset loaded degraded; damaged partitions quarantined",
-				"path", *data, "quarantined", len(partial.Quarantined), "detail", partial.Error())
-			s = loaded
 		case errors.Is(err, os.ErrNotExist) && *followTgt != "":
 			log.Info("data file absent; starting empty and following", "path", *data)
+			idx = api.NewIndex(store.New(), refs)
 		case err != nil:
 			fatal(err)
 		default:
-			s = loaded
+			built, berr := api.NewIndexReader(r, refs)
+			failed := make(map[store.PartitionKey]bool)
+			var ibe *api.IndexBuildError
+			if errors.As(berr, &ibe) {
+				log.Warn("index built degraded; unreadable partitions skipped",
+					"path", *data, "skipped", len(ibe.Failed), "detail", ibe.Error())
+				for _, pf := range ibe.Failed {
+					failed[store.PartitionKey{Source: pf.Source, Day: pf.Day}] = true
+				}
+			} else if berr != nil {
+				fatal(berr)
+			}
+			idx = built
+			// Seed only the partitions that actually made it into the
+			// index: a follower re-detects (or skips) the failures.
+			for _, k := range r.Keys() {
+				if !failed[k] {
+					bootKeys = append(bootKeys, k)
+				}
+			}
+			info := r.Info()
+			r.Close()
+			log.Info("dataset opened (streaming)", "path", *data,
+				"version", info.Version, "partitions", info.Partitions, "rows", info.Rows,
+				"file_bytes", info.FileBytes,
+				"elapsed", time.Since(t0).Round(time.Millisecond).String())
 		}
-		log.Info("dataset loaded", "path", *data, "elapsed", time.Since(t0).Round(time.Millisecond).String())
 	} else {
 		log.Info("no -data; booting empty index from feed", "follow", *followTgt)
+		idx = api.NewIndex(store.New(), refs)
 	}
-
-	refs := core.MustGroundTruth()
-	idx := api.NewIndex(s, refs)
 	st := idx.Stats()
 	partitions, buildTime := idx.BuildStats()
 	dst := idx.DetectStats()
@@ -146,17 +175,22 @@ func main() {
 	defer stop()
 	var followDone chan struct{}
 	if *followTgt != "" {
+		cursor := *followCursor
+		if cursor == "off" {
+			cursor = ""
+		}
 		fl, err := follow.New(follow.Config{
-			Target:  *followTgt,
-			Refs:    refs,
-			Sink:    srv,
-			Poll:    *poll,
-			Workers: *followWk,
+			Target:     *followTgt,
+			Refs:       refs,
+			Sink:       srv,
+			Poll:       *poll,
+			Workers:    *followWk,
+			CursorPath: cursor,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		fl.Seed(follow.Keys(s))
+		fl.Seed(bootKeys)
 		srv.SetFreshnessFunc(fl.Freshness)
 		followDone = make(chan struct{})
 		go func() {

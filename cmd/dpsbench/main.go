@@ -22,6 +22,15 @@
 //	         [-gomaxprocs 1,2,4] [-workers 1,2,4] [-mintime 2s]
 //	         [-out results/BENCH_detect.json] [-profiles results/profiles]
 //	         [-prof-mutex 5] [-prof-block 0] [-quiet] [-log-json]
+//	dpsbench -scalesweep 2000,1000,300 [-days 4]
+//	         [-scale-out results/BENCH_scale.json]
+//
+// -scalesweep switches to the out-of-core scale sweep: per scale
+// divisor, one dataset is measured to disk and the serving index is
+// built twice from that file — store.Load + api.NewIndex versus the
+// streaming store.Open + api.NewIndexReader — recording wall time,
+// throughput, peak heap/RSS, and a parity check into BENCH_scale.json
+// (schema benchfmt.ScaleSchema).
 package main
 
 import (
@@ -62,6 +71,9 @@ func main() {
 		profBlock  = flag.Int("prof-block", 0, "block profiling rate in ns (runtime.SetBlockProfileRate; 0 = off)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging (warnings still shown)")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON")
+
+		scaleSweep = flag.String("scalesweep", "", "comma-separated world scale divisors: run the full-vs-streaming index build sweep instead of the detect sweep")
+		scaleOut   = flag.String("scale-out", "results/BENCH_scale.json", "scale sweep result JSON path (with -scalesweep)")
 	)
 	flag.Parse()
 
@@ -72,6 +84,17 @@ func main() {
 		obs.SetQuiet()
 	}
 	log := obs.Logger()
+
+	if *scaleSweep != "" {
+		scales, err := parseList(*scaleSweep)
+		if err != nil {
+			fatal(fmt.Errorf("-scalesweep: %w", err))
+		}
+		if err := runScaleSweep(scales, *days, *scaleOut, log); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	gpList, err := parseList(*gomaxprocs)
 	if err != nil {

@@ -1,0 +1,165 @@
+package main
+
+// The scale sweep (-scalesweep) is the out-of-core evidence harness: for
+// each world scale divisor it measures one dataset to disk, then builds
+// the serving index twice from that same file — fully loaded
+// (store.Load + api.NewIndex) and streaming (store.Open +
+// api.NewIndexReader) — recording wall time, partition throughput, and
+// peak heap/RSS for each path, plus a structural parity check between
+// the two indexes. Results land in BENCH_scale.json (benchfmt
+// ScaleSchema): the streaming path must hold peak memory at a fraction
+// of the full load without giving up throughput, and the cells show the
+// curve as the scale divisor falls toward the paper's 1:1.
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"slices"
+
+	"dpsadopt/internal/api"
+	"dpsadopt/internal/benchfmt"
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/store"
+)
+
+// runScaleSweep drives one cell per scale divisor and writes the doc.
+func runScaleSweep(scales []int, days int, out string, log *slog.Logger) error {
+	doc := &benchfmt.ScaleDoc{
+		Bench:     "scale",
+		Schema:    benchfmt.ScaleSchema,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Source:    "dpsbench",
+	}
+	work, err := os.MkdirTemp("", "dpsbench-scale")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	for _, scale := range scales {
+		cell, err := runScaleCell(scale, days, filepath.Join(work, fmt.Sprintf("scale%d.dpsa", scale)), log)
+		if err != nil {
+			return fmt.Errorf("scale 1:%d: %w", scale, err)
+		}
+		doc.Cells = append(doc.Cells, cell)
+		log.Info("scale cell complete", "scale", scale,
+			"partitions", cell.Partitions, "rows", cell.Rows, "file_bytes", cell.FileBytes,
+			"mem_ratio", fmt.Sprintf("%.3f", cell.MemRatio),
+			"throughput_ratio", fmt.Sprintf("%.2f", cell.ThroughputRatio),
+			"parity_ok", cell.ParityOK)
+	}
+	if err := doc.Write(out); err != nil {
+		return err
+	}
+	log.Info("scale sweep written", "out", out, "cells", len(doc.Cells))
+	return nil
+}
+
+// runScaleCell measures one scale: generate → save → drop the resident
+// store → build streaming, then full, each under the peak sampler. The
+// streaming build runs first so the full build's much larger residual
+// heap cannot inflate the streaming path's RSS reading.
+func runScaleCell(scale, days int, path string, log *slog.Logger) (benchfmt.ScaleCell, error) {
+	cell := benchfmt.ScaleCell{Scale: scale, Days: days}
+	s, world, err := dataset("", scale, days)
+	if err != nil {
+		return cell, err
+	}
+	parts := core.Partitions(s)
+	cell.Partitions = len(parts)
+	if err := s.Save(path); err != nil {
+		return cell, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return cell, err
+	}
+	cell.FileBytes = fi.Size()
+	for _, pt := range parts {
+		if b, ok := s.RowBatch(pt.Source, pt.Day); ok {
+			cell.Rows += int64(b.Rows())
+		}
+	}
+	log.Info("scale dataset saved", "world", world, "partitions", cell.Partitions, "file_bytes", cell.FileBytes)
+	// Drop the generated store before measuring either path: the cell
+	// compares the two read paths, not the generator's footprint.
+	s = nil
+	refs := core.MustGroundTruth()
+
+	var streamIdx, fullIdx *api.Index
+	cell.Stream, err = benchfmt.MeasureBuild(func() error {
+		r, err := store.Open(path)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		// An index build visits every partition exactly once; a deeper
+		// decoded-partition cache can never hit and only raises the peak.
+		r.SetCachePartitions(1)
+		streamIdx, err = api.NewIndexReader(r, refs)
+		return err
+	})
+	if err != nil {
+		return cell, fmt.Errorf("streaming build: %w", err)
+	}
+
+	cell.Full, err = benchfmt.MeasureBuild(func() error {
+		full, err := store.Load(path)
+		if err != nil {
+			return err
+		}
+		fullIdx = api.NewIndex(full, refs)
+		return nil
+	})
+	if err != nil {
+		return cell, fmt.Errorf("full build: %w", err)
+	}
+
+	cell.ParityOK = sameIndexView(streamIdx, fullIdx)
+	if cell.Partitions > 0 {
+		if cell.Stream.BuildSeconds > 0 {
+			cell.Stream.PartitionsPerSec = float64(cell.Partitions) / cell.Stream.BuildSeconds
+		}
+		if cell.Full.BuildSeconds > 0 {
+			cell.Full.PartitionsPerSec = float64(cell.Partitions) / cell.Full.BuildSeconds
+		}
+	}
+	cell.FillRatios()
+	return cell, nil
+}
+
+// sameIndexView deep-compares what the two indexes would serve: the day
+// axis, every per-day aggregate, the detected-domain set, and (sampled
+// for large sets) full per-domain histories.
+func sameIndexView(a, b *api.Index) bool {
+	if !slices.Equal(a.Days(), b.Days()) {
+		return false
+	}
+	for _, d := range a.Days() {
+		ai, aok := a.Day(d)
+		bi, bok := b.Day(d)
+		if aok != bok || !reflect.DeepEqual(ai, bi) {
+			return false
+		}
+	}
+	ad, bd := a.Domains(), b.Domains()
+	if !slices.Equal(ad, bd) {
+		return false
+	}
+	stride := 1
+	if len(ad) > 2000 {
+		stride = len(ad) / 2000
+	}
+	for i := 0; i < len(ad); i += stride {
+		ah, aok := a.Domain(ad[i])
+		bh, bok := b.Domain(ad[i])
+		if aok != bok || !reflect.DeepEqual(ah, bh) {
+			return false
+		}
+	}
+	return true
+}

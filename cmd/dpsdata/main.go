@@ -5,18 +5,24 @@
 // Usage:
 //
 //	dpsdata -data FILE                  # Table 1-style statistics
+//	dpsdata -data FILE -info            # directory-only dataset summary
 //	dpsdata -data FILE -dump com/0      # dump a partition (source/dayIndex)
 //	dpsdata -data FILE -detect          # per-day per-provider counts
 //	dpsdata -data FILE -grep cloudflare # rows whose strings match
 //	dpsdata -data FILE -domain x.com    # one domain's full detection history
 //	dpsdata -ledger DIR                 # a dpscoord directory's partition ledger
 //
-// -dump uses the dataset's partition directory (when present) to decode
-// only the requested day block; -domain answers from the internal/api
-// read index instead of scanning rows. -ledger replays a coordination
-// journal read-only (safe while a coordinator is live) and verifies each
-// committed spool's CRCs, so operators see at a glance which partitions
-// are committed, retrying, failed — and whether their spools are intact.
+// -info, -dump, -detect, and -domain run out-of-core on the streaming
+// store.Reader: -info answers from the partition directory without
+// decoding anything, -dump preads and decodes exactly the requested day
+// block, -detect streams partitions through detection one at a time,
+// and -domain builds the internal/api read index via the streaming
+// path — none of them holds the whole archive resident. -grep and the
+// default statistics table still need every row and load fully.
+// -ledger replays a coordination journal read-only (safe while a
+// coordinator is live) and verifies each committed spool's CRCs, so
+// operators see at a glance which partitions are committed, retrying,
+// failed — and whether their spools are intact.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 func main() {
 	var (
 		data   = flag.String("data", "", "dataset file (.dpsa)")
+		info   = flag.Bool("info", false, "print a directory-only dataset summary (no partition decoded)")
 		dump   = flag.String("dump", "", "partition to dump as source/day (day = index into the source's day list)")
 		detect = flag.Bool("detect", false, "run Table 2 detection per stored day")
 		grep   = flag.String("grep", "", "print rows whose NS/CNAME strings contain this substring")
@@ -57,15 +64,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *dump != "" {
-		// Fast path: resolve source/dayIndex against the directory and
-		// decode one partition, not the whole archive.
-		if done, err := dumpViaDirectory(*data, *dump, *limit); done {
-			if err != nil {
-				fatal(err)
-			}
-			return
+	// Streaming modes: everything that doesn't need every row resident
+	// goes through the out-of-core Reader.
+	if *info || *dump != "" || *detect || *domain != "" {
+		r, err := store.Open(*data)
+		if err != nil {
+			fatal(err)
 		}
+		defer r.Close()
+		switch {
+		case *info:
+			printInfo(r)
+		case *domain != "":
+			printDomainHistory(r, strings.ToLower(strings.TrimSuffix(*domain, ".")))
+		case *dump != "":
+			err = dumpPartition(r, *dump, *limit)
+		case *detect:
+			err = detectStreaming(r)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	s, err := store.Load(*data)
@@ -77,35 +97,6 @@ func main() {
 	}
 
 	switch {
-	case *domain != "":
-		printDomainHistory(s, strings.ToLower(strings.TrimSuffix(*domain, ".")))
-	case *dump != "":
-		source, day, err := parsePartition(s, *dump)
-		if err != nil {
-			fatal(err)
-		}
-		n := 0
-		s.ForEachRow(source, day, func(r store.Row) {
-			if n >= *limit {
-				return
-			}
-			n++
-			printRow(r)
-		})
-	case *detect:
-		refs := core.MustGroundTruth()
-		for _, src := range s.Sources() {
-			for _, day := range s.Days(src) {
-				det := core.DetectDay(s, src, day, refs)
-				fmt.Printf("%s %s: measured=%d any=%d", src, day, det.DomainsMeasured, det.CountAny())
-				for p := range refs.Providers {
-					if c := det.Count(p); c > 0 {
-						fmt.Printf(" %s=%d", refs.Providers[p].Name, c)
-					}
-				}
-				fmt.Println()
-			}
-		}
 	case *grep != "":
 		n := 0
 		for _, src := range s.Sources() {
@@ -173,10 +164,111 @@ func printLedger(dir string) error {
 	return nil
 }
 
+// printInfo renders the Reader's directory-only summary: everything an
+// operator wants to know about a dataset file before paying for a
+// single partition decode.
+func printInfo(r *store.Reader) {
+	in := r.Info()
+	fmt.Printf("%-16s %s\n", "path", in.Path)
+	fmt.Printf("%-16s v%d\n", "format", in.Version)
+	fmt.Printf("%-16s %d bytes (%d in partitions)\n", "size", in.FileBytes, in.PartitionBytes)
+	fmt.Printf("%-16s %v\n", "sources", in.Sources)
+	if in.Partitions > 0 {
+		fmt.Printf("%-16s %s .. %s\n", "days", in.FirstDay, in.LastDay)
+	}
+	fmt.Printf("%-16s %d (%d rows)\n", "partitions", in.Partitions, in.Rows)
+	crc := "none (pre-v4 format)"
+	if in.CRCPartitions {
+		crc = "per-partition + dictionary + directory (v4)"
+	}
+	fmt.Printf("%-16s %s\n", "crc coverage", crc)
+	dir := "yes (streaming reads)"
+	if !in.Directory {
+		dir = "no (v2 legacy: sequential full decode)"
+	}
+	fmt.Printf("%-16s %s\n", "directory", dir)
+}
+
+// dumpPartition resolves source/dayIndex against the Reader's directory
+// and decodes exactly that partition.
+func dumpPartition(r *store.Reader, spec string, limit int) error {
+	source, day, err := resolvePartition(r, spec)
+	if err != nil {
+		return err
+	}
+	dict, err := r.SharedDict()
+	if err != nil {
+		return err
+	}
+	b, release, err := r.AcquireBatch(source, day)
+	if err != nil {
+		return err
+	}
+	defer release()
+	n := b.Rows()
+	if n > limit {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		printRow(b.Row(i, dict))
+	}
+	return nil
+}
+
+// detectStreaming runs Table 2 detection one partition at a time:
+// acquire → detect → release, never holding more than one decoded day.
+func detectStreaming(r *store.Reader) error {
+	refs := core.MustGroundTruth()
+	for _, pt := range core.ReaderPartitions(r) {
+		det, err := core.DetectPartition(r, pt.Source, pt.Day, refs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %s: measured=%d any=%d", pt.Source, pt.Day, det.DomainsMeasured, det.CountAny())
+		for p := range refs.Providers {
+			if c := det.Count(p); c > 0 {
+				fmt.Printf(" %s=%d", refs.Providers[p].Name, c)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// resolvePartition parses source/dayIndex against the Reader's
+// directory listing.
+func resolvePartition(r *store.Reader, spec string) (string, simtime.Day, error) {
+	parts := strings.SplitN(spec, "/", 2)
+	if len(parts) != 2 {
+		return "", 0, fmt.Errorf("dpsdata: -dump wants source/dayIndex")
+	}
+	var days []simtime.Day
+	for _, ent := range r.Partitions() {
+		if ent.Source == parts[0] {
+			days = append(days, ent.Day)
+		}
+	}
+	if len(days) == 0 {
+		return "", 0, fmt.Errorf("dpsdata: no data for source %q", parts[0])
+	}
+	idx, err := strconv.Atoi(parts[1])
+	if err != nil || idx < 0 || idx >= len(days) {
+		return "", 0, fmt.Errorf("dpsdata: day index out of range [0,%d)", len(days))
+	}
+	return parts[0], days[idx], nil
+}
+
 // printDomainHistory renders one domain's detection record from the
-// internal/api read index — the structured replacement for grepping rows.
-func printDomainHistory(s *store.Store, name string) {
-	idx := api.NewIndex(s, core.MustGroundTruth())
+// internal/api read index, built out-of-core via the streaming Reader —
+// the structured replacement for grepping rows.
+func printDomainHistory(r *store.Reader, name string) {
+	idx, err := api.NewIndexReader(r, core.MustGroundTruth())
+	var ibe *api.IndexBuildError
+	if errors.As(err, &ibe) {
+		fmt.Fprintf(os.Stderr, "dpsdata: warning: %v; continuing with readable partitions\n", ibe)
+	} else if err != nil {
+		fatal(err)
+	}
 	h, ok := idx.Domain(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "dpsdata: no DPS references recorded for %q\n", name)
@@ -190,65 +282,6 @@ func printDomainHistory(s *store.Store, name string) {
 			fmt.Printf("    %s .. %s  %-11s %d day(s)\n", iv.From, iv.To, iv.Methods, iv.Days)
 		}
 	}
-}
-
-// dumpViaDirectory serves -dump from the partition directory when the
-// file has one. done=false means no directory (legacy file): fall back
-// to the full-decode path.
-func dumpViaDirectory(path, spec string, limit int) (done bool, err error) {
-	parts := strings.SplitN(spec, "/", 2)
-	if len(parts) != 2 {
-		return true, fmt.Errorf("dpsdata: -dump wants source/dayIndex")
-	}
-	dir, err := store.Directory(path)
-	if errors.Is(err, store.ErrNoDirectory) {
-		return false, nil
-	}
-	if err != nil {
-		return true, err
-	}
-	var days []simtime.Day
-	for _, ent := range dir {
-		if ent.Source == parts[0] {
-			days = append(days, ent.Day)
-		}
-	}
-	if len(days) == 0 {
-		return true, fmt.Errorf("dpsdata: no data for source %q", parts[0])
-	}
-	idx, err := strconv.Atoi(parts[1])
-	if err != nil || idx < 0 || idx >= len(days) {
-		return true, fmt.Errorf("dpsdata: day index out of range [0,%d)", len(days))
-	}
-	s, err := store.LoadPartition(path, parts[0], days[idx])
-	if err != nil {
-		return true, err
-	}
-	n := 0
-	s.ForEachRow(parts[0], days[idx], func(r store.Row) {
-		if n >= limit {
-			return
-		}
-		n++
-		printRow(r)
-	})
-	return true, nil
-}
-
-func parsePartition(s *store.Store, spec string) (string, simtime.Day, error) {
-	parts := strings.SplitN(spec, "/", 2)
-	if len(parts) != 2 {
-		return "", 0, fmt.Errorf("dpsdata: -dump wants source/dayIndex")
-	}
-	days := s.Days(parts[0])
-	if len(days) == 0 {
-		return "", 0, fmt.Errorf("dpsdata: no data for source %q", parts[0])
-	}
-	idx, err := strconv.Atoi(parts[1])
-	if err != nil || idx < 0 || idx >= len(days) {
-		return "", 0, fmt.Errorf("dpsdata: day index out of range [0,%d)", len(days))
-	}
-	return parts[0], days[idx], nil
 }
 
 func printRow(r store.Row) {

@@ -2,6 +2,8 @@ package api
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -57,23 +59,58 @@ type Index struct {
 // folds one shared parallel pass instead of walking partitions
 // sequentially.
 func NewIndex(s *store.Store, refs *core.References) *Index {
+	x, _ := buildIndex(s, core.Partitions(s), refs)
+	return x
+}
+
+// IndexBuildError reports a streaming index build that skipped
+// unreadable partitions. The Index is still valid and serves everything
+// that did decode — degraded, not dead — so callers get both.
+type IndexBuildError struct {
+	Failed []core.PartitionFailure
+}
+
+func (e *IndexBuildError) Error() string {
+	return fmt.Sprintf("api: index build skipped %d unreadable partition(s), first: %v",
+		len(e.Failed), e.Failed[0].Err)
+}
+
+// NewIndexReader builds the index out-of-core from a streaming
+// *store.Reader: detection workers acquire → detect → release each
+// partition, so peak memory is O(workers × largest partition), not the
+// dataset. Unreadable partitions degrade the index (their days are
+// simply missing data) and come back in an *IndexBuildError alongside
+// the still-usable Index.
+func NewIndexReader(r *store.Reader, refs *core.References) (*Index, error) {
+	x, failed := buildIndex(r, core.ReaderPartitions(r), refs)
+	if len(failed) > 0 {
+		return x, &IndexBuildError{Failed: failed}
+	}
+	return x, nil
+}
+
+// buildIndex is the shared build: the partition list (sorted
+// (source, day), from Partitions or the Reader's directory) defines the
+// universe; sources and the day axis derive from it, detection runs via
+// core.DetectRangeSource, and the fold consumes results day-major.
+func buildIndex(src core.BatchSource, universe []core.Partition, refs *core.References) (*Index, []core.PartitionFailure) {
 	start := time.Now()
 	np := refs.NumProviders()
 	x := &Index{
 		refs:    refs,
-		sources: s.Sources(),
 		dayPos:  make(map[simtime.Day]int),
 		domains: make(map[string][]interval),
 	}
-	srcDays := make(map[string]map[simtime.Day]bool, len(x.sources))
+	srcSet := make(map[string]bool)
 	daySet := make(map[simtime.Day]bool)
-	for _, src := range x.sources {
-		srcDays[src] = make(map[simtime.Day]bool)
-		for _, d := range s.Days(src) {
-			srcDays[src][d] = true
-			daySet[d] = true
+	for _, pt := range universe {
+		if !srcSet[pt.Source] {
+			srcSet[pt.Source] = true
+			x.sources = append(x.sources, pt.Source)
 		}
+		daySet[pt.Day] = true
 	}
+	sort.Strings(x.sources)
 	x.days = make([]simtime.Day, 0, len(daySet))
 	for d := range daySet {
 		x.days = append(x.days, d)
@@ -92,45 +129,79 @@ func NewIndex(s *store.Store, refs *core.References) *Index {
 
 	// Day-major partition order keeps each day's detections contiguous,
 	// so the fold below consumes the parallel results with one cursor.
+	bySrcDay := make(map[core.Partition]bool, len(universe))
+	for _, pt := range universe {
+		bySrcDay[pt] = true
+	}
 	var parts []core.Partition
 	for _, day := range x.days {
 		for _, src := range x.sources {
-			if srcDays[src][day] {
+			if bySrcDay[core.Partition{Source: src, Day: day}] {
 				parts = append(parts, core.Partition{Source: src, Day: day})
 			}
 		}
 	}
-	x.partitions = len(parts)
-	dets, rst := core.DetectRangeStats(context.Background(), s, parts, refs, 0)
-	x.detectStats = rst
-
-	merged := make([]map[string]core.Method, np)
-	pi := 0
-	for di, day := range x.days {
-		for p := range merged {
-			merged[p] = make(map[string]core.Method)
+	// Detection runs in day chunks: each chunk fans out across the worker
+	// pool, folds, and lets its DayDetections go before the next chunk
+	// decodes. Holding every partition's detections until one global
+	// barrier would put an O(dataset) term back into the streaming
+	// build's peak; chunks are sized so each still saturates the pool.
+	workers := runtime.GOMAXPROCS(0)
+	chunkDays := 2
+	if len(x.sources) > 0 {
+		if need := (2*workers + len(x.sources) - 1) / len(x.sources); need > chunkDays {
+			chunkDays = need
 		}
-		for ; pi < len(parts) && parts[pi].Day == day; pi++ {
-			det := dets[pi]
-			x.measured[di] += int64(det.DomainsMeasured)
-			for p := 0; p < np; p++ {
-				det.MergeAny(p, merged[p])
-			}
-		}
-		prev := simtime.Day(-1 << 30)
-		if di > 0 {
-			prev = x.days[di-1]
-		}
-		anySet := make(map[string]bool)
-		for p := 0; p < np; p++ {
-			x.series[p][di] = int64(len(merged[p]))
-			for dom, m := range merged[p] {
-				anySet[dom] = true
-				x.addDay(dom, p, m, day, prev)
-			}
-		}
-		x.anyUse[di] = int64(len(anySet))
 	}
+	merged := make([]map[string]core.Method, np)
+	var failed []core.PartitionFailure
+	pi := 0
+	for ci := 0; ci < len(x.days); ci += chunkDays {
+		cend := ci + chunkDays
+		if cend > len(x.days) {
+			cend = len(x.days)
+		}
+		pstart := pi
+		for pi < len(parts) && x.dayPos[parts[pi].Day] < cend {
+			pi++
+		}
+		chunk := parts[pstart:pi]
+		dets, rst, cfailed := core.DetectRangeSource(context.Background(), src, chunk, refs, 0)
+		x.detectStats.Add(rst)
+		failed = append(failed, cfailed...)
+		ck := 0 // cursor into chunk/dets
+		for di := ci; di < cend; di++ {
+			day := x.days[di]
+			for p := range merged {
+				merged[p] = make(map[string]core.Method)
+			}
+			for ; ck < len(chunk) && chunk[ck].Day == day; ck++ {
+				det := dets[ck]
+				if det == nil { // unreadable partition: its slot is missing data
+					continue
+				}
+				x.measured[di] += int64(det.DomainsMeasured)
+				for p := 0; p < np; p++ {
+					det.MergeAny(p, merged[p])
+				}
+				dets[ck] = nil // folded: the packed arrays are free to go
+			}
+			prev := simtime.Day(-1 << 30)
+			if di > 0 {
+				prev = x.days[di-1]
+			}
+			anySet := make(map[string]bool)
+			for p := 0; p < np; p++ {
+				x.series[p][di] = int64(len(merged[p]))
+				for dom, m := range merged[p] {
+					anySet[dom] = true
+					x.addDay(dom, p, m, day, prev)
+				}
+			}
+			x.anyUse[di] = int64(len(anySet))
+		}
+	}
+	x.partitions = len(parts) - len(failed)
 
 	x.smoothed = make([][]float64, np)
 	for p := 0; p < np; p++ {
@@ -145,7 +216,7 @@ func NewIndex(s *store.Store, refs *core.References) *Index {
 	mIndexDomains.Set(float64(len(x.domains)))
 	mIndexDays.Set(float64(len(x.days)))
 	mIndexBuildSeconds.Set(x.buildTime.Seconds())
-	return x
+	return x, failed
 }
 
 // addDay folds one (domain, provider, methods) detection on day into the

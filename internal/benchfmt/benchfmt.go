@@ -239,6 +239,83 @@ func (d *FollowDoc) Write(path string) error {
 	return writeJSON(d, path)
 }
 
+// ScaleSchema names the current BENCH_scale.json layout: one cell per
+// swept world scale comparing the full-load index build (store.Load +
+// api.NewIndex) against the out-of-core streaming build (store.Open +
+// api.NewIndexReader) on the same dataset file.
+const ScaleSchema = "scale/v1"
+
+// ScalePath is one build path's cost at one scale: wall time, partition
+// throughput, and peak memory while the build ran. PeakHeapBytes is the
+// high-water delta of /memory/classes/heap/objects:bytes over the
+// path's pre-run baseline (sampled by a ticker goroutine);
+// PeakRSSBytes is the max /proc/self/status VmRSS observed, 0 where
+// unavailable.
+type ScalePath struct {
+	BuildSeconds     float64 `json:"build_seconds"`
+	PartitionsPerSec float64 `json:"partitions_per_sec"`
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes"`
+	PeakRSSBytes     uint64  `json:"peak_rss_bytes,omitempty"`
+}
+
+// ScaleCell is one swept world scale: the dataset's size axes plus both
+// build paths and their ratios. MemRatio is stream peak heap over full
+// peak heap (the acceptance ceiling is 0.25 at the largest scale);
+// ThroughputRatio is stream partitions/sec over full partitions/sec
+// (floor 0.8). ParityOK records that the two builds produced identical
+// day/domain/series views.
+type ScaleCell struct {
+	Scale      int   `json:"scale"`
+	Days       int   `json:"days"`
+	Partitions int   `json:"partitions"`
+	Rows       int64 `json:"rows"`
+	FileBytes  int64 `json:"file_bytes"`
+
+	Full   ScalePath `json:"full"`
+	Stream ScalePath `json:"stream"`
+
+	MemRatio        float64 `json:"mem_ratio"`
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	ParityOK        bool    `json:"parity_ok"`
+}
+
+// FillRatios computes the cell's stream-vs-full ratios.
+func (c *ScaleCell) FillRatios() {
+	if c.Full.PeakHeapBytes > 0 {
+		c.MemRatio = float64(c.Stream.PeakHeapBytes) / float64(c.Full.PeakHeapBytes)
+	}
+	if c.Full.PartitionsPerSec > 0 {
+		c.ThroughputRatio = c.Stream.PartitionsPerSec / c.Full.PartitionsPerSec
+	}
+}
+
+// ScaleDoc is results/BENCH_scale.json.
+type ScaleDoc struct {
+	Bench     string `json:"bench"`  // always "scale"
+	Schema    string `json:"schema"` // always ScaleSchema
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	// Source names the producer ("dpsbench" or "go test -bench").
+	Source string      `json:"source"`
+	Cells  []ScaleCell `json:"cells"`
+	// Detect holds the raw-detection sweep (DetectRange over a resident
+	// store vs DetectRangeSource over a streaming Reader, no index
+	// fold), written by BenchmarkScaleDetect; empty in dpsbench output.
+	Detect []ScaleCell `json:"detect,omitempty"`
+}
+
+// Write persists the document as indented JSON, creating the parent
+// directory if needed.
+func (d *ScaleDoc) Write(path string) error {
+	if d.Bench == "" {
+		d.Bench = "scale"
+	}
+	if d.Schema == "" {
+		d.Schema = ScaleSchema
+	}
+	return writeJSON(d, path)
+}
+
 // Write persists the document as indented JSON, creating the parent
 // directory if needed.
 func (d *DetectDoc) Write(path string) error {

@@ -1,0 +1,123 @@
+package benchfmt
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MeasureBuild runs one index-build path under the peak-memory sampler
+// and returns its ScalePath: heap peak is the high-water delta of LIVE
+// heap bytes over the pre-build baseline, RSS peak is the max VmRSS the
+// kernel reports while the build runs (best effort: 0 without procfs).
+// PartitionsPerSec is left for the caller, which knows the partition
+// count.
+//
+// Live bytes come from /gc/heap/live:bytes, which the runtime updates
+// at each GC mark termination: unlike heap-objects accounting it never
+// counts dead-but-unswept garbage, so lazy sweeping cannot inflate the
+// reading. GC is tightened during the build so marks happen often
+// enough for the sampler to see the true high-water mark, and a final
+// forced GC captures a build that ends at its peak. Both paths run
+// under the same setting, so the throughput comparison stays fair.
+//
+// The reading is still an estimate — allocations made while a mark is
+// running count as live even when they die young, and live peaks
+// between two marks go unseen — and it is sensitive to the process's
+// GC pacing history, so measure in as fresh a process state as
+// practical: one cell per run (dpsbench) or one cell per subprocess
+// (the root scale benchmarks). Back-to-back measurements in a loop in
+// one process drift by integer factors.
+func MeasureBuild(build func() error) (ScalePath, error) {
+	var p ScalePath
+	oldGC := debug.SetGCPercent(20)
+	defer debug.SetGCPercent(oldGC)
+	runtime.GC()
+	debug.FreeOSMemory()
+	base := liveHeapBytes()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	ready := make(chan struct{})
+	var peakHeap, peakRSS uint64
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		close(ready)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if h := liveHeapBytes(); h > base && h-base > peakHeap {
+					peakHeap = h - base
+				}
+				if r := vmRSSBytes(); r > peakRSS {
+					peakRSS = r
+				}
+			}
+		}
+	}()
+	<-ready
+	start := time.Now()
+	err := build()
+	p.BuildSeconds = time.Since(start).Seconds()
+	close(stop)
+	<-done
+	if err != nil {
+		return p, err
+	}
+	// The final state counts too: live:bytes is only refreshed at mark
+	// termination, so a build that ends at its peak may not have been
+	// marked since. One more GC makes the end state visible.
+	runtime.GC()
+	if h := liveHeapBytes(); h > base && h-base > peakHeap {
+		peakHeap = h - base
+	}
+	if r := vmRSSBytes(); r > peakRSS {
+		peakRSS = r
+	}
+	p.PeakHeapBytes = peakHeap
+	p.PeakRSSBytes = peakRSS
+	return p, nil
+}
+
+// liveHeapBytes reads the runtime's live heap estimate as of the last
+// completed GC mark.
+func liveHeapBytes() uint64 {
+	samples := []metrics.Sample{{Name: "/gc/heap/live:bytes"}}
+	metrics.Read(samples)
+	return samples[0].Value.Uint64()
+}
+
+// vmRSSBytes reads the process resident set from /proc/self/status
+// (best effort: 0 on platforms without procfs).
+func vmRSSBytes() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

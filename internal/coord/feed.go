@@ -107,6 +107,31 @@ func (r *JournalReader) Next() ([]Record, error) {
 // number of the last delivered record (both zero before any delivery).
 func (r *JournalReader) Offset() (off int64, seq uint64) { return r.off, r.seq }
 
+// Resume restores a position previously reported by Offset — the
+// restart cursor: a follower that persisted (off, seq) resumes the feed
+// without re-reading history. The position is validated eagerly against
+// the journal on disk (the prefix up to off must scan cleanly from
+// sequence 1 and end exactly at seq), so a journal that was replaced,
+// truncated, or diverged since the cursor was written is detected now
+// rather than wedging Next at a phantom torn tail forever. Returns
+// false — reader unmoved, still at the start — when the cursor does not
+// match.
+func (r *JournalReader) Resume(off int64, seq uint64) bool {
+	if off <= 0 || seq == 0 {
+		return false
+	}
+	data, err := os.ReadFile(r.path)
+	if err != nil || int64(len(data)) < off {
+		return false
+	}
+	recs, good, _ := scanJournal(data[:off], 0)
+	if int64(good) != off || len(recs) == 0 || recs[len(recs)-1].Seq != seq {
+		return false
+	}
+	r.off, r.seq = off, seq
+	return true
+}
+
 // ReplayLedger folds a record stream into per-partition statuses — the
 // same state machine the coordinator runs on restart, minus the
 // conservative requeue of orphaned leases (a leased partition is

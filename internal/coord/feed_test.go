@@ -188,3 +188,84 @@ func TestReplayLedgerStates(t *testing.T) {
 		t.Fatalf("ledger:\nwant %+v\ngot  %+v", want, got)
 	}
 }
+
+// TestJournalReaderResume: a position previously reported by Offset can
+// be restored into a fresh reader (the follower restart cursor), and any
+// cursor that does not exactly match the journal on disk is rejected —
+// the reader stays at the start and replays.
+func TestJournalReaderResume(t *testing.T) {
+	dir := t.TempDir()
+	appendJournal(t, dir,
+		record{Type: recAdd, Source: "com", Day: 1},
+		record{Type: recLease, Source: "com", Day: 1, Lease: 1, Attempt: 1},
+		record{Type: recCommit, Source: "com", Day: 1, Lease: 1, Attempt: 1, Spool: "spool/a.dpsa"},
+	)
+	a := NewJournalReader(dir)
+	if recs, err := a.Next(); err != nil || len(recs) != 3 {
+		t.Fatalf("prime read: %v %v", recs, err)
+	}
+	off, seq := a.Offset()
+
+	// Valid cursor: the fresh reader delivers only what comes after it.
+	b := NewJournalReader(dir)
+	if !b.Resume(off, seq) {
+		t.Fatalf("Resume(%d, %d) rejected a valid cursor", off, seq)
+	}
+	appendJournal(t, dir, record{Type: recAdd, Source: "net", Day: 2})
+	recs, err := b.Next()
+	if err != nil || len(recs) != 1 || recs[0].Source != "net" || recs[0].Seq != seq+1 {
+		t.Fatalf("post-resume read = %+v err=%v", recs, err)
+	}
+
+	// Offsets that do not land on a record boundary, wrong sequence
+	// numbers, and zero values are all rejected.
+	for _, bad := range []struct {
+		off int64
+		seq uint64
+	}{{off - 1, seq}, {off + 1, seq}, {off, seq + 1}, {off, 0}, {0, seq}, {-1, seq}} {
+		r := NewJournalReader(dir)
+		if r.Resume(bad.off, bad.seq) {
+			t.Fatalf("Resume(%d, %d) accepted a bogus cursor", bad.off, bad.seq)
+		}
+		if o, s := r.Offset(); o != 0 || s != 0 {
+			t.Fatalf("rejected Resume moved the reader to (%d, %d)", o, s)
+		}
+	}
+
+	// A journal replaced since the cursor was written (same dir, fresh
+	// run, different records — here, different line lengths, so the old
+	// offset no longer lands on a record boundary) fails validation; the
+	// reader replays from the start instead of wedging mid-line. A
+	// replacement whose bytes coincidentally align record-for-record can
+	// pass positional validation — the follower's applied-set dedupe is
+	// the backstop there.
+	if err := os.Remove(JournalPath(dir)); err != nil {
+		t.Fatal(err)
+	}
+	appendJournal(t, dir,
+		record{Type: recAdd, Source: "example", Day: 9},
+		record{Type: recLease, Source: "example", Day: 9, Lease: 1, Attempt: 1},
+		record{Type: recCommit, Source: "example", Day: 9, Lease: 1, Attempt: 1, Spool: "spool/other-run.dpsa"},
+		record{Type: recAdd, Source: "example", Day: 10},
+	)
+	c := NewJournalReader(dir)
+	if c.Resume(off, seq) {
+		t.Fatal("Resume accepted a cursor from a replaced journal")
+	}
+	if recs, err := c.Next(); err != nil || len(recs) != 4 {
+		t.Fatalf("replay after rejected resume = %d recs, err=%v", len(recs), err)
+	}
+
+	// Truncated below the cursor: rejected.
+	d := NewJournalReader(dir)
+	data, err := os.ReadFile(JournalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(JournalPath(dir), data[:len(data)/4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d.Resume(int64(len(data)), 4) {
+		t.Fatal("Resume accepted a cursor beyond EOF")
+	}
+}

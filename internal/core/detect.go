@@ -46,30 +46,60 @@ func packUse(p int, id uint32, m Method) uint64 {
 	return uint64(p)<<40 | uint64(id)<<8 | uint64(m)
 }
 
+// BatchSource is where detection reads its columnar partitions from:
+// either a fully resident *store.Store or a streaming *store.Reader.
+// AcquireBatch hands out one partition's columns plus a release func
+// (a no-op for the resident store; for the Reader it returns the decoded
+// columns to the buffer pool) — the batch is valid only until release.
+// Missing partitions may surface as an empty batch (resident store) or
+// an error (Reader, which knows its directory); corrupt partitions are
+// always errors.
+type BatchSource interface {
+	SharedDict() (*store.Dict, error)
+	AcquireBatch(source string, day simtime.Day) (store.RowBatch, func(), error)
+}
+
 // DetectDay scans one partition and classifies every row against the
 // reference table, entirely in dictionary-ID space: ASN hits via the
 // reference index, CNAME/NS hits via the per-dictionary SLD→provider
 // cache (References.ForDict), no per-row string materialization.
 func DetectDay(s *store.Store, source string, day simtime.Day, refs *References) *DayDetections {
-	d, _, _ := detectDayStaged(s, source, day, refs)
+	d, _, _, _ := detectSourceStaged(s, source, day, refs)
 	return d
 }
 
-// detectDayStaged is DetectDay with per-stage wall timing: scan is the
-// row classification loop (batch-scan), merge is finalize's sort / dedup
-// / distinct-count pass (hit-merge). DetectRange feeds these into the
-// detect_stage_seconds histograms; the two time.Now pairs are noise next
-// to a partition's work.
-func detectDayStaged(s *store.Store, source string, day simtime.Day, refs *References) (d *DayDetections, scan, merge time.Duration) {
+// DetectPartition is DetectDay over any BatchSource — the unit of
+// streaming detection. Unlike DetectDay it can fail: a Reader surfaces
+// missing or corrupt partitions as errors instead of silent empties.
+func DetectPartition(src BatchSource, source string, day simtime.Day, refs *References) (*DayDetections, error) {
+	d, _, _, err := detectSourceStaged(src, source, day, refs)
+	return d, err
+}
+
+// detectSourceStaged is DetectPartition with per-stage wall timing: scan
+// is the row classification loop (batch-scan), merge is finalize's sort
+// / dedup / distinct-count pass (hit-merge). DetectRange feeds these
+// into the detect_stage_seconds histograms; the two time.Now pairs are
+// noise next to a partition's work. The batch is released only after
+// finalize — finalize reads the batch's domain column.
+func detectSourceStaged(src BatchSource, source string, day simtime.Day, refs *References) (d *DayDetections, scan, merge time.Duration, err error) {
+	dict, err := src.SharedDict()
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	np := refs.NumProviders()
-	d = &DayDetections{Source: source, Day: day, dict: s.Dict()}
-	b, ok := s.RowBatch(source, day)
-	if !ok {
+	d = &DayDetections{Source: source, Day: day, dict: dict}
+	b, release, err := src.AcquireBatch(source, day)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer release()
+	n := b.Rows()
+	if n == 0 {
 		d.off = make([]int32, np+1)
-		return d, 0, 0
+		return d, 0, 0, nil
 	}
 	t0 := time.Now()
-	n := b.Rows()
 	d.Rows = n
 	ids := refs.ForDict(d.dict)
 	packed := make([]uint64, 0, 1024)
@@ -94,7 +124,7 @@ func detectDayStaged(s *store.Store, source string, day simtime.Day, refs *Refer
 	}
 	t1 := time.Now()
 	d.finalize(packed, np, b.Domains)
-	return d, t1.Sub(t0), time.Since(t1)
+	return d, t1.Sub(t0), time.Since(t1), nil
 }
 
 // finalize sorts and dedups the packed hits, builds the per-provider

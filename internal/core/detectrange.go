@@ -30,6 +30,28 @@ func Partitions(s *store.Store) []Partition {
 	return out
 }
 
+// ReaderPartitions enumerates a streaming Reader's partitions from its
+// directory — same (source, day) order as Partitions over the loaded
+// store, no partition decoded.
+func ReaderPartitions(r *store.Reader) []Partition {
+	keys := r.Keys()
+	out := make([]Partition, len(keys))
+	for i, k := range keys {
+		out[i] = Partition{Source: k.Source, Day: k.Day}
+	}
+	return out
+}
+
+// PartitionFailure records one partition DetectRangeSource could not
+// classify — unreadable or corrupt under a streaming Reader. The
+// partition's result slot stays nil; the caller decides whether that is
+// degraded service or a fatal dataset problem.
+type PartitionFailure struct {
+	Source string
+	Day    simtime.Day
+	Err    error
+}
+
 // RangeStats describes where one DetectRange call spent its time, per
 // stage, summed across workers. It is the per-call counterpart of the
 // detect_stage_seconds histograms: callers (experiment.Run,
@@ -110,14 +132,28 @@ func DetectRange(ctx context.Context, s *store.Store, parts []Partition, refs *R
 type workerClock struct {
 	scan, merge, wait time.Duration
 	finished          time.Time // when this worker ran out of work
+	failed            []PartitionFailure
 }
 
 // DetectRangeStats is DetectRange returning the call's stage-timing
-// summary alongside the detections.
+// summary alongside the detections. Over a resident *store.Store no
+// partition can fail, so failures are discarded.
 func DetectRangeStats(ctx context.Context, s *store.Store, parts []Partition, refs *References, workers int) ([]*DayDetections, RangeStats) {
+	out, st, _ := DetectRangeSource(ctx, s, parts, refs, workers)
+	return out, st
+}
+
+// DetectRangeSource classifies a set of partitions from any BatchSource
+// with the same bounded pool as DetectRange: workers pull partitions,
+// acquire → detect → release, so over a streaming *store.Reader the
+// resident set is O(workers × largest partition) plus the Reader's small
+// LRU — never the whole dataset. Partitions that fail to read (corrupt
+// spool, torn range) come back in the failures slice with their result
+// slot nil; everything else is unaffected.
+func DetectRangeSource(ctx context.Context, src BatchSource, parts []Partition, refs *References, workers int) ([]*DayDetections, RangeStats, []PartitionFailure) {
 	out := make([]*DayDetections, len(parts))
 	if len(parts) == 0 {
-		return out, RangeStats{}
+		return out, RangeStats{}, nil
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -130,7 +166,9 @@ func DetectRangeStats(ctx context.Context, s *store.Store, parts []Partition, re
 	}
 	// Warm the matcher binding once so workers contend only on its
 	// read-mostly internals, not on creation.
-	refs.ForDict(s.Dict())
+	if dict, err := src.SharedDict(); err == nil && dict != nil {
+		refs.ForDict(dict)
+	}
 	mDetectWorkers.Add(float64(workers))
 	defer mDetectWorkers.Add(-float64(workers))
 	start := time.Now()
@@ -160,7 +198,13 @@ func DetectRangeStats(ctx context.Context, s *store.Store, parts []Partition, re
 				pt := parts[i]
 				_, sp := trace.StartSpan(ctx, "core.detect",
 					trace.Str("source", pt.Source), trace.Str("day", pt.Day.String()))
-				det, scan, merge := detectDayStaged(s, pt.Source, pt.Day, refs)
+				det, scan, merge, err := detectSourceStaged(src, pt.Source, pt.Day, refs)
+				if err != nil {
+					clk.failed = append(clk.failed, PartitionFailure{Source: pt.Source, Day: pt.Day, Err: err})
+					sp.SetAttr(trace.Str("error", err.Error()))
+					sp.End()
+					continue
+				}
 				clk.scan += scan
 				clk.merge += merge
 				elapsed := scan + merge
@@ -187,8 +231,10 @@ func DetectRangeStats(ctx context.Context, s *store.Store, parts []Partition, re
 	end := time.Now()
 
 	st := RangeStats{Partitions: len(parts), Rows: rows.Load(), Workers: workers, Wall: end.Sub(start)}
+	var failed []PartitionFailure
 	for i := range clocks {
 		clk := &clocks[i]
+		failed = append(failed, clk.failed...)
 		st.Scan += clk.scan
 		st.Merge += clk.merge
 		st.QueueWait += clk.wait
@@ -202,5 +248,6 @@ func DetectRangeStats(ctx context.Context, s *store.Store, parts []Partition, re
 		}
 	}
 	mDetectUtilization.Set(st.Utilization())
-	return out, st
+	st.Partitions -= len(failed)
+	return out, st, failed
 }

@@ -1,0 +1,187 @@
+package follow
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpsadopt/internal/api"
+	"dpsadopt/internal/core"
+	"dpsadopt/internal/simtime"
+	"dpsadopt/internal/store"
+)
+
+// TestFollowCursorSeededRestart is the satellite's happy path: a
+// follower that drained a coord feed saves its cursor; a restarted
+// follower whose boot index already holds everything (dpsapi reboots
+// from -data) restores the cursor, resumes the journal at the saved
+// offset, and re-detects nothing.
+func TestFollowCursorSeededRestart(t *testing.T) {
+	refs := core.MustGroundTruth()
+	dir := t.TempDir()
+	parts := coordParts([]string{"com", "net"}, 3)
+
+	srv := api.NewServer(api.NewIndex(store.New(), refs), api.Config{ObservatoryOff: true})
+	f1, err := New(Config{Target: dir, Refs: refs, Sink: srv, CursorPath: CursorAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assembled := runCoordinator(t, dir, refs, parts)
+	drain(t, f1)
+	if st := f1.Status(); st.Applied != len(parts) {
+		t.Fatalf("first instance: %+v", st)
+	}
+	cursor := filepath.Join(dir, "follower.cursor.json")
+	if _, err := os.Stat(cursor); err != nil {
+		t.Fatalf("CursorAuto wrote no cursor: %v", err)
+	}
+	wantOff, wantSeq := f1.reader.Offset()
+
+	// Restart, seeded the way dpsapi seeds after booting from a dataset.
+	var keys []store.PartitionKey
+	for _, p := range parts {
+		keys = append(keys, store.PartitionKey{Source: p.Source, Day: p.Day})
+	}
+	srv2 := api.NewServer(api.NewIndex(assembled, refs), api.Config{ObservatoryOff: true})
+	f2, err := New(Config{Target: dir, Refs: refs, Sink: srv2, CursorPath: CursorAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Seed(keys)
+	if n, err := f2.Poll(t.Context()); n != 0 || err != nil {
+		t.Fatalf("restarted poll: n=%d err=%v", n, err)
+	}
+	// The journal reader sits exactly where the previous instance
+	// stopped — history before the cursor was never re-read.
+	if off, seq := f2.reader.Offset(); off != wantOff || seq != wantSeq {
+		t.Fatalf("reader at (%d, %d), want resumed (%d, %d)", off, seq, wantOff, wantSeq)
+	}
+	if st := f2.Status(); st.Applied != 0 || st.Lag != 0 {
+		t.Fatalf("restarted status: %+v", st)
+	}
+}
+
+// TestFollowCursorUnseededRestart: restarted with an empty boot index
+// (no -data on reboot), the cursor's applied partitions are requeued
+// from their recorded spools and re-detected — the index converges
+// without waiting for the journal to be replayed by a coordinator.
+func TestFollowCursorUnseededRestart(t *testing.T) {
+	refs := core.MustGroundTruth()
+	dir := t.TempDir()
+	parts := coordParts([]string{"com"}, 3)
+
+	srv := api.NewServer(api.NewIndex(store.New(), refs), api.Config{ObservatoryOff: true})
+	f1, err := New(Config{Target: dir, Refs: refs, Sink: srv, CursorPath: CursorAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assembled := runCoordinator(t, dir, refs, parts)
+	drain(t, f1)
+
+	srv2 := api.NewServer(api.NewIndex(store.New(), refs), api.Config{ObservatoryOff: true})
+	f2, err := New(Config{Target: dir, Refs: refs, Sink: srv2, CursorPath: CursorAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, f2)
+	if st := f2.Status(); st.Applied != len(parts) {
+		t.Fatalf("unseeded restart applied %d, want %d: %+v", st.Applied, len(parts), st)
+	}
+	assertSameView(t, api.NewIndex(assembled, refs), srv2.Index())
+}
+
+// TestFollowCursorSkippedPersists: a permanently skipped partition
+// (damaged spool) stays skipped across restarts instead of being
+// re-attempted and re-skipped on every boot.
+func TestFollowCursorSkippedPersists(t *testing.T) {
+	refs := core.MustGroundTruth()
+	dir := t.TempDir()
+	parts := coordParts([]string{"com"}, 3)
+	runCoordinator(t, dir, refs, parts)
+	victim := filepath.Join(dir, "spool", "com."+simtime.Day(1).String()+".dpsa")
+	fi, err := os.Stat(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(victim, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := api.NewServer(api.NewIndex(store.New(), refs), api.Config{ObservatoryOff: true})
+	f1, err := New(Config{Target: dir, Refs: refs, Sink: srv, CursorPath: CursorAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, f1)
+	if st := f1.Status(); st.Applied != 2 || st.Skipped != 1 {
+		t.Fatalf("first instance: %+v", st)
+	}
+
+	srv2 := api.NewServer(api.NewIndex(store.New(), refs), api.Config{ObservatoryOff: true})
+	f2, err := New(Config{Target: dir, Refs: refs, Sink: srv2, CursorPath: CursorAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, f2)
+	st := f2.Status()
+	if st.Skipped != 1 {
+		t.Fatalf("skip not restored: %+v", st)
+	}
+	if st.Applied != 2 {
+		t.Fatalf("intact partitions not re-applied: %+v", st)
+	}
+}
+
+// TestFollowCursorDisabledByDefault: without CursorPath nothing is
+// written next to the target — the pre-cursor contract that the
+// follower touches only its own state holds.
+func TestFollowCursorDisabledByDefault(t *testing.T) {
+	refs := core.MustGroundTruth()
+	dir := t.TempDir()
+	parts := coordParts([]string{"com"}, 2)
+	srv := api.NewServer(api.NewIndex(store.New(), refs), api.Config{ObservatoryOff: true})
+	f, err := New(Config{Target: dir, Refs: refs, Sink: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCoordinator(t, dir, refs, parts)
+	drain(t, f)
+	if _, err := os.Stat(filepath.Join(dir, "follower.cursor.json")); !os.IsNotExist(err) {
+		t.Fatal("cursor written despite CursorPath being unset")
+	}
+}
+
+// TestFollowCursorDatasetMode: in dataset mode the cursor derives its
+// path from the target file and round-trips the skip set; a mode
+// mismatch (coord cursor fed to a dataset follower) is ignored.
+func TestFollowCursorDatasetMode(t *testing.T) {
+	refs := core.MustGroundTruth()
+	path := filepath.Join(t.TempDir(), "data.dpsa")
+	all := store.New()
+	all.Absorb(synthPart(t, refs, "com", 0))
+	if err := all.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	srv := api.NewServer(api.NewIndex(store.New(), refs), api.Config{ObservatoryOff: true})
+	f, err := New(Config{Target: path, Refs: refs, Sink: srv, CursorPath: CursorAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, f)
+	if _, err := os.Stat(path + ".cursor.json"); err != nil {
+		t.Fatalf("dataset-mode cursor missing: %v", err)
+	}
+
+	// A coord-mode cursor at the same path must be ignored, not crash
+	// or corrupt state.
+	if err := os.WriteFile(path+".cursor.json", []byte(`{"mode":"coord","journal_offset":999,"journal_seq":9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := New(Config{Target: path, Refs: refs, Sink: srv, CursorPath: CursorAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f2.Poll(t.Context()); err != nil {
+		t.Fatalf("poll with mismatched cursor: n=%d err=%v", n, err)
+	}
+}

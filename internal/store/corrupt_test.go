@@ -313,6 +313,35 @@ func TestCorruptLoadTable(t *testing.T) {
 				t.Fatalf("%s: LoadPartition(%s/%s) silently returned wrong data", name, ent.Source, ent.Day)
 			}
 		}
+		// Streaming Reader: Open may refuse the file outright; an open
+		// that succeeds must serve each partition either as an error or
+		// as exactly the original rows — never torn data, never a panic.
+		r, err := Open(p)
+		if err != nil {
+			return
+		}
+		defer r.Close()
+		dict, err := r.SharedDict()
+		if err != nil {
+			return
+		}
+		for _, k := range r.Keys() {
+			b, release, err := r.AcquireBatch(k.Source, k.Day)
+			if err != nil {
+				continue
+			}
+			var have []Row
+			for i := 0; i < b.Rows(); i++ {
+				row := b.Row(i, dict)
+				row.ASNs = append([]uint32(nil), row.ASNs...)
+				have = append(have, row)
+			}
+			release()
+			w := want[fmt.Sprintf("%s/%s", k.Source, k.Day)]
+			if !reflect.DeepEqual(w, have) {
+				t.Fatalf("%s: streaming read of %s silently returned wrong data", name, k)
+			}
+		}
 	}
 
 	for _, b := range boundaries {

@@ -99,6 +99,11 @@ type PartitionKey struct {
 // Key returns the entry's map key.
 func (pi PartitionInfo) Key() PartitionKey { return PartitionKey{pi.Source, pi.Day} }
 
+// Extent reports where the partition's bytes live in the file — the
+// pread range a streaming read covers and the span an operator would
+// carve out of a damaged file for offline salvage.
+func (pi PartitionInfo) Extent() (offset, length uint64) { return pi.offset, pi.length }
+
 func (k PartitionKey) String() string { return fmt.Sprintf("%s/%s", k.Source, k.Day) }
 
 // IndexDirectory builds a keyed lookup over a directory listing. Single

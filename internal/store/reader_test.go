@@ -1,0 +1,290 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dpsadopt/internal/simtime"
+)
+
+// readerRows materializes one partition through the streaming path, in
+// the same shape rowsOf produces from a resident store.
+func readerRows(t *testing.T, r *Reader, source string, day simtime.Day) []Row {
+	t.Helper()
+	dict, err := r.SharedDict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, release, err := r.AcquireBatch(source, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	var out []Row
+	for i := 0; i < b.Rows(); i++ {
+		row := b.Row(i, dict)
+		row.ASNs = append([]uint32(nil), row.ASNs...)
+		out = append(out, row)
+	}
+	return out
+}
+
+func TestReaderRoundTrip(t *testing.T) {
+	s := populatedStore()
+	path := filepath.Join(t.TempDir(), "data.dpsa")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() < 3 {
+		t.Fatalf("version = %d, want current", r.Version())
+	}
+	// Directory listing matches the store's partitions, in (source, day)
+	// order.
+	var want []PartitionKey
+	for _, src := range s.Sources() {
+		for _, day := range s.Days(src) {
+			want = append(want, PartitionKey{Source: src, Day: day})
+		}
+	}
+	if got := r.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	// Every partition decodes to exactly the original rows — Load is the
+	// parity oracle.
+	for _, k := range want {
+		if w, h := rowsOf(s, k.Source, k.Day), readerRows(t, r, k.Source, k.Day); !reflect.DeepEqual(w, h) {
+			t.Fatalf("%s streaming rows differ:\nwant %+v\ngot  %+v", k, w, h)
+		}
+	}
+	// Info answers from the directory alone.
+	in := r.Info()
+	if !in.Directory || !in.CRCPartitions {
+		t.Fatalf("Info() = %+v, want directory+CRC on a current file", in)
+	}
+	if in.Partitions != len(want) {
+		t.Fatalf("Info().Partitions = %d, want %d", in.Partitions, len(want))
+	}
+	if !reflect.DeepEqual(in.Sources, s.Sources()) {
+		t.Fatalf("Info().Sources = %v", in.Sources)
+	}
+	var rows int64
+	for _, k := range want {
+		rows += int64(len(rowsOf(s, k.Source, k.Day)))
+	}
+	if in.Rows != rows {
+		t.Fatalf("Info().Rows = %d, want %d", in.Rows, rows)
+	}
+	if in.FirstDay != 0 || in.LastDay != 10 {
+		t.Fatalf("Info() day range %v..%v", in.FirstDay, in.LastDay)
+	}
+	if in.FileBytes <= in.PartitionBytes || in.PartitionBytes <= 0 {
+		t.Fatalf("Info() sizes: file=%d partitions=%d", in.FileBytes, in.PartitionBytes)
+	}
+	// A key absent from the directory is a plain error, not a panic or
+	// an empty batch.
+	if _, _, err := r.AcquireBatch("com", 99); err == nil {
+		t.Fatal("missing partition acquired without error")
+	}
+}
+
+// TestReaderV2Fallback: version 2 files have no directory
+// (ErrNoDirectory territory), so Open falls back to one sequential full
+// decode and still serves every partition.
+func TestReaderV2Fallback(t *testing.T) {
+	s := populatedStore()
+	path := legacyV2File(t, s)
+	if _, err := Directory(path); !errors.Is(err, ErrNoDirectory) {
+		t.Fatalf("fixture is not a directoryless file: %v", err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() != 2 {
+		t.Fatalf("version = %d, want 2", r.Version())
+	}
+	in := r.Info()
+	if in.Directory || in.CRCPartitions {
+		t.Fatalf("Info() = %+v, want no directory / no CRCs on v2", in)
+	}
+	for _, src := range s.Sources() {
+		for _, day := range s.Days(src) {
+			if w, h := rowsOf(s, src, day), readerRows(t, r, src, day); !reflect.DeepEqual(w, h) {
+				t.Fatalf("%s/%s v2 fallback rows differ", src, day)
+			}
+		}
+	}
+}
+
+// TestReaderCorruptPartition: a bit-flipped partition surfaces as a
+// *CorruptPartitionError from AcquireBatch — never corrupt rows — and
+// the read-only path quarantines nothing on disk. Other partitions stay
+// readable.
+func TestReaderCorruptPartition(t *testing.T) {
+	s := populatedStore()
+	_, lay := saveWithLayout(t, s)
+	victim := lay.parts[1]
+	mut := append([]byte(nil), lay.data...)
+	mut[victim.offset+victim.length/2] ^= 0xA5
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.dpsa")
+	if err := os.WriteFile(bad, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, release, err := r.AcquireBatch(victim.Source, victim.Day)
+	var ce *CorruptPartitionError
+	if !errors.As(err, &ce) {
+		release()
+		t.Fatalf("err = %v, want *CorruptPartitionError", err)
+	}
+	if ce.Source != victim.Source || ce.Day != victim.Day {
+		t.Fatalf("error names %s/%s, want %s/%s", ce.Source, ce.Day, victim.Source, victim.Day)
+	}
+	// Streaming reads never move files aside: quarantine is Load's job.
+	if _, err := os.Stat(filepath.Join(dir, "quarantine")); !os.IsNotExist(err) {
+		t.Fatal("streaming read created a quarantine directory")
+	}
+	ok := lay.parts[0]
+	if w, h := rowsOf(s, ok.Source, ok.Day), readerRows(t, r, ok.Source, ok.Day); !reflect.DeepEqual(w, h) {
+		t.Fatal("intact partition unreadable next to a corrupt one")
+	}
+}
+
+// TestReaderCacheAndEviction exercises the decoded-partition LRU: a
+// re-acquire hits the cache, eviction keeps residency at the cap, and a
+// pinned block survives eviction pressure until released.
+func TestReaderCacheAndEviction(t *testing.T) {
+	s := populatedStore()
+	path := filepath.Join(t.TempDir(), "data.dpsa")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetCachePartitions(1)
+	keys := r.Keys()
+
+	b1, rel1, err := r.AcquireBatch(keys[0].Source, keys[0].Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same key again: served from cache — the same backing arrays.
+	b2, rel2, err := r.AcquireBatch(keys[0].Source, keys[0].Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Domains) > 0 && &b1.Domains[0] != &b2.Domains[0] {
+		t.Fatal("re-acquire decoded a fresh copy instead of hitting the cache")
+	}
+	// While keys[0] is pinned twice, acquiring a second partition must
+	// not evict it (pinned blocks are unevictable) — residency may
+	// exceed the cap temporarily.
+	b3, rel3, err := r.AcquireBatch(keys[1].Source, keys[1].Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b3
+	r.mu.Lock()
+	if _, ok := r.cache[keys[0]]; !ok {
+		r.mu.Unlock()
+		t.Fatal("pinned partition evicted")
+	}
+	over := len(r.cache)
+	r.mu.Unlock()
+	if over != 2 {
+		t.Fatalf("cache holds %d blocks, want 2 (both pinned)", over)
+	}
+	rel1()
+	rel2()
+	rel3()
+	// All pins released: eviction trims back to capacity 1.
+	r.mu.Lock()
+	n := len(r.cache)
+	r.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("cache holds %d blocks after release, want 1", n)
+	}
+}
+
+// TestReaderConcurrentAcquire hammers one Reader from many goroutines
+// under -race: every (goroutine, partition) read must match the oracle,
+// and in-flight deduplication must not deadlock or double-decode into
+// torn state.
+func TestReaderConcurrentAcquire(t *testing.T) {
+	s := populatedStore()
+	path := filepath.Join(t.TempDir(), "data.dpsa")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetCachePartitions(2) // force eviction churn
+	keys := r.Keys()
+	want := make(map[PartitionKey][]Row)
+	for _, k := range keys {
+		want[k] = rowsOf(s, k.Source, k.Day)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := keys[(g+i)%len(keys)]
+				rows := func() []Row {
+					dict, err := r.SharedDict()
+					if err != nil {
+						errc <- err
+						return nil
+					}
+					b, release, err := r.AcquireBatch(k.Source, k.Day)
+					if err != nil {
+						errc <- err
+						return nil
+					}
+					defer release()
+					var out []Row
+					for i := 0; i < b.Rows(); i++ {
+						row := b.Row(i, dict)
+						row.ASNs = append([]uint32(nil), row.ASNs...)
+						out = append(out, row)
+					}
+					return out
+				}()
+				if rows != nil && !reflect.DeepEqual(rows, want[k]) {
+					errc <- fmt.Errorf("goroutine %d: %s rows diverged", g, k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

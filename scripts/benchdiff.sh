@@ -1,6 +1,7 @@
 #!/bin/sh
-# Compare freshly-run serving, detection, coordination, and follower
-# benchmarks against the committed results/BENCH_{api,detect,coord,follow}.json,
+# Compare freshly-run serving, detection, coordination, follower, and
+# out-of-core scale benchmarks against the committed
+# results/BENCH_{api,detect,coord,follow,scale}.json,
 # warning on any metric that regressed more than 20%. Advisory by default
 # (exit 0 even on regressions; set BENCHDIFF_STRICT=1 to fail); set
 # BENCHDIFF_SKIP_REGEN=1 to diff the working tree against HEAD without
@@ -20,6 +21,8 @@ git show HEAD:results/BENCH_coord.json >"$WORK/base_coord.json" 2>/dev/null ||
     { echo "benchdiff: no committed results/BENCH_coord.json at HEAD" >&2; exit 1; }
 git show HEAD:results/BENCH_follow.json >"$WORK/base_follow.json" 2>/dev/null ||
     { echo "benchdiff: no committed results/BENCH_follow.json at HEAD" >&2; exit 1; }
+git show HEAD:results/BENCH_scale.json >"$WORK/base_scale.json" 2>/dev/null ||
+    { echo "benchdiff: no committed results/BENCH_scale.json at HEAD" >&2; exit 1; }
 
 if [ "${BENCHDIFF_SKIP_REGEN:-0}" != "1" ]; then
     echo "== regenerate serving benchmark (results/BENCH_api.json)"
@@ -30,6 +33,8 @@ if [ "${BENCHDIFF_SKIP_REGEN:-0}" != "1" ]; then
     go test -run '^$' -bench '^BenchmarkCoordinator$' .
     echo "== regenerate follower benchmark (results/BENCH_follow.json)"
     go test -run '^$' -bench '^BenchmarkFollowApply$' .
+    echo "== regenerate out-of-core scale benchmark (results/BENCH_scale.json)"
+    go test -run '^$' -bench '^BenchmarkScale(Load|Detect)$' .
 fi
 
 STRICT=""
@@ -43,3 +48,5 @@ echo "== diff coordination benchmark vs HEAD"
 go run ./cmd/benchdiff $STRICT "$WORK/base_coord.json" results/BENCH_coord.json
 echo "== diff follower benchmark vs HEAD"
 go run ./cmd/benchdiff $STRICT "$WORK/base_follow.json" results/BENCH_follow.json
+echo "== diff out-of-core scale benchmark vs HEAD"
+go run ./cmd/benchdiff $STRICT "$WORK/base_scale.json" results/BENCH_scale.json
